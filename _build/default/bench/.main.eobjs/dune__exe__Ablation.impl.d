@@ -1,0 +1,1 @@
+bench/ablation.ml: Defs Embsan_core Embsan_emu Embsan_guest Firmware_db Fmt List Replay

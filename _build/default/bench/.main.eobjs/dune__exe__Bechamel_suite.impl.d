@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Embsan_core Embsan_emu Embsan_fuzz Embsan_guest Firmware_db Fmt Hashtbl Instance List Measure Printexc Replay Staged Test Time Toolkit

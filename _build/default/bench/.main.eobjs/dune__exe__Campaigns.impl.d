@@ -1,0 +1,1 @@
+bench/campaigns.ml: Array Campaign Embsan_core Embsan_fuzz Embsan_guest Embsan_isa Firmware_db Fmt Hashtbl List Prog Replay String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Bechamel_suite Campaigns Embsan_guest Firmware_db Fmt List Overhead String Sys Table2 Unix

@@ -1,0 +1,1 @@
+bench/overhead.ml: Campaign Campaigns Embsan_core Embsan_fuzz Embsan_guest Firmware_db Fmt List Option Prog Replay String

@@ -1,0 +1,1 @@
+bench/table2.ml: Defs Embsan_core Embsan_guest Firmware_db Fmt List Replay String

@@ -1,0 +1,84 @@
+(* Wall-clock micro-benchmarks (Bechamel), one per reproduced table/figure:
+   these complement the deterministic cycle-model numbers with host-time
+   measurements of the machinery itself. *)
+
+open Bechamel
+open Toolkit
+open Embsan_guest
+module Embsan = Embsan_core.Embsan
+
+let syzbot_oob_bug =
+  List.hd Firmware_db.syzbot_suite_fw.fw_bugs (* ringbuf_map_alloc *)
+
+(* Table 1: firmware build + probing phase. *)
+let test_table1_prepare =
+  Test.make ~name:"table1/prepare_session (build+probe stm32mp1)"
+    (Staged.stage (fun () ->
+         let fw = List.nth Firmware_db.all 7 in
+         ignore
+           (Embsan.prepare ~sanitizers:Embsan.kasan_only
+              ~firmware:(Firmware_db.embsan_firmware fw)
+              ())))
+
+(* Table 2: one reproducer replay under EmbSan-C. *)
+let test_table2_replay =
+  Test.make ~name:"table2/replay_reproducer (EmbSan-C)"
+    (Staged.stage (fun () ->
+         ignore
+           (Replay.run_reproducer Firmware_db.syzbot_suite_fw
+              (Replay.Embsan_mode (Embsan.kasan_only, `C))
+              syzbot_oob_bug.b_syscalls)))
+
+(* Tables 3/4: a short fuzzing burst. *)
+let test_table3_fuzz =
+  Test.make ~name:"table3/fuzz_40_execs (Tardis, LiteOS)"
+    (Staged.stage (fun () ->
+         let fw = List.nth Firmware_db.all 7 in
+         let cfg =
+           {
+             (Embsan_fuzz.Campaign.default_config fw) with
+             max_execs = 40;
+             stop_when_all_found = false;
+           }
+         in
+         ignore (Embsan_fuzz.Campaign.run cfg)))
+
+(* Figure 2: raw emulator throughput (the denominator of every slowdown). *)
+let test_fig2_throughput =
+  let fw = List.hd Firmware_db.all in
+  let inst = Replay.boot fw Replay.No_sanitizer in
+  Test.make ~name:"fig2/emulator_100k_insns"
+    (Staged.stage (fun () ->
+         ignore (Embsan_emu.Machine.run inst.machine ~max_insns:100_000)))
+
+let benchmark () =
+  let tests =
+    Test.make_grouped ~name:"embsan"
+      [
+        test_table1_prepare;
+        test_table2_replay;
+        test_table3_fuzz;
+        test_fig2_throughput;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.8) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Fmt.pr "@.Bechamel wall-clock (host time per run):@.";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "  %-45s %10.3f ms@." name (est /. 1e6)
+      | Some _ | None -> Fmt.pr "  %-45s (no estimate)@." name)
+    results
+
+let run () =
+  try benchmark ()
+  with e ->
+    Fmt.pr "bechamel suite failed: %s@." (Printexc.to_string e)

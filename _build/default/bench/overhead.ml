@@ -1,0 +1,115 @@
+(* Figure 2: runtime overhead of EmbSan vs native sanitizers.
+
+   Replays each firmware's merged (clean) fuzzing corpus under seven
+   configurations and reports modeled-cycle slowdowns relative to the
+   uninstrumented run, grouped the way the figure subdivides them:
+   instrumentation mode, base OS and architecture.  Absolute factors come
+   from the documented cost model (see lib/emu/cost_model.ml); the *shape*
+   - who is cheap, who is expensive, C vs D ordering - is the
+   reproduction target. *)
+
+open Embsan_guest
+open Embsan_fuzz
+module Embsan = Embsan_core.Embsan
+
+type row = {
+  o_fw : Firmware_db.firmware;
+  o_progs : int;
+  (* slowdowns; None = configuration impossible (closed source) *)
+  c_kasan : float option;
+  d_kasan : float option;
+  n_kasan : float option;
+  c_kcsan : float option;
+  d_kcsan : float option;
+  n_kcsan : float option;
+}
+
+let replay_cost fw corpus config =
+  match Replay.boot fw config with
+  | inst ->
+      let calls = List.concat_map Prog.to_reproducer corpus in
+      let o = Replay.replay inst calls in
+      Some (float_of_int o.o_cost)
+  | exception Replay.Boot_failed _ -> None
+
+let measure ?max_execs fw =
+  let r = Campaigns.campaign ?max_execs fw in
+  let corpus = Campaign.clean_corpus fw r.r_corpus_progs in
+  if List.length corpus < 3 then None
+  else
+  match replay_cost fw corpus Replay.No_sanitizer with
+  | None -> None
+  | Some base ->
+      let slow config =
+        Option.map (fun c -> c /. base) (replay_cost fw corpus config)
+      in
+      Some
+        {
+          o_fw = fw;
+          o_progs = List.length corpus;
+          c_kasan = slow (Replay.Embsan_mode (Embsan.kasan_only, `C));
+          d_kasan = slow (Replay.Embsan_mode (Embsan.kasan_only, `D));
+          n_kasan = slow Replay.Native_kasan;
+          c_kcsan = slow (Replay.Embsan_mode (Embsan.kcsan_only, `C));
+          d_kcsan = slow (Replay.Embsan_mode (Embsan.kcsan_only, `D));
+          n_kcsan = slow Replay.Native_kcsan;
+        }
+
+let cell = function Some f -> Fmt.str "%5.2fx" f | None -> "   - "
+
+let band rows pick =
+  let vs = List.filter_map pick rows in
+  match vs with
+  | [] -> "-"
+  | _ ->
+      Fmt.str "%.1fx-%.1fx"
+        (List.fold_left min infinity vs)
+        (List.fold_left max 0. vs)
+
+let print rows =
+  Fmt.pr "@.Figure 2: runtime overhead (slowdown vs uninstrumented run)@.";
+  Fmt.pr "%-22s %-6s| %-8s %-8s %-8s | %-8s %-8s %-8s@." "Firmware" "progs"
+    "EmbSan-C" "EmbSan-D" "KASAN" "EmbSan-C" "EmbSan-D" "KCSAN";
+  Fmt.pr "%-22s %-6s| %-26s | %-26s@." "" "" "  (KASAN functionality)"
+    "  (KCSAN functionality)";
+  Fmt.pr "%s@." (String.make 95 '-');
+  List.iter
+    (fun r ->
+      Fmt.pr "%-22s %-6d| %-8s %-8s %-8s | %-8s %-8s %-8s@."
+        r.o_fw.Firmware_db.fw_name r.o_progs (cell r.c_kasan) (cell r.d_kasan)
+        (cell r.n_kasan) (cell r.c_kcsan) (cell r.d_kcsan) (cell r.n_kcsan))
+    rows;
+  Fmt.pr "%s@." (String.make 95 '-');
+  let linux r = r.o_fw.Firmware_db.fw_base_os = "Embedded Linux" in
+  let rtos r = not (linux r) in
+  Fmt.pr "measured bands (paper's reported bands in parentheses):@.";
+  Fmt.pr "  EmbSan-C KASAN, Linux : %-12s (2.2x-2.5x)@."
+    (band (List.filter linux rows) (fun r -> r.c_kasan));
+  Fmt.pr "  EmbSan-D KASAN, Linux : %-12s (2.7x-2.8x)@."
+    (band (List.filter linux rows) (fun r -> r.d_kasan));
+  Fmt.pr "  native KASAN,   Linux : %-12s (2.2x-2.7x)@."
+    (band (List.filter linux rows) (fun r -> r.n_kasan));
+  Fmt.pr "  EmbSan-C KCSAN        : %-12s (5.2x-5.7x)@."
+    (band rows (fun r -> r.c_kcsan));
+  Fmt.pr "  native KCSAN          : %-12s (5.4x-6.1x)@."
+    (band rows (fun r -> r.n_kcsan));
+  Fmt.pr "  EmbSan KASAN, RTOS    : %-12s (2.5x-3.2x)@."
+    (band (List.filter rtos rows) (fun r -> r.d_kasan));
+  (* the paper's qualitative claims *)
+  let avg pick =
+    let vs = List.filter_map pick rows in
+    List.fold_left ( +. ) 0. vs /. float_of_int (max 1 (List.length vs))
+  in
+  let c = avg (fun r -> r.c_kasan)
+  and d = avg (fun r -> r.d_kasan)
+  and kc = avg (fun r -> r.c_kcsan)
+  and nk = avg (fun r -> r.n_kcsan) in
+  Fmt.pr "shape: EmbSan-C cheaper than EmbSan-D (KASAN): %s; KCSAN ~2-3x \
+          KASAN's cost: %s@."
+    (if c < d then "yes" else "NO")
+    (if kc > 1.5 *. c && nk > 1.5 *. c then "yes" else "NO")
+
+let run ?max_execs () =
+  let rows = List.filter_map (fun fw -> measure ?max_execs fw) Firmware_db.all in
+  print rows;
+  rows

@@ -1,0 +1,197 @@
+(* embsan: command-line front end.
+
+     embsan list                         firmware inventory
+     embsan probe  <firmware>            pre-testing probing phase; print DSL
+     embsan run    <firmware> <nr> <args...>   one syscall under EmbSan
+     embsan repro  <firmware> <bug-id>   replay a bug's reproducer
+     embsan fuzz   <firmware> [--execs N] [--seed N]
+     embsan disasm <firmware>            disassemble the built image *)
+
+open Cmdliner
+open Embsan_guest
+module Embsan = Embsan_core.Embsan
+module Report = Embsan_core.Report
+
+let find_fw name =
+  match Firmware_db.find name with
+  | Some fw -> Ok fw
+  | None ->
+      if String.equal name "syzbot-suite" then Ok Firmware_db.syzbot_suite_fw
+      else
+        Error
+          (Fmt.str "unknown firmware %S; try `embsan list` for the inventory"
+             name)
+
+let fw_arg =
+  let parse s = Result.map_error (fun e -> `Msg e) (find_fw s) in
+  let print fmt fw = Fmt.string fmt fw.Firmware_db.fw_name in
+  Arg.(
+    required
+    & pos 0 (some (conv (parse, print))) None
+    & info [] ~docv:"FIRMWARE" ~doc:"Firmware name from `embsan list`.")
+
+(* --- list ------------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "%-22s %-15s %-8s %-9s %-7s %-10s %s@." "Firmware" "Base OS" "Arch"
+      "Inst." "Source" "Fuzzer" "Bugs";
+    List.iter
+      (fun fw ->
+        Fmt.pr "%a %d@." Firmware_db.pp_table1_row fw
+          (List.length fw.Firmware_db.fw_bugs))
+      (Firmware_db.all @ [ Firmware_db.syzbot_suite_fw ])
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available firmware images")
+    Term.(const run $ const ())
+
+(* --- probe ------------------------------------------------------------------ *)
+
+let probe_cmd =
+  let run fw =
+    let session =
+      Embsan.prepare ~sanitizers:Embsan.all_sanitizers
+        ~firmware:(Firmware_db.embsan_firmware fw)
+        ()
+    in
+    Fmt.pr "# pre-testing probing phase for %s (%s)@." fw.Firmware_db.fw_name
+      (Embsan_core.Runtime.mode_name session.s_mode);
+    Fmt.pr "# dry run reached ready after %d instructions@."
+      session.s_platform.p_ready_insns;
+    List.iter (Fmt.pr "# note: %s@.") session.s_platform.p_notes;
+    Fmt.pr "%s@." (Embsan.spec_text session)
+  in
+  Cmd.v
+    (Cmd.info "probe"
+       ~doc:"Run the probing phase and print the resulting DSL specification")
+    Term.(const run $ fw_arg)
+
+(* --- run -------------------------------------------------------------------- *)
+
+let run_cmd =
+  let nr =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"NR" ~doc:"Syscall number.")
+  in
+  let args =
+    Arg.(value & pos_right 1 int [] & info [] ~docv:"ARGS" ~doc:"Arguments.")
+  in
+  let run fw nr args =
+    let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+    let o = Replay.replay inst [ (nr, Array.of_list args) ] in
+    (match Embsan_emu.Devices.mailbox_completions inst.machine.mailbox with
+    | { ret; _ } :: _ -> Fmt.pr "syscall %d -> %d (0x%x)@." nr ret ret
+    | [] -> Fmt.pr "syscall %d did not complete@." nr);
+    (match o.o_crash with
+    | Some s -> Fmt.pr "machine stopped: %a@." Embsan_emu.Machine.pp_stop s
+    | None -> ());
+    List.iter (fun r -> Fmt.pr "%a@." Report.pp r) o.o_reports;
+    Fmt.pr "(%d instructions, %d modeled cycles)@." o.o_insns o.o_cost
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute one syscall on a firmware under EmbSan")
+    Term.(const run $ fw_arg $ nr $ args)
+
+(* --- repro ------------------------------------------------------------------ *)
+
+let repro_cmd =
+  let bug_id =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"BUG-ID" ~doc:"Bug id, e.g. linux/nf_setrule.")
+  in
+  let run fw bug_id =
+    match
+      List.find_opt (fun b -> String.equal b.Defs.b_id bug_id) fw.Firmware_db.fw_bugs
+    with
+    | None ->
+        Fmt.epr "no bug %S in %s; known: %s@." bug_id fw.fw_name
+          (String.concat ", " (List.map (fun b -> b.Defs.b_id) fw.fw_bugs));
+        exit 1
+    | Some bug ->
+        let o =
+          Replay.run_reproducer fw
+            (Replay.Embsan_cfg Embsan.all_sanitizers)
+            bug.b_syscalls
+        in
+        List.iter (fun r -> Fmt.pr "%a@." Report.pp r) o.o_reports;
+        (match o.o_crash with
+        | Some s -> Fmt.pr "machine stopped: %a@." Embsan_emu.Machine.pp_stop s
+        | None -> ());
+        Fmt.pr "%s: %s@." bug.b_id
+          (if Replay.detects bug o then "DETECTED" else "not detected")
+  in
+  Cmd.v
+    (Cmd.info "repro" ~doc:"Replay a registered bug's reproducer under EmbSan")
+    Term.(const run $ fw_arg $ bug_id)
+
+(* --- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let execs =
+    Arg.(value & opt int 2000 & info [ "execs" ] ~doc:"Execution budget.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let run fw execs seed =
+    let cfg =
+      { (Embsan_fuzz.Campaign.default_config fw) with max_execs = execs; seed }
+    in
+    let r = Embsan_fuzz.Campaign.run cfg in
+    Fmt.pr "%a@." Embsan_fuzz.Campaign.pp_result r
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc:"Run a coverage-guided fuzzing campaign with EmbSan")
+    Term.(const run $ fw_arg $ execs $ seed)
+
+(* --- trace ------------------------------------------------------------------ *)
+
+let trace_cmd =
+  let nr =
+    Arg.(required & pos 1 (some int) None & info [] ~docv:"NR" ~doc:"Syscall number.")
+  in
+  let args =
+    Arg.(value & pos_right 1 int [] & info [] ~docv:"ARGS" ~doc:"Arguments.")
+  in
+  let mem = Arg.(value & flag & info [ "mem" ] ~doc:"Also trace memory accesses.") in
+  let run fw nr args mem =
+    let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+    let tracer = Embsan_emu.Trace.attach ~capacity:160 ~mem inst.machine in
+    let image = fw.Firmware_db.fw_truth ~kcov:false Embsan_minic.Codegen.Plain in
+    let symbolize pc =
+      Option.map
+        (fun (s : Embsan_isa.Image.symbol) -> s.name)
+        (Embsan_isa.Image.symbol_at image pc)
+    in
+    (match Replay.syscall inst ~nr ~args:(Array.of_list args) with
+    | None -> ()
+    | Some s -> Fmt.pr "machine stopped: %a@." Embsan_emu.Machine.pp_stop s);
+    Fmt.pr "%a@." (Embsan_emu.Trace.pp ~symbolize) tracer;
+    Fmt.pr "(%d events total; newest %d shown)@."
+      (Embsan_emu.Trace.total tracer)
+      (List.length (Embsan_emu.Trace.events tracer))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Execute one syscall and print the block/call/return trace")
+    Term.(const run $ fw_arg $ nr $ args $ mem)
+
+(* --- disasm ----------------------------------------------------------------- *)
+
+let disasm_cmd =
+  let run fw =
+    let image = fw.Firmware_db.fw_build ~kcov:false Embsan_minic.Codegen.Plain in
+    Fmt.pr "%a@." Embsan_isa.Image.pp image;
+    match Embsan_isa.Image.section image "text" with
+    | Some sec -> print_string (Embsan_isa.Disasm.section_listing image sec)
+    | None -> Fmt.epr "no text section@."
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a firmware image")
+    Term.(const run $ fw_arg)
+
+let () =
+  let doc = "EmbSan: sanitizing embedded operating systems under emulation" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "embsan" ~doc)
+          [ list_cmd; probe_cmd; run_cmd; repro_cmd; fuzz_cmd; trace_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/closed_firmware.ml: Embsan_core Embsan_emu Embsan_guest Embsan_isa Embsan_minic Firmware_db Fmt List

@@ -1,0 +1,1 @@
+examples/closed_firmware.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Embsan_core Embsan_emu Embsan_guest Embsan_isa Embsan_minic Fmt List

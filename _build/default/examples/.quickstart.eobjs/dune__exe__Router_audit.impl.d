@@ -1,0 +1,1 @@
+examples/router_audit.ml: Campaign Embsan_core Embsan_fuzz Embsan_guest Embsan_isa Firmware_db Fmt List Prog Sys

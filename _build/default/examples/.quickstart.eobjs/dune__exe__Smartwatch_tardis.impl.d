@@ -1,0 +1,1 @@
+examples/smartwatch_tardis.ml: Campaign Embsan_core Embsan_fuzz Embsan_guest Firmware_db Fmt List Prog Replay

@@ -1,0 +1,1 @@
+examples/smartwatch_tardis.mli:

@@ -1,0 +1,103 @@
+(* Quickstart: write a little firmware, sanitize it with EmbSan, watch a
+   heap overflow get caught.
+
+     dune exec examples/quickstart.exe
+
+   The firmware is a MiniC program with a bump allocator and one syscall
+   whose length check is off by a constant - the classic embedded parsing
+   bug.  We build it *without* any sanitizer instrumentation and let
+   EmbSan-D catch the bug purely from the emulator side. *)
+
+module Driver = Embsan_minic.Driver
+module Machine = Embsan_emu.Machine
+module Devices = Embsan_emu.Devices
+module Embsan = Embsan_core.Embsan
+module Report = Embsan_core.Report
+module Prober = Embsan_core.Prober
+
+let firmware_source =
+  {|
+barr heap_pool[4096];
+var heap_next = 0;
+
+// a tiny bump allocator named so the Prober recognizes it
+fun kmalloc(size) {
+  var p = &heap_pool + heap_next;
+  heap_next = heap_next + ((size + 7) & ~7);
+  san_alloc(p, size);
+  return p;
+}
+
+fun kfree(p) { san_free(p, 0); return 0; }
+
+// BUG: copies [len] bytes into a 32-byte packet buffer but validates the
+// length against the 48-byte wire frame
+fun handle_packet(len, seed) {
+  if (len > 48) { return 0 - 22; }
+  var pkt = kmalloc(32);
+  if (pkt == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < len) {
+    store8(pkt + i, (seed + i) & 0xFF);
+    i = i + 1;
+  }
+  var sum = fnv1a(pkt, 4);
+  kfree(pkt);
+  return sum & 0x7FFFFFFF;
+}
+
+fun kmain() {
+  san_poison(&heap_pool, 4096);
+  mb_ready();
+  while (1) {
+    if (mb_pending()) {
+      var nr = mb_nr();
+      var ret = 0 - 38;
+      if (nr == 1) { ret = handle_packet(mb_arg(0), mb_arg(1)); }
+      mb_complete(ret);
+    }
+  }
+  return 0;
+}
+|}
+
+let () =
+  (* 1. build the plain (uninstrumented) firmware *)
+  let image =
+    Driver.compile Driver.default_config
+      [ Embsan_guest.Libk.unit_; { src_name = "demo"; code = firmware_source } ]
+  in
+  Fmt.pr "built firmware: %a@." Embsan_isa.Image.pp image;
+
+  (* 2. pre-testing probing phase: distill KASAN's interface and probe the
+     firmware (symbols available, no compile-time instrumentation ->
+     EmbSan-D) *)
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kasan_only
+      ~firmware:(Embsan.Source (image, Prober.no_hints))
+      ()
+  in
+  Fmt.pr "@.-- the specification the Distiller and Prober compiled --@.%s@."
+    (Embsan.spec_text session);
+
+  (* 3. testing phase: boot and attach the Common Sanitizer Runtime *)
+  let machine = Embsan.make_machine session in
+  let runtime = Embsan.attach session machine in
+  (match Machine.run_until_ready machine ~max_insns:10_000_000 with
+  | None -> Fmt.pr "firmware is ready@."
+  | Some stop -> Fmt.failwith "boot failed: %a" Machine.pp_stop stop);
+
+  (* 4. drive the syscall interface: first a benign packet, then the bug *)
+  let syscall nr args =
+    Devices.mailbox_push machine.mailbox ~nr ~args;
+    ignore (Machine.run_until_mailbox_idle machine ~max_insns:10_000_000)
+  in
+  syscall 1 [| 24; 7 |];
+  Fmt.pr "benign packet processed; reports so far: %d@."
+    (Report.count runtime.sink);
+  syscall 1 [| 40; 7 |];
+
+  (* 5. the report *)
+  match Embsan.reports runtime with
+  | [] -> Fmt.pr "no report - something is off!@."
+  | reports -> List.iter (fun r -> Fmt.pr "@.%a@." Report.pp r) reports

@@ -1,0 +1,38 @@
+(* Smartwatch firmware under Tardis-style fuzzing.
+
+     dune exec examples/smartwatch_tardis.exe
+
+   InfiniTime-like FreeRTOS firmware: no kcov support in the guest, so
+   coverage comes OS-agnostically from the emulator's translated-block
+   probes (the Tardis mechanism).  After the campaign, every finding is
+   cross-checked by rebuilding the same firmware with the *native* in-guest
+   KASAN and replaying the reproducer - the paper's S4.2 soundness
+   experiment in miniature. *)
+
+open Embsan_guest
+open Embsan_fuzz
+
+let () =
+  let fw =
+    match Firmware_db.find "InfiniTime" with Some fw -> fw | None -> assert false
+  in
+  Fmt.pr "fuzzing %s (%s) with OS-agnostic coverage@." fw.fw_name fw.fw_base_os;
+  let cfg = { (Campaign.default_config fw) with max_execs = 2500; seed = 7 } in
+  let result = Campaign.run cfg in
+  Fmt.pr "%a@." Campaign.pp_result result;
+
+  Fmt.pr "@.cross-checking findings under the native in-guest KASAN build:@.";
+  List.iter
+    (fun (f : Campaign.found) ->
+      let calls = Prog.to_reproducer f.f_prog in
+      let outcome = Replay.run_reproducer fw Replay.Native_kasan calls in
+      let reproduced = Replay.detects f.f_bug outcome in
+      Fmt.pr "  %-28s %s@." f.f_bug.b_id
+        (if reproduced then "reproduced under native KASAN"
+         else "not reproduced under native KASAN");
+      if reproduced then
+        List.iter
+          (fun (r : Embsan_core.Report.t) ->
+            Fmt.pr "    native report: %s@." (Embsan_core.Report.title r))
+          outcome.o_reports)
+    result.r_found

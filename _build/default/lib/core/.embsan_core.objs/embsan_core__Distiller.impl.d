@@ -1,0 +1,1 @@
+lib/core/distiller.ml: Api_spec Dsl List String

@@ -1,0 +1,1 @@
+lib/core/distiller.mli: Api_spec Dsl

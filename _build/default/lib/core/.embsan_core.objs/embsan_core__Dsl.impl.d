@@ -1,0 +1,1 @@
+lib/core/dsl.ml: Api_spec Buffer Embsan_isa Fmt Format List String

@@ -1,0 +1,1 @@
+lib/core/dsl.mli: Api_spec Embsan_isa Format

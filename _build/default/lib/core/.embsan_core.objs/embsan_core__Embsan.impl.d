@@ -1,0 +1,1 @@
+lib/core/embsan.ml: Api_spec Distiller Dsl Embsan_emu Embsan_isa Image Prober Runtime

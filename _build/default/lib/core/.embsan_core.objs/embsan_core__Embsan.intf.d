@@ -1,0 +1,1 @@
+lib/core/embsan.mli: Dsl Embsan_emu Embsan_isa Prober Report Runtime

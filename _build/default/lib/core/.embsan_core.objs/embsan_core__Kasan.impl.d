@@ -1,0 +1,1 @@
+lib/core/kasan.ml: Hashtbl Printf Queue Report Shadow

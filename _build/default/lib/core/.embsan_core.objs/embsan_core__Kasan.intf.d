@@ -1,0 +1,1 @@
+lib/core/kasan.mli: Hashtbl Queue Report Shadow

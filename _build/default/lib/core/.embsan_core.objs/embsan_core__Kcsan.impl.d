@@ -1,0 +1,1 @@
+lib/core/kcsan.ml: Array Embsan_emu Printf Report Shadow

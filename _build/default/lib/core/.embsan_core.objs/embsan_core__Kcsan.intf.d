@@ -1,0 +1,1 @@
+lib/core/kcsan.mli: Embsan_emu Report Shadow

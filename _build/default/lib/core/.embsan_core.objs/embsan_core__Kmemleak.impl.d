@@ -1,0 +1,1 @@
+lib/core/kmemleak.ml: Hashtbl Printf Report

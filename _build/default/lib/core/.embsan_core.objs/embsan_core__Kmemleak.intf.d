@@ -1,0 +1,1 @@
+lib/core/kmemleak.mli: Hashtbl Report

@@ -1,0 +1,1 @@
+lib/core/native.ml: Cpu Embsan_emu Embsan_isa Fault Hypercall Machine Report Unwind

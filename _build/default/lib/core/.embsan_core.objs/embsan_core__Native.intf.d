@@ -1,0 +1,1 @@
+lib/core/native.mli: Embsan_emu Report

@@ -1,0 +1,1 @@
+lib/core/prober.ml: Arch Array Codec Cpu Dsl Embsan_emu Embsan_isa Fault Format Hashtbl Hypercall Image Insn List Machine Printf Probe Reg String

@@ -1,0 +1,1 @@
+lib/core/prober.mli: Dsl Embsan_isa

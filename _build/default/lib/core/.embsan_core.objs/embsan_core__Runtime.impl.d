@@ -1,0 +1,1 @@
+lib/core/runtime.ml: Api_spec Array Cost_model Cpu Dsl Embsan_emu Embsan_isa Fmt Hashtbl Hypercall Image Insn Kasan Kcsan Kmemleak List Machine Option Probe Reg Report Services Shadow Unwind

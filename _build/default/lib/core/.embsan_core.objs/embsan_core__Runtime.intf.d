@@ -1,0 +1,1 @@
+lib/core/runtime.mli: Dsl Embsan_emu Embsan_isa Format Kasan Kcsan Kmemleak Report Shadow

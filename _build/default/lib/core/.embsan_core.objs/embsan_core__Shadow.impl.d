@@ -1,0 +1,1 @@
+lib/core/shadow.ml: Bytes Char Printf

@@ -1,0 +1,1 @@
+lib/core/unwind.ml: Cpu Embsan_emu Embsan_isa Machine

@@ -1,0 +1,1 @@
+lib/core/unwind.mli: Embsan_emu

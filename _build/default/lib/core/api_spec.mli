@@ -1,0 +1,41 @@
+(** Sanitizer interface specifications: the Distiller's input (the
+    "interface header files" of paper section 3.1), shipped in a small
+    declarative header format and parsed here. *)
+
+type role = Check | Update
+
+type point =
+  | P_load
+  | P_store
+  | P_func_alloc  (** allocator-entry interception (various Xalloc()) *)
+  | P_func_free
+  | P_global_register
+  | P_stack_poison
+  | P_stack_unpoison
+
+val point_name : point -> string
+val point_of_name : string -> point option
+
+type api = {
+  role : role;
+  point : point;
+  args : string list;  (** argument names, e.g. [["addr"; "size"]] *)
+  operation : string;  (** runtime operation to dispatch to *)
+}
+
+type t = { san_name : string; resources : string list; apis : api list }
+
+(** Reference interface header texts. *)
+
+val kasan_header : string
+val kcsan_header : string
+val kmemleak_header : string
+
+exception Spec_error of string
+
+(** Parse a header text; raises {!Spec_error} on malformed input. *)
+val parse_header : string -> t
+
+val kasan : unit -> t
+val kcsan : unit -> t
+val kmemleak : unit -> t

@@ -1,0 +1,67 @@
+(* Sanitizer Common Function Distiller (S3.1).
+
+   Takes the reference sanitizers' interface specifications and merges them
+   into a single DSL specification using the paper's rules:
+
+   1. the merged set of interception points is the union of the individual
+      sanitizers' sets;
+   2. per interception point, the merged argument list is the union of the
+      individual argument lists;
+   3. arguments that share target data but are not exactly the same are
+      combined into the largest possible union, and each handler carries an
+      annotation of which argument segments belong to it. *)
+
+(* Argument subsumption: "value" covers nothing else, but a sanitizer asking
+   for (addr, size) is satisfied by a merged (addr, size, value, pc, hart).
+   Arguments with the same name share target data; the merge keeps one copy
+   in a canonical order. *)
+let canonical_arg_order = [ "addr"; "size"; "value"; "ptr"; "pc"; "hart" ]
+
+let arg_rank a =
+  let rec go i = function
+    | [] -> List.length canonical_arg_order
+    | x :: rest -> if String.equal x a then i else go (i + 1) rest
+  in
+  go 0 canonical_arg_order
+
+let merge_args lists =
+  let all = List.concat lists in
+  let uniq =
+    List.fold_left (fun acc a -> if List.mem a acc then acc else a :: acc) [] all
+  in
+  List.sort (fun a b -> compare (arg_rank a, a) (arg_rank b, b)) uniq
+
+(** Merge sanitizer interface specs into a DSL specification (no platform
+    information yet; the Prober fills that in). *)
+let distill (specs : Api_spec.t list) : Dsl.spec =
+  let points =
+    List.concat_map (fun (s : Api_spec.t) -> List.map (fun a -> a.Api_spec.point) s.apis) specs
+    |> List.fold_left (fun acc p -> if List.mem p acc then acc else acc @ [ p ]) []
+  in
+  let intercepts =
+    List.map
+      (fun point ->
+        let relevant =
+          List.concat_map
+            (fun (s : Api_spec.t) ->
+              List.filter_map
+                (fun (a : Api_spec.api) ->
+                  if a.point = point then Some (s.san_name, a) else None)
+                s.apis)
+            specs
+        in
+        let merged_args = merge_args (List.map (fun (_, a) -> a.Api_spec.args) relevant) in
+        let handlers =
+          List.map
+            (fun (san, (a : Api_spec.api)) ->
+              { Dsl.h_san = san; h_op = a.operation; h_args = a.args })
+            relevant
+        in
+        { Dsl.i_point = point; i_args = merged_args; i_handlers = handlers })
+      points
+  in
+  {
+    Dsl.empty with
+    sanitizers = List.map (fun (s : Api_spec.t) -> s.san_name) specs;
+    intercepts;
+  }

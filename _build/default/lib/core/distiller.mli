@@ -1,0 +1,12 @@
+(** Sanitizer Common Function Distiller (paper section 3.1): merges the
+    reference sanitizers' interface specifications into a single DSL
+    specification using the paper's union rules - union of interception
+    points, per-point union of arguments, per-handler annotations of the
+    argument segments each sanitizer consumes. *)
+
+(** Canonical ordering of merged argument names. *)
+val merge_args : string list list -> string list
+
+(** Merge interface specs into a DSL specification (platform information is
+    filled in later by the Prober). *)
+val distill : Api_spec.t list -> Dsl.spec

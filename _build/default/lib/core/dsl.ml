@@ -1,0 +1,273 @@
+(* EmbSan's in-house DSL (S3.1, S3.2).
+
+   The Distiller compiles merged sanitizer interface specifications into
+   this DSL; the Prober appends the platform description and the initial
+   setup routine; the Common Sanitizer Runtime consumes the whole
+   specification.  The DSL has a stable textual form (parser + printer,
+   round-trip tested) so specifications can be inspected, stored and
+   hand-edited ("human intervention", S3.2). *)
+
+type handler = { h_san : string; h_op : string; h_args : string list }
+(* e.g. { h_san = "kasan"; h_op = "check_access"; h_args = ["addr";"size"] }
+   h_args annotates which segments of the merged argument union this
+   sanitizer consumes (S3.1's per-argument annotations). *)
+
+type intercept = {
+  i_point : Api_spec.point;
+  i_args : string list; (* merged argument union at this point *)
+  i_handlers : handler list;
+}
+
+type init_action =
+  | Poison of { addr : int; size : int; code : string }
+  | Unpoison of { addr : int; size : int }
+  | Alloc of { ptr : int; size : int } (* pre-ready allocation replay *)
+  | Region of { name : string; addr : int; size : int }
+  | Note of string
+
+type func_sig = {
+  f_name : string; (* symbol or synthesized name *)
+  f_addr : int;
+  f_size : int; (* code bytes; accesses from inside are exempt from checks *)
+  f_kind : [ `Alloc of int (* size argument index *) | `Free of int ];
+}
+
+type exempt = { e_name : string; e_addr : int; e_size : int }
+(* allocator-internal helpers whose accesses are legal metadata traffic *)
+
+type spec = {
+  sanitizers : string list;
+  arch : Embsan_isa.Arch.t option;
+  intercepts : intercept list;
+  functions : func_sig list; (* interception functions found by the Prober *)
+  exempts : exempt list;
+  init : init_action list;
+}
+
+let empty =
+  {
+    sanitizers = [];
+    arch = None;
+    intercepts = [];
+    functions = [];
+    exempts = [];
+    init = [];
+  }
+
+let find_intercept spec point =
+  List.find_opt (fun i -> i.i_point = point) spec.intercepts
+
+let wants spec point san =
+  match find_intercept spec point with
+  | None -> false
+  | Some i -> List.exists (fun h -> h.h_san = san) i.i_handlers
+
+(* --- Printer ----------------------------------------------------------------------- *)
+
+let pp_handler fmt h =
+  Fmt.pf fmt "%s.%s(%s)" h.h_san h.h_op (String.concat ", " h.h_args)
+
+let pp_intercept fmt i =
+  Fmt.pf fmt "intercept %s(%s) -> %a;"
+    (Api_spec.point_name i.i_point)
+    (String.concat ", " i.i_args)
+    (Fmt.list ~sep:(Fmt.any ", ") pp_handler)
+    i.i_handlers
+
+let pp_action fmt = function
+  | Poison { addr; size; code } -> Fmt.pf fmt "poison 0x%x 0x%x %s;" addr size code
+  | Unpoison { addr; size } -> Fmt.pf fmt "unpoison 0x%x 0x%x;" addr size
+  | Alloc { ptr; size } -> Fmt.pf fmt "alloc 0x%x 0x%x;" ptr size
+  | Region { name; addr; size } -> Fmt.pf fmt "region %s 0x%x 0x%x;" name addr size
+  | Note s -> Fmt.pf fmt "note %S;" s
+
+let pp_func fmt f =
+  match f.f_kind with
+  | `Alloc i ->
+      Fmt.pf fmt "function alloc %s 0x%x 0x%x size_arg %d;" f.f_name f.f_addr
+        f.f_size i
+  | `Free i ->
+      Fmt.pf fmt "function free %s 0x%x 0x%x ptr_arg %d;" f.f_name f.f_addr
+        f.f_size i
+
+let pp_exempt fmt e =
+  Fmt.pf fmt "exempt %s 0x%x 0x%x;" e.e_name e.e_addr e.e_size
+
+let pp fmt spec =
+  Fmt.pf fmt "@[<v>sanitizers %s;@,%a%a%a%a@[<v 2>init {@,%a@]@,}@]"
+    (String.concat ", " spec.sanitizers)
+    Fmt.(option (fun fmt a -> Fmt.pf fmt "arch %a;@," Embsan_isa.Arch.pp a))
+    spec.arch
+    Fmt.(list ~sep:nop (fun fmt i -> Fmt.pf fmt "%a@," pp_intercept i))
+    spec.intercepts
+    Fmt.(list ~sep:nop (fun fmt f -> Fmt.pf fmt "%a@," pp_func f))
+    spec.functions
+    Fmt.(list ~sep:nop (fun fmt e -> Fmt.pf fmt "%a@," pp_exempt e))
+    spec.exempts
+    Fmt.(list ~sep:cut pp_action)
+    spec.init
+
+let to_string spec = Fmt.str "%a" pp spec
+
+(* --- Parser ------------------------------------------------------------------------ *)
+
+exception Dsl_error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Dsl_error s)) fmt
+
+let int_of_tok s =
+  try int_of_string s with _ -> errf "bad integer %S" s
+
+(* split a statement into word tokens, treating punctuation as separators
+   but keeping quoted strings intact *)
+let words s =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := Buffer.contents buf :: !out;
+      Buffer.clear buf
+    end
+  in
+  let in_string = ref false in
+  String.iter
+    (fun c ->
+      if !in_string then begin
+        if c = '"' then begin
+          in_string := false;
+          out := ("\"" ^ Buffer.contents buf) :: !out;
+          Buffer.clear buf
+        end
+        else Buffer.add_char buf c
+      end
+      else
+        match c with
+        | '"' ->
+            flush ();
+            in_string := true
+        | ' ' | '\t' | '\n' | '(' | ')' | ',' -> flush ()
+        | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+(* parse "kasan.check_access" into (san, op) *)
+let parse_dotted s =
+  match String.index_opt s '.' with
+  | Some i ->
+      (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+  | None -> errf "expected sanitizer.operation, got %S" s
+
+let parse_intercept_stmt toks =
+  match toks with
+  | point :: rest ->
+      let point =
+        match Api_spec.point_of_name point with
+        | Some p -> p
+        | None -> errf "unknown interception point %s" point
+      in
+      (* args until "->", then handlers; each handler is san.op possibly
+         followed by its own args until the next dotted token *)
+      let rec split_args acc = function
+        | "->" :: rest -> (List.rev acc, rest)
+        | a :: rest -> split_args (a :: acc) rest
+        | [] -> errf "intercept lacks '->'"
+      in
+      let i_args, handler_toks = split_args [] rest in
+      let rec parse_handlers acc = function
+        | [] -> List.rev acc
+        | tok :: rest when String.contains tok '.' ->
+            let h_san, h_op = parse_dotted tok in
+            let rec take_args args = function
+              | tok :: _ as rest when String.contains tok '.' -> (List.rev args, rest)
+              | tok :: rest -> take_args (tok :: args) rest
+              | [] -> (List.rev args, [])
+            in
+            let h_args, rest = take_args [] rest in
+            parse_handlers ({ h_san; h_op; h_args } :: acc) rest
+        | tok :: _ -> errf "expected handler, got %S" tok
+      in
+      { i_point = point; i_args; i_handlers = parse_handlers [] handler_toks }
+  | [] -> errf "empty intercept"
+
+let parse_function_stmt toks =
+  match toks with
+  | [ "alloc"; name; addr; size; "size_arg"; i ] ->
+      {
+        f_name = name;
+        f_addr = int_of_tok addr;
+        f_size = int_of_tok size;
+        f_kind = `Alloc (int_of_tok i);
+      }
+  | [ "free"; name; addr; size; "ptr_arg"; i ] ->
+      {
+        f_name = name;
+        f_addr = int_of_tok addr;
+        f_size = int_of_tok size;
+        f_kind = `Free (int_of_tok i);
+      }
+  | _ -> errf "bad function statement"
+
+let parse_action toks =
+  match toks with
+  | [ "poison"; addr; size; code ] ->
+      Poison { addr = int_of_tok addr; size = int_of_tok size; code }
+  | [ "unpoison"; addr; size ] ->
+      Unpoison { addr = int_of_tok addr; size = int_of_tok size }
+  | [ "alloc"; ptr; size ] ->
+      Alloc { ptr = int_of_tok ptr; size = int_of_tok size }
+  | [ "region"; name; addr; size ] ->
+      Region { name; addr = int_of_tok addr; size = int_of_tok size }
+  | [ "note"; s ] when String.length s > 0 && s.[0] = '"' ->
+      Note (String.sub s 1 (String.length s - 1))
+  | _ -> errf "bad init action %s" (String.concat " " toks)
+
+(** Parse the textual DSL back into a specification. *)
+let parse text =
+  (* statements are ';'-terminated except the init { ... } block *)
+  let spec = ref empty in
+  let in_init = ref false in
+  let buf = Buffer.create 64 in
+  let handle_stmt stmt =
+    match words stmt with
+    | [] -> ()
+    | "sanitizers" :: names -> spec := { !spec with sanitizers = names }
+    | [ "arch"; a ] -> (
+        match Embsan_isa.Arch.of_string a with
+        | Some arch -> spec := { !spec with arch = Some arch }
+        | None -> errf "unknown arch %s" a)
+    | "intercept" :: rest ->
+        spec := { !spec with intercepts = !spec.intercepts @ [ parse_intercept_stmt rest ] }
+    | "function" :: rest ->
+        spec := { !spec with functions = !spec.functions @ [ parse_function_stmt rest ] }
+    | [ "exempt"; name; addr; size ] ->
+        spec :=
+          {
+            !spec with
+            exempts =
+              !spec.exempts
+              @ [ { e_name = name; e_addr = int_of_tok addr; e_size = int_of_tok size } ];
+          }
+    | toks when !in_init ->
+        spec := { !spec with init = !spec.init @ [ parse_action toks ] }
+    | toks -> errf "unexpected statement %s" (String.concat " " toks)
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ';' ->
+          handle_stmt (Buffer.contents buf);
+          Buffer.clear buf
+      | '{' when String.trim (Buffer.contents buf) = "init" ->
+          in_init := true;
+          Buffer.clear buf
+      | '}' when !in_init ->
+          handle_stmt (Buffer.contents buf);
+          in_init := false;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    text;
+  (match String.trim (Buffer.contents buf) with
+  | "" -> ()
+  | s -> errf "trailing content %S" s);
+  !spec

@@ -1,0 +1,58 @@
+(** EmbSan's in-house DSL (paper sections 3.1-3.2): the Distiller compiles
+    merged sanitizer interfaces into it, the Prober appends the platform
+    description and initial setup routine, the Common Sanitizer Runtime
+    consumes it.  The textual form round-trips ({!parse} o {!to_string}). *)
+
+type handler = {
+  h_san : string;
+  h_op : string;
+  h_args : string list;
+      (** which segments of the merged argument union this sanitizer
+          consumes (section 3.1's annotations) *)
+}
+
+type intercept = {
+  i_point : Api_spec.point;
+  i_args : string list;  (** merged argument union at this point *)
+  i_handlers : handler list;
+}
+
+type init_action =
+  | Poison of { addr : int; size : int; code : string }
+  | Unpoison of { addr : int; size : int }
+  | Alloc of { ptr : int; size : int }  (** pre-ready allocation replay *)
+  | Region of { name : string; addr : int; size : int }
+  | Note of string
+
+type func_sig = {
+  f_name : string;
+  f_addr : int;
+  f_size : int;  (** code bytes; accesses from inside are exempt *)
+  f_kind : [ `Alloc of int  (** size argument index *) | `Free of int ];
+}
+
+type exempt = { e_name : string; e_addr : int; e_size : int }
+
+type spec = {
+  sanitizers : string list;
+  arch : Embsan_isa.Arch.t option;
+  intercepts : intercept list;
+  functions : func_sig list;
+  exempts : exempt list;
+  init : init_action list;
+}
+
+val empty : spec
+
+val find_intercept : spec -> Api_spec.point -> intercept option
+
+(** Does [spec] route events at [point] to sanitizer [san]? *)
+val wants : spec -> Api_spec.point -> string -> bool
+
+val pp : Format.formatter -> spec -> unit
+val to_string : spec -> string
+
+exception Dsl_error of string
+
+(** Parse the textual DSL; raises {!Dsl_error} on malformed input. *)
+val parse : string -> spec

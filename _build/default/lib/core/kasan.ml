@@ -1,0 +1,144 @@
+(* Host-side KASAN runtime: shadow state maintenance and access validation.
+
+   De-coupled from the guest: runs at native host speed on events delivered
+   by the Common Sanitizer Runtime (S3.3).  Detects out-of-bounds accesses
+   (heap via poisoned free space and redzones, globals and stack via
+   compile-time redzones when available), use-after-free, double-free and
+   null dereferences. *)
+
+type alloc_info = { a_size : int; a_pc : int; mutable freed_pc : int option }
+
+type t = {
+  shadow : Shadow.t;
+  allocs : (int, alloc_info) Hashtbl.t; (* live and recently freed, by ptr *)
+  sink : Report.sink;
+  symbolize : int -> string option;
+  quarantine : int Queue.t; (* recently freed pointers, FIFO *)
+  quarantine_max : int; (* bounded tracking of freed blocks *)
+  mutable redzone : int;
+  mutable access_checks : int;
+  mutable alloc_events : int;
+  mutable free_events : int;
+}
+
+let create ?(quarantine_max = 512) ~shadow ~sink ~symbolize () =
+  {
+    shadow;
+    allocs = Hashtbl.create 256;
+    sink;
+    symbolize;
+    quarantine = Queue.create ();
+    quarantine_max;
+    redzone = 16;
+    access_checks = 0;
+    alloc_events = 0;
+    free_events = 0;
+  }
+
+let report t ~kind ~addr ~size ~is_write ~pc ~hart ~detail =
+  ignore
+    (Report.add t.sink
+       {
+         kind;
+         sanitizer = "kasan";
+         addr;
+         size;
+         is_write;
+         pc;
+         hart;
+         location = t.symbolize pc;
+         detail;
+       })
+
+(* --- State maintenance ------------------------------------------------------- *)
+
+let on_poison t ~addr ~size code = Shadow.poison t.shadow ~addr ~size code
+
+let on_unpoison t ~addr ~size = Shadow.unpoison t.shadow ~addr ~size
+
+let on_alloc t ~ptr ~size ~pc =
+  t.alloc_events <- t.alloc_events + 1;
+  if ptr <> 0 then begin
+    Hashtbl.replace t.allocs ptr { a_size = size; a_pc = pc; freed_pc = None };
+    Shadow.unpoison t.shadow ~addr:ptr ~size
+  end
+
+let on_free t ~ptr ~pc ~hart =
+  t.free_events <- t.free_events + 1;
+  if ptr <> 0 then
+    match Hashtbl.find_opt t.allocs ptr with
+    | Some info when info.freed_pc = None ->
+        info.freed_pc <- Some pc;
+        Shadow.poison t.shadow ~addr:ptr ~size:info.a_size Shadow.Freed;
+        Queue.push ptr t.quarantine;
+        if Queue.length t.quarantine > t.quarantine_max then begin
+          (* stop tracking the oldest freed block (its shadow stays freed
+             until the allocator reuses the address) *)
+          let old = Queue.pop t.quarantine in
+          match Hashtbl.find_opt t.allocs old with
+          | Some i when i.freed_pc <> None -> Hashtbl.remove t.allocs old
+          | Some _ | None -> ()
+        end
+    | Some _ ->
+        report t ~kind:Report.Double_free ~addr:ptr ~size:0 ~is_write:true ~pc
+          ~hart ~detail:"block already freed"
+    | None ->
+        report t ~kind:Report.Invalid_free ~addr:ptr ~size:0 ~is_write:true ~pc
+          ~hart ~detail:"pointer was never allocated"
+
+let on_register_global t ~addr ~size =
+  let rz = t.redzone in
+  Shadow.poison t.shadow ~addr:(addr - rz) ~size:rz Shadow.Global_redzone;
+  let end_ = addr + size in
+  let rz_start = (end_ + 7) land lnot 7 in
+  Shadow.poison t.shadow ~addr:rz_start ~size:(rz + rz_start - end_)
+    Shadow.Global_redzone;
+  (* partial granule at the object tail *)
+  if size land 7 <> 0 then Shadow.unpoison t.shadow ~addr ~size
+
+let on_stack_poison t ~addr ~size =
+  Shadow.poison t.shadow ~addr ~size Shadow.Stack_redzone
+
+let on_stack_unpoison t ~addr ~size = Shadow.unpoison t.shadow ~addr ~size
+
+(* --- Validation ------------------------------------------------------------------ *)
+
+let describe_owner t addr =
+  (* find the allocation record covering or nearest-below addr *)
+  let best = ref None in
+  Hashtbl.iter
+    (fun ptr (info : alloc_info) ->
+      if addr >= ptr && addr < ptr + info.a_size + 64 then
+        match !best with
+        | Some (p, _) when p >= ptr -> ()
+        | _ -> best := Some (ptr, info))
+    t.allocs;
+  match !best with
+  | Some (ptr, info) ->
+      Printf.sprintf "block 0x%08x size %d alloc_pc 0x%08x%s" ptr info.a_size
+        info.a_pc
+        (match info.freed_pc with
+        | Some pc -> Printf.sprintf " freed_pc 0x%08x" pc
+        | None -> "")
+  | None -> "no nearby allocation"
+
+let on_access t ~addr ~size ~is_write ~pc ~hart =
+  t.access_checks <- t.access_checks + 1;
+  if addr < 0x1000 then
+    report t ~kind:Report.Null_deref ~addr ~size ~is_write ~pc ~hart
+      ~detail:"dereference in the first page"
+  else
+    match Shadow.check t.shadow ~addr ~size with
+    | Shadow.Valid -> ()
+    | Invalid code ->
+        let kind =
+          match code with
+          | Shadow.Freed -> Report.Use_after_free
+          | Heap_redzone | Stack_redzone | Global_redzone | Partial _ ->
+              Report.Oob_access
+          | Addressable -> assert false
+        in
+        report t ~kind ~addr ~size ~is_write ~pc ~hart
+          ~detail:
+            (Printf.sprintf "shadow: %s; %s" (Shadow.code_name code)
+               (describe_owner t addr))

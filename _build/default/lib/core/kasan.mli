@@ -1,0 +1,52 @@
+(** Host-side KASAN runtime: shadow state maintenance and access
+    validation, de-coupled from the guest (paper section 3.3).  Detects
+    out-of-bounds accesses (heap via poisoned free space, globals/stack via
+    compile-time redzones), use-after-free, double/invalid free and null
+    dereferences. *)
+
+type alloc_info = { a_size : int; a_pc : int; mutable freed_pc : int option }
+
+type t = {
+  shadow : Shadow.t;
+  allocs : (int, alloc_info) Hashtbl.t;
+      (** live and recently-freed blocks, keyed by pointer *)
+  sink : Report.sink;
+  symbolize : int -> string option;
+  quarantine : int Queue.t;
+  quarantine_max : int;
+  mutable redzone : int;
+  mutable access_checks : int;
+  mutable alloc_events : int;
+  mutable free_events : int;
+}
+
+val create :
+  ?quarantine_max:int ->
+  shadow:Shadow.t ->
+  sink:Report.sink ->
+  symbolize:(int -> string option) ->
+  unit ->
+  t
+
+(** State maintenance (the sanitizer's [Update] operations). *)
+
+val on_poison : t -> addr:int -> size:int -> Shadow.code -> unit
+val on_unpoison : t -> addr:int -> size:int -> unit
+val on_alloc : t -> ptr:int -> size:int -> pc:int -> unit
+
+(** Free a block; reports double-free on a tracked freed block and
+    invalid-free on an unknown pointer. *)
+val on_free : t -> ptr:int -> pc:int -> hart:int -> unit
+
+(** Register a global object: poisons redzones on both sides and the
+    partial tail granule. *)
+val on_register_global : t -> addr:int -> size:int -> unit
+
+val on_stack_poison : t -> addr:int -> size:int -> unit
+val on_stack_unpoison : t -> addr:int -> size:int -> unit
+
+(** Validate one access (the sanitizer's [Check] operation); adds a report
+    to the sink on a violation and always returns (KASAN reports and
+    continues). *)
+val on_access :
+  t -> addr:int -> size:int -> is_write:bool -> pc:int -> hart:int -> unit

@@ -1,0 +1,75 @@
+(* Collector for reports produced by the *native* in-guest sanitizers
+   (the Inline_kasan / Inline_kcsan baseline builds).  The guest runtime
+   reports findings through the kasan_report / kcsan_report hypercalls;
+   this module turns them into the same structured reports as EmbSan's, so
+   benches can compare detection parity directly. *)
+
+open Embsan_emu
+
+type t = {
+  sink : Report.sink;
+  symbolize : int -> string option;
+  shadow_offset : int option; (* to classify via the guest shadow byte *)
+}
+
+let classify_kasan t machine ~addr ~info =
+  if info land 0x200 <> 0 then Report.Double_free
+  else if addr < 0x1000 then Report.Null_deref
+  else
+    match t.shadow_offset with
+    | None -> Report.Oob_access
+    | Some off -> (
+        let sh_addr = (addr lsr 3) + off in
+        match Machine.read_mem machine ~addr:sh_addr ~width:1 with
+        | 0xFB -> Report.Use_after_free
+        | _ -> Report.Oob_access
+        | exception Fault.Memory_fault _ -> Report.Wild_access)
+
+let attach ?shadow_offset ~sink ~symbolize machine =
+  let t = { sink; symbolize; shadow_offset } in
+  Machine.set_trap_handler machine Hypercall.kasan_report (fun m cpu ->
+      let addr = Cpu.get cpu Embsan_isa.Reg.a0 in
+      let info = Cpu.get cpu Embsan_isa.Reg.a1 in
+      let pc =
+        match Cpu.get cpu Embsan_isa.Reg.a2 with
+        | 0 ->
+            (* double-free reports come from __kasan_free: walk out of the
+               runtime (__kasan_free <- san_free <- allocator <- caller) *)
+            Unwind.caller_pc m cpu ~depth:3
+        | access_pc -> access_pc
+      in
+      ignore
+        (Report.add t.sink
+           {
+             kind = classify_kasan t m ~addr ~info;
+             sanitizer = "kasan";
+             addr;
+             size = info land 0xFF;
+             is_write = info land 0x100 <> 0;
+             pc;
+             hart = cpu.Cpu.id;
+             location = t.symbolize pc;
+             detail = "reported by native in-guest KASAN";
+           }));
+  Machine.set_trap_handler machine Hypercall.kcsan_report (fun _m cpu ->
+      let addr = Cpu.get cpu Embsan_isa.Reg.a0 in
+      let info = Cpu.get cpu Embsan_isa.Reg.a1 in
+      let pc =
+        match Cpu.get cpu Embsan_isa.Reg.a2 with
+        | 0 -> cpu.Cpu.pc - Embsan_isa.Insn.size
+        | access_pc -> access_pc
+      in
+      ignore
+        (Report.add t.sink
+           {
+             kind = Report.Data_race;
+             sanitizer = "kcsan";
+             addr;
+             size = info land 0xFF;
+             is_write = info land 0x100 <> 0;
+             pc;
+             hart = cpu.Cpu.id;
+             location = t.symbolize pc;
+             detail = "reported by native in-guest KCSAN";
+           }));
+  t

@@ -1,0 +1,19 @@
+(** Collector for reports produced by the {e native} in-guest sanitizers
+    (the Inline_kasan / Inline_kcsan baseline builds): turns the guest
+    runtime's report hypercalls into the same structured reports as
+    EmbSan's, so benches compare detection parity directly. *)
+
+type t = {
+  sink : Report.sink;
+  symbolize : int -> string option;
+  shadow_offset : int option;
+      (** guest shadow location, for classifying KASAN reports *)
+}
+
+(** Install kasan_report / kcsan_report hypercall handlers on a machine. *)
+val attach :
+  ?shadow_offset:int ->
+  sink:Report.sink ->
+  symbolize:(int -> string option) ->
+  Embsan_emu.Machine.t ->
+  t

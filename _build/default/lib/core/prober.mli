@@ -1,0 +1,70 @@
+(** Embedded Platform Configuration Prober (paper section 3.2): produces
+    the platform description and initial setup routine, in the DSL, for the
+    three firmware categories - compile-time instrumented, source/symbols
+    available, and closed-source binary. *)
+
+type platform = {
+  p_arch : Embsan_isa.Arch.t;
+  p_entry : int;
+  p_ram_base : int;
+  p_ram_size : int;
+  p_functions : Dsl.func_sig list;
+  p_exempts : Dsl.exempt list;
+  p_init : Dsl.init_action list;
+  p_ready_insns : int;  (** dry-run instructions until ready-to-run *)
+  p_notes : string list;
+}
+
+(** Domain-specific prior knowledge the tester can supply ("human
+    intervention", section 3.2). *)
+type hints = {
+  h_alloc_names : string list;
+  h_free_names : string list;
+  h_exempt_prefixes : string list;
+  h_heap_symbol : string option;
+  h_heap_region : (int * int) option;
+  h_alloc_addrs : (int * int) list;  (** binary mode: (addr, size-arg) *)
+  h_free_addrs : (int * int) list;  (** binary mode: (addr, ptr-arg) *)
+}
+
+val no_hints : hints
+
+val default_alloc_names : string list
+val default_free_names : string list
+val default_heap_symbols : string list
+val default_exempt_prefixes : string list
+
+exception Probe_error of string
+
+(** Mode 1: dry-run trap-instrumented firmware against the dummy sanitizer
+    library, recording every pre-ready sanitizer action as the init
+    routine. *)
+val probe_instrumented :
+  ?ram_base:int ->
+  ?ram_size:int ->
+  ?boot_budget:int ->
+  Embsan_isa.Image.t ->
+  platform
+
+(** Mode 2: identify allocator entry points and the heap region from the
+    symbol table, then dry-run to the ready point. *)
+val probe_symbols :
+  ?ram_base:int ->
+  ?ram_size:int ->
+  ?boot_budget:int ->
+  ?hints:hints ->
+  Embsan_isa.Image.t ->
+  platform
+
+(** Mode 3: stripped binary - scan for function prologues, dry-run with
+    call/return probes and infer allocator-shaped functions dynamically. *)
+val probe_binary :
+  ?ram_base:int ->
+  ?ram_size:int ->
+  ?boot_budget:int ->
+  ?hints:hints ->
+  Embsan_isa.Image.t ->
+  platform
+
+(** Fold a probed platform into a distilled DSL spec. *)
+val apply_to_spec : Dsl.spec -> platform -> Dsl.spec

@@ -1,0 +1,90 @@
+(* Sanitizer bug reports: structured records, deduplication and kernel-style
+   pretty printing. *)
+
+type bug_kind =
+  | Oob_access
+  | Use_after_free
+  | Double_free
+  | Invalid_free
+  | Null_deref
+  | Wild_access
+  | Data_race
+  | Memory_leak
+
+let kind_name = function
+  | Oob_access -> "out-of-bounds access"
+  | Use_after_free -> "use-after-free"
+  | Double_free -> "double-free"
+  | Invalid_free -> "invalid-free"
+  | Null_deref -> "null-ptr-deref"
+  | Wild_access -> "wild-memory-access"
+  | Data_race -> "data-race"
+  | Memory_leak -> "memory-leak"
+
+type t = {
+  kind : bug_kind;
+  sanitizer : string; (* "kasan" | "kcsan" | "embsan" *)
+  addr : int;
+  size : int;
+  is_write : bool;
+  pc : int;
+  hart : int;
+  location : string option; (* symbolized function, when available *)
+  detail : string; (* free-form: allocation info, racing pc, ... *)
+}
+
+(** Deduplication key: bug class at a location, like syzbot's crash titles. *)
+let dedup_key r =
+  Printf.sprintf "%s:%s" (kind_name r.kind)
+    (match r.location with Some l -> l | None -> Printf.sprintf "pc_0x%x" r.pc)
+
+let title r =
+  Printf.sprintf "%s: %s in %s"
+    (String.uppercase_ascii r.sanitizer)
+    (kind_name r.kind)
+    (match r.location with Some l -> l | None -> Printf.sprintf "0x%08x" r.pc)
+
+let pp fmt r =
+  Fmt.pf fmt
+    "@[<v>==================================================================@,\
+     BUG: %s@,\
+     %s of size %d at addr 0x%08x by hart %d pc 0x%08x@,\
+     %s@,\
+     ==================================================================@]"
+    (title r)
+    (if r.is_write then "Write" else "Read")
+    r.size r.addr r.hart r.pc r.detail
+
+(* --- Collection sink with dedup ------------------------------------------------ *)
+
+type sink = {
+  mutable reports : t list; (* newest first *)
+  seen : (string, int) Hashtbl.t; (* dedup key -> hit count *)
+  mutable limit : int;
+}
+
+let create_sink ?(limit = 10_000) () =
+  { reports = []; seen = Hashtbl.create 64; limit }
+
+(** Add a report; returns [true] if it is a new (non-duplicate) bug. *)
+let add sink r =
+  let key = dedup_key r in
+  match Hashtbl.find_opt sink.seen key with
+  | Some n ->
+      Hashtbl.replace sink.seen key (n + 1);
+      false
+  | None ->
+      Hashtbl.replace sink.seen key 1;
+      if List.length sink.reports < sink.limit then
+        sink.reports <- r :: sink.reports;
+      true
+
+let unique_reports sink = List.rev sink.reports
+let count sink = Hashtbl.length sink.seen
+
+(** Total report events including duplicates of already-seen bugs. *)
+let total_hits sink = Hashtbl.fold (fun _ n acc -> acc + n) sink.seen 0
+let hits sink key = Option.value ~default:0 (Hashtbl.find_opt sink.seen key)
+let clear sink =
+  sink.reports <- [];
+  Hashtbl.reset sink.seen

@@ -1,0 +1,340 @@
+(* Common Sanitizer Runtime (S3.3, S3.5).
+
+   Consumes the merged DSL specification (Distiller) plus the platform
+   description and init routine (Prober), then hooks the firmware's
+   execution:
+
+   - EmbSan-D: memory probes inserted into the emulator's translated code
+     templates, and call/return probes intercepting the allocator
+     functions named in the spec;
+   - EmbSan-C: direct hypercall dispatch for the compile-time callouts
+     (check traps and state-maintenance traps), which skips the probe
+     machinery and is the cheaper path.
+
+   Host-side work is charged to the machine's external cost counter using
+   {!Embsan_emu.Cost_model}, which is what the overhead bench (Figure 2)
+   measures. *)
+
+open Embsan_isa
+open Embsan_emu
+
+type inst_mode = C | D
+
+let mode_name = function C -> "EmbSan-C" | D -> "EmbSan-D"
+
+type t = {
+  spec : Dsl.spec;
+  mode : inst_mode;
+  machine : Machine.t;
+  sink : Report.sink;
+  shadow : Shadow.t;
+  kasan : Kasan.t option;
+  kcsan : Kcsan.t option;
+  kmemleak : Kmemleak.t option;
+  mutable ready : bool;
+  (* EmbSan-D allocator interception state: per-hart stack of pending
+     allocator calls awaiting their return *)
+  mutable pending_allocs : (int * int * int) list; (* hart, ret addr, size *)
+  (* pc ranges of intercepted allocator functions: accesses from inside are
+     legal metadata traffic and exempt from checks (the compile-time analog
+     is excluding mm/slab from instrumentation) *)
+  exempt_ranges : (int * int) array;
+  mutable mem_events : int;
+  mutable callouts : int;
+  mutable intercepted_calls : int;
+}
+
+let pc_exempt t pc =
+  let n = Array.length t.exempt_ranges in
+  let rec go i =
+    if i >= n then false
+    else
+      let lo, hi = t.exempt_ranges.(i) in
+      (pc >= lo && pc < hi) || go (i + 1)
+  in
+  go 0
+
+let charge t units = Machine.add_external_cost t.machine units
+
+let event_cost t =
+  match t.mode with
+  | C -> Cost_model.embsan_c_hypercall
+  | D -> Cost_model.embsan_d_probe
+
+(* --- Init routine ------------------------------------------------------------------ *)
+
+let shadow_code_of_string = function
+  | "heap" -> Shadow.Heap_redzone
+  | "stack" -> Shadow.Stack_redzone
+  | "global" -> Shadow.Global_redzone
+  | "freed" -> Shadow.Freed
+  | s -> invalid_arg ("unknown poison code " ^ s)
+
+let apply_init_action t (a : Dsl.init_action) =
+  match (a, t.kasan) with
+  | Dsl.Poison { addr; size; code }, Some k ->
+      Kasan.on_poison k ~addr ~size (shadow_code_of_string code)
+  | Unpoison { addr; size }, Some k -> Kasan.on_unpoison k ~addr ~size
+  | Alloc { ptr; size }, Some k -> Kasan.on_alloc k ~ptr ~size ~pc:0
+  | Region { name = "global"; addr; size }, Some k ->
+      Kasan.on_register_global k ~addr ~size
+  | Region _, Some _ -> ()
+  | (Poison _ | Unpoison _ | Alloc _ | Region _), None -> ()
+  | Note _, _ -> ()
+
+let on_ready t () =
+  if not t.ready then begin
+    t.ready <- true;
+    List.iter (apply_init_action t) t.spec.Dsl.init;
+    (* re-establish live allocations made during boot (EmbSan-D intercepts
+       them before the heap-poison init action runs) *)
+    match t.kasan with
+    | Some k ->
+        Hashtbl.iter
+          (fun ptr (info : Kasan.alloc_info) ->
+            if info.freed_pc = None then
+              Shadow.unpoison t.shadow ~addr:ptr ~size:info.a_size)
+          k.allocs
+    | None -> ()
+  end
+
+(* --- Event dispatch ----------------------------------------------------------------- *)
+
+let dispatch_access_checked t ~addr ~size ~is_write ~is_atomic ~pc ~hart =
+  (match t.kasan with
+  | Some k when Dsl.wants t.spec (if is_write then Api_spec.P_store else P_load) "kasan"
+    ->
+      Kasan.on_access k ~addr ~size ~is_write ~pc ~hart
+  | Some _ | None -> ());
+  match t.kcsan with
+  | Some k
+    when (not is_atomic)
+         && Dsl.wants t.spec (if is_write then Api_spec.P_store else P_load) "kcsan"
+    ->
+      charge t
+        (match t.mode with
+        | C -> Cost_model.kcsan_host_check_c
+        | D -> Cost_model.kcsan_host_check_d);
+      Kcsan.on_access k t.machine ~addr ~size ~is_write ~pc ~hart
+  | Some _ | None -> ()
+
+let dispatch_access t ~addr ~size ~is_write ?(is_atomic = false) ~pc ~hart () =
+  t.mem_events <- t.mem_events + 1;
+  charge t (event_cost t);
+  if not (pc_exempt t pc) then
+    dispatch_access_checked t ~addr ~size ~is_write ~is_atomic ~pc ~hart
+
+let install_mem_probes t =
+  Probe.on_mem t.machine.probes (fun (ev : Probe.mem_event) ->
+      if t.ready then
+        dispatch_access t ~addr:ev.addr ~size:ev.size ~is_write:ev.is_write
+          ~is_atomic:ev.is_atomic ~pc:ev.pc ~hart:ev.hart ())
+
+let install_call_interception t =
+  let allocs = Hashtbl.create 16 and frees = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Dsl.func_sig) ->
+      match f.f_kind with
+      | `Alloc size_arg -> Hashtbl.replace allocs f.f_addr size_arg
+      | `Free ptr_arg -> Hashtbl.replace frees f.f_addr ptr_arg)
+    t.spec.Dsl.functions;
+  if Hashtbl.length allocs > 0 || Hashtbl.length frees > 0 then begin
+    Probe.on_call t.machine.probes (fun (ev : Probe.call_event) ->
+        match Hashtbl.find_opt allocs ev.c_target with
+        | Some size_arg ->
+            t.intercepted_calls <- t.intercepted_calls + 1;
+            charge t Cost_model.embsan_d_probe;
+            let size = Cpu.get t.machine.harts.(ev.c_hart) Reg.args.(size_arg) in
+            t.pending_allocs <-
+              (ev.c_hart, ev.c_pc + Insn.size, size) :: t.pending_allocs
+        | None -> (
+            match Hashtbl.find_opt frees ev.c_target with
+            | Some ptr_arg ->
+                t.intercepted_calls <- t.intercepted_calls + 1;
+                charge t Cost_model.embsan_d_probe;
+                let ptr = Cpu.get t.machine.harts.(ev.c_hart) Reg.args.(ptr_arg) in
+                (match t.kasan with
+                | Some k -> Kasan.on_free k ~ptr ~pc:ev.c_pc ~hart:ev.c_hart
+                | None -> ());
+                (match t.kmemleak with
+                | Some l -> Kmemleak.on_free l ~ptr
+                | None -> ())
+            | None -> ()));
+    Probe.on_ret t.machine.probes (fun (ev : Probe.ret_event) ->
+        match
+          List.partition
+            (fun (h, ra, _) -> h = ev.r_hart && ra = ev.r_target)
+            t.pending_allocs
+        with
+        | (_, ra, size) :: _, rest ->
+            t.pending_allocs <- rest;
+            (* attribute the allocation to its call site, not to the
+               allocator's return instruction *)
+            let pc = ra - Insn.size in
+            (match t.kasan with
+            | Some k -> Kasan.on_alloc k ~ptr:ev.r_retval ~size ~pc
+            | None -> ());
+            (match t.kmemleak with
+            | Some l ->
+                Kmemleak.on_alloc l ~ptr:ev.r_retval ~size ~pc
+                  ~now:t.machine.total_insns
+            | None -> ())
+        | [], _ -> ())
+  end
+
+let install_callout_traps t =
+  let m = t.machine in
+  List.iter
+    (fun num ->
+      Machine.set_trap_handler m num (fun _m cpu ->
+          t.callouts <- t.callouts + 1;
+          match Hypercall.decode_check num with
+          | Some (is_write, size) ->
+              dispatch_access t
+                ~addr:(Cpu.get cpu Reg.a0)
+                ~size ~is_write
+                ~pc:(cpu.Cpu.pc - Insn.size)
+                ~hart:cpu.Cpu.id ()
+          | None -> assert false))
+    [ 16; 17; 18; 19; 20; 21 ];
+  let update num f =
+    Machine.set_trap_handler m num (fun _m cpu ->
+        t.callouts <- t.callouts + 1;
+        charge t Cost_model.embsan_c_hypercall;
+        f cpu)
+  in
+  (* the trap sits in the san_* glue called from the allocator, so walk two
+     frames up to attribute the event to the kernel function itself *)
+  update Hypercall.san_alloc (fun cpu ->
+      let ptr = Cpu.get cpu Reg.a0 and size = Cpu.get cpu Reg.a1 in
+      let pc = Unwind.caller_pc t.machine cpu ~depth:2 in
+      (match t.kasan with
+      | Some k -> Kasan.on_alloc k ~ptr ~size ~pc
+      | None -> ());
+      match t.kmemleak with
+      | Some l -> Kmemleak.on_alloc l ~ptr ~size ~pc ~now:t.machine.total_insns
+      | None -> ());
+  update Hypercall.san_free (fun cpu ->
+      let ptr = Cpu.get cpu Reg.a0 in
+      (match t.kasan with
+      | Some k ->
+          (* the glue reports (ptr, size); the tracked size wins *)
+          Kasan.on_free k ~ptr
+            ~pc:(Unwind.caller_pc t.machine cpu ~depth:2)
+            ~hart:cpu.Cpu.id
+      | None -> ());
+      match t.kmemleak with
+      | Some l -> Kmemleak.on_free l ~ptr
+      | None -> ());
+  update Hypercall.san_global (fun cpu ->
+      match t.kasan with
+      | Some k ->
+          Kasan.on_register_global k ~addr:(Cpu.get cpu Reg.a0)
+            ~size:(Cpu.get cpu Reg.a1)
+      | None -> ());
+  update Hypercall.san_stack_poison (fun cpu ->
+      match t.kasan with
+      | Some k ->
+          Kasan.on_stack_poison k ~addr:(Cpu.get cpu Reg.a0)
+            ~size:(Cpu.get cpu Reg.a1)
+      | None -> ());
+  update Hypercall.san_stack_unpoison (fun cpu ->
+      match t.kasan with
+      | Some k ->
+          Kasan.on_stack_unpoison k ~addr:(Cpu.get cpu Reg.a0)
+            ~size:(Cpu.get cpu Reg.a1)
+      | None -> ());
+  update Hypercall.san_poison_region (fun cpu ->
+      match t.kasan with
+      | Some k ->
+          Kasan.on_poison k ~addr:(Cpu.get cpu Reg.a0)
+            ~size:(Cpu.get cpu Reg.a1) Shadow.Heap_redzone
+      | None -> ())
+
+(* --- Attachment ---------------------------------------------------------------------- *)
+
+let symbolize_of_image (image : Image.t option) pc =
+  match image with
+  | None -> None
+  | Some img ->
+      Option.map (fun (s : Image.symbol) -> s.name) (Image.symbol_at img pc)
+
+(** Attach the runtime to a machine per the spec.  [image] (optional,
+    un-stripped) provides report symbolization. *)
+let attach ~spec ~mode ?image ?(sink = Report.create_sink ())
+    ?(kcsan_interval = 120) ?(kcsan_stall = 1200) (machine : Machine.t) =
+  let shadow =
+    Shadow.create ~ram_base:(Machine.ram_base machine)
+      ~ram_size:(Machine.ram_size machine)
+  in
+  let symbolize = symbolize_of_image image in
+  let with_kasan = List.mem "kasan" spec.Dsl.sanitizers in
+  let with_kcsan = List.mem "kcsan" spec.Dsl.sanitizers in
+  let kasan =
+    if with_kasan then Some (Kasan.create ~shadow ~sink ~symbolize ())
+    else None
+  in
+  let kcsan =
+    if with_kcsan then
+      Some
+        (Kcsan.create ~interval:kcsan_interval ~stall_insns:kcsan_stall ~shadow
+           ~sink ~symbolize ())
+    else None
+  in
+  let kmemleak =
+    if List.mem "kmemleak" spec.Dsl.sanitizers then
+      Some (Kmemleak.create ~sink ~symbolize ())
+    else None
+  in
+  let t =
+    {
+      spec;
+      mode;
+      machine;
+      sink;
+      shadow;
+      kasan;
+      kcsan;
+      kmemleak;
+      ready = false;
+      pending_allocs = [];
+      exempt_ranges =
+        Array.of_list
+          (List.map
+             (fun (f : Dsl.func_sig) -> (f.f_addr, f.f_addr + f.f_size))
+             spec.Dsl.functions
+          @ List.map
+              (fun (e : Dsl.exempt) -> (e.e_addr, e.e_addr + e.e_size))
+              spec.Dsl.exempts);
+      mem_events = 0;
+      callouts = 0;
+      intercepted_calls = 0;
+    }
+  in
+  Services.install machine;
+  (match mode with
+  | C ->
+      (* compile-time callouts: direct hypercall dispatch, no probes *)
+      install_callout_traps t;
+      (* C-mode state maintenance is live from boot; mark ready from boot *)
+      t.ready <- true
+  | D ->
+      install_mem_probes t;
+      install_call_interception t;
+      machine.mailbox.on_ready <- on_ready t);
+  t
+
+let reports t = Report.unique_reports t.sink
+
+(** Run the kmemleak scan now (typically after a test completes); returns
+    the number of new leak reports. *)
+let scan_leaks t =
+  match t.kmemleak with
+  | Some l -> Kmemleak.scan l ~now:t.machine.total_insns
+  | None -> 0
+
+let pp_stats fmt t =
+  Fmt.pf fmt
+    "%s: %d mem events, %d callouts, %d intercepted calls, %d unique reports"
+    (mode_name t.mode) t.mem_events t.callouts t.intercepted_calls
+    (Report.count t.sink)

@@ -1,0 +1,51 @@
+(** Common Sanitizer Runtime (paper sections 3.3 and 3.5): consumes the
+    merged DSL specification plus platform description and hooks the
+    firmware's execution - translated-code probes and allocator
+    interception for EmbSan-D, direct hypercall dispatch for EmbSan-C.
+    Host-side work is charged to the machine's external cost counter. *)
+
+type inst_mode = C | D
+
+val mode_name : inst_mode -> string
+
+type t = {
+  spec : Dsl.spec;
+  mode : inst_mode;
+  machine : Embsan_emu.Machine.t;
+  sink : Report.sink;
+  shadow : Shadow.t;
+  kasan : Kasan.t option;
+  kcsan : Kcsan.t option;
+  kmemleak : Kmemleak.t option;
+  mutable ready : bool;
+  mutable pending_allocs : (int * int * int) list;
+  exempt_ranges : (int * int) array;
+  mutable mem_events : int;
+  mutable callouts : int;
+  mutable intercepted_calls : int;
+}
+
+(** Is [pc] inside an intercepted allocator function or an exempt helper
+    (legal metadata traffic)? *)
+val pc_exempt : t -> int -> bool
+
+(** Attach the runtime to a machine per the spec.  [image] (un-stripped)
+    provides report symbolization; [sink] collects reports. *)
+val attach :
+  spec:Dsl.spec ->
+  mode:inst_mode ->
+  ?image:Embsan_isa.Image.t ->
+  ?sink:Report.sink ->
+  ?kcsan_interval:int ->
+  ?kcsan_stall:int ->
+  Embsan_emu.Machine.t ->
+  t
+
+(** Unique reports collected so far. *)
+val reports : t -> Report.t list
+
+(** Run the kmemleak scan now (typically after a test completes); returns
+    the number of new leak reports. *)
+val scan_leaks : t -> int
+
+val pp_stats : Format.formatter -> t -> unit

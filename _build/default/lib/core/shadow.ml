@@ -1,0 +1,121 @@
+(* Unified host-side shadow memory (S3.3).
+
+   One byte of KASAN state per 8-byte granule of guest RAM, using the kernel
+   encoding, plus a parallel per-granule plane used by the KCSAN
+   functionality for its sampling state.  Keeping both planes in one
+   structure is the paper's "unified shadow memory that records information
+   for multiple sanitizer functionalities". *)
+
+type code =
+  | Addressable
+  | Partial of int (* first k bytes of the granule are addressable *)
+  | Heap_redzone
+  | Stack_redzone
+  | Global_redzone
+  | Freed
+
+let byte_of_code = function
+  | Addressable -> 0x00
+  | Partial k -> k land 7
+  | Heap_redzone -> 0xF1
+  | Stack_redzone -> 0xF3
+  | Global_redzone -> 0xF9
+  | Freed -> 0xFB
+
+let code_of_byte = function
+  | 0x00 -> Addressable
+  | k when k >= 1 && k <= 7 -> Partial k
+  | 0xF1 -> Heap_redzone
+  | 0xF3 -> Stack_redzone
+  | 0xF9 -> Global_redzone
+  | 0xFB -> Freed
+  | b -> invalid_arg (Printf.sprintf "Shadow.code_of_byte 0x%x" b)
+
+let code_name = function
+  | Addressable -> "addressable"
+  | Partial k -> Printf.sprintf "partial(%d)" k
+  | Heap_redzone -> "heap-redzone"
+  | Stack_redzone -> "stack-redzone"
+  | Global_redzone -> "global-redzone"
+  | Freed -> "freed"
+
+type t = {
+  base : int; (* guest RAM base *)
+  limit : int;
+  kasan : Bytes.t; (* one byte per granule *)
+  kcsan_epoch : Bytes.t; (* sampling state plane for KCSAN *)
+}
+
+let granule = 8
+
+let create ~ram_base ~ram_size =
+  let granules = (ram_size + granule - 1) / granule in
+  {
+    base = ram_base;
+    limit = ram_base + ram_size;
+    kasan = Bytes.make granules '\000';
+    kcsan_epoch = Bytes.make granules '\000';
+  }
+
+let covers t addr = addr >= t.base && addr < t.limit
+let index t addr = (addr - t.base) / granule
+
+let get t addr = code_of_byte (Bytes.get_uint8 t.kasan (index t addr))
+
+let set_raw t addr byte = Bytes.set_uint8 t.kasan (index t addr) byte
+
+(** Poison [addr, addr+size) with [code]; granule-rounded outward on the
+    tail like the kernel implementation. *)
+let poison t ~addr ~size code =
+  if size > 0 && covers t addr then begin
+    let b = byte_of_code code in
+    let first = index t addr in
+    let last = index t (min (addr + size - 1) (t.limit - 1)) in
+    Bytes.fill t.kasan first (last - first + 1) (Char.chr b)
+  end
+
+(** Mark [addr, addr+size) addressable; a non-multiple-of-8 tail becomes a
+    partial granule. *)
+let unpoison t ~addr ~size =
+  if size > 0 && covers t addr then begin
+    let full = size / granule in
+    let first = index t addr in
+    Bytes.fill t.kasan first full '\000';
+    let tail = size mod granule in
+    if tail <> 0 then set_raw t (addr + (full * granule)) tail
+  end
+
+type verdict = Valid | Invalid of code
+
+(** Validate an access of [size] (1/2/4) bytes at [addr].  Accesses outside
+    guest RAM are not the shadow's business (MMIO and fault logic handle
+    them). *)
+let check t ~addr ~size =
+  if not (covers t addr) then Valid
+  else begin
+    let last = addr + size - 1 in
+    let sh = Bytes.get_uint8 t.kasan (index t last) in
+    if sh = 0 then
+      (* fast path: access may still start in a different, poisoned granule *)
+      if index t addr = index t last then Valid
+      else begin
+        let sh0 = Bytes.get_uint8 t.kasan (index t addr) in
+        if sh0 = 0 then Valid else Invalid (code_of_byte sh0)
+      end
+    else if sh < 8 then
+      if last land (granule - 1) < sh then Valid else Invalid (Partial sh)
+    else Invalid (code_of_byte sh)
+  end
+
+(* --- KCSAN plane -------------------------------------------------------------- *)
+
+(** Per-granule monotonically wrapping access counter, used by the host
+    KCSAN runtime to diversify watchpoint selection across addresses. *)
+let kcsan_bump t addr =
+  if covers t addr then begin
+    let i = index t addr in
+    let v = Bytes.get_uint8 t.kcsan_epoch i in
+    Bytes.set_uint8 t.kcsan_epoch i ((v + 1) land 0xFF);
+    v
+  end
+  else 0

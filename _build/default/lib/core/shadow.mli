@@ -1,0 +1,52 @@
+(** Unified host-side shadow memory (paper section 3.3): one byte of KASAN
+    state per 8-byte granule of guest RAM using the kernel encoding, plus a
+    parallel per-granule plane used by the KCSAN functionality. *)
+
+type code =
+  | Addressable
+  | Partial of int  (** first [k] bytes of the granule are addressable *)
+  | Heap_redzone
+  | Stack_redzone
+  | Global_redzone
+  | Freed
+
+val byte_of_code : code -> int
+
+(** Inverse of {!byte_of_code}; raises [Invalid_argument] on unknown bytes. *)
+val code_of_byte : int -> code
+
+val code_name : code -> string
+
+type t = {
+  base : int;
+  limit : int;
+  kasan : Bytes.t;
+  kcsan_epoch : Bytes.t;
+}
+
+val granule : int
+
+val create : ram_base:int -> ram_size:int -> t
+
+(** Is [addr] inside the shadowed guest RAM? *)
+val covers : t -> int -> bool
+
+(** Shadow state of the granule containing [addr]. *)
+val get : t -> int -> code
+
+(** Poison [addr, addr+size) with [code]; granule-rounded outward on the
+    tail like the kernel implementation. *)
+val poison : t -> addr:int -> size:int -> code -> unit
+
+(** Mark [addr, addr+size) addressable; a non-multiple-of-8 tail becomes a
+    partial granule. *)
+val unpoison : t -> addr:int -> size:int -> unit
+
+type verdict = Valid | Invalid of code
+
+(** Validate an access of [size] (1/2/4) bytes at [addr]; accesses outside
+    guest RAM are [Valid] (MMIO and fault logic own them). *)
+val check : t -> addr:int -> size:int -> verdict
+
+(** Bump and return the KCSAN sampling counter of [addr]'s granule. *)
+val kcsan_bump : t -> int -> int

@@ -1,0 +1,30 @@
+(* Frame-pointer unwinding over the guest ABI.
+
+   Every MiniC function saves its return address at [s0-4] and the caller's
+   frame pointer at [s0-8], so the host can walk call frames to attribute a
+   sanitizer callout arriving from allocator glue to the kernel function
+   that actually triggered it (the moral equivalent of KASAN's stack
+   traces). *)
+
+open Embsan_emu
+
+(** [caller_pc machine cpu ~depth] returns the pc of the call site [depth]
+    frames above the current function (depth 0 = the pc of the trapping
+    instruction itself).  Falls back to the innermost pc when the chain
+    leaves RAM. *)
+let caller_pc machine (cpu : Cpu.t) ~depth =
+  let innermost = cpu.pc - Embsan_isa.Insn.size in
+  let in_ram addr =
+    addr >= Machine.ram_base machine
+    && addr + 4 <= Machine.ram_base machine + Machine.ram_size machine
+  in
+  let rec go s0 pc depth =
+    if depth <= 0 then pc
+    else if not (in_ram (s0 - 8)) then pc
+    else
+      let ra = Machine.read_mem machine ~addr:(s0 - 4) ~width:4 in
+      let s0' = Machine.read_mem machine ~addr:(s0 - 8) ~width:4 in
+      if ra = 0 || not (in_ram ra) then pc
+      else go s0' (ra - Embsan_isa.Insn.size) (depth - 1)
+  in
+  go (Cpu.get cpu Embsan_isa.Reg.s0) innermost depth

@@ -1,0 +1,9 @@
+(** Frame-pointer unwinding over the guest ABI (every function saves its
+    return address at [s0-4] and the caller's frame pointer at [s0-8]),
+    used to attribute sanitizer callouts arriving from allocator glue to
+    the kernel function that triggered them. *)
+
+(** [caller_pc machine cpu ~depth] is the pc of the call site [depth]
+    frames above the current function (depth 0 = the trapping instruction
+    itself); falls back to the innermost pc when the chain leaves RAM. *)
+val caller_pc : Embsan_emu.Machine.t -> Embsan_emu.Cpu.t -> depth:int -> int

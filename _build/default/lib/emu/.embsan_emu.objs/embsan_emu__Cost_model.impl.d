@@ -1,0 +1,1 @@
+lib/emu/cost_model.ml: Embsan_isa

@@ -1,0 +1,1 @@
+lib/emu/coverage.ml: Array Bytes Cpu Embsan_isa List Machine Probe

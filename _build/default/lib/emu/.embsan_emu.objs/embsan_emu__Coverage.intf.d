@@ -1,0 +1,1 @@
+lib/emu/coverage.mli: Bytes Machine

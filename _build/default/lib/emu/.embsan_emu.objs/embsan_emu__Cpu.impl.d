@@ -1,0 +1,1 @@
+lib/emu/cpu.ml: Array Embsan_isa Fmt Reg Word32 Word32_hex

@@ -1,0 +1,1 @@
+lib/emu/cpu.mli: Embsan_isa Format

@@ -1,0 +1,1 @@
+lib/emu/devices.ml: Array Buffer Char Device Fault List Queue

@@ -1,0 +1,1 @@
+lib/emu/fault.ml: Fmt Word32_hex

@@ -1,0 +1,1 @@
+lib/emu/fault.mli: Format

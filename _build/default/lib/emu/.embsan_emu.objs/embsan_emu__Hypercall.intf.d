@@ -1,0 +1,1 @@
+lib/emu/hypercall.mli:

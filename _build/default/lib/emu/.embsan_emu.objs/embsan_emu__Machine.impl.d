@@ -1,0 +1,1 @@
+lib/emu/machine.ml: Arch Array Codec Cost_model Cpu Device Devices Embsan_isa Fault Fmt Hashtbl Image Insn Lazy List Probe Ram Reg Word32 Word32_hex

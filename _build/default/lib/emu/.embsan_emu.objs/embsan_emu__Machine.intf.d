@@ -1,0 +1,1 @@
+lib/emu/machine.mli: Cpu Device Devices Embsan_isa Fault Format Hashtbl Probe Ram

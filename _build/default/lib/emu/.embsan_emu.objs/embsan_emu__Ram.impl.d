@@ -1,0 +1,1 @@
+lib/emu/ram.ml: Bytes Char Embsan_isa Fault Int32 List Printf String

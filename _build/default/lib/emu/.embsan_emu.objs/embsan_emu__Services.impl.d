@@ -1,0 +1,1 @@
+lib/emu/services.ml: Array Buffer Char Cpu Devices Embsan_isa Fault Hashtbl Hypercall Machine Reg

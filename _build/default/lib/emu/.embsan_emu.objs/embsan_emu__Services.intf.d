@@ -1,0 +1,1 @@
+lib/emu/services.mli: Machine

@@ -1,0 +1,1 @@
+lib/emu/trace.ml: Array Cpu Embsan_isa Fmt List Machine Printf Probe String Word32_hex

@@ -1,0 +1,1 @@
+lib/emu/word32_hex.ml: Printf

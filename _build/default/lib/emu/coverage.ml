@@ -1,0 +1,69 @@
+(* Basic-block coverage collection.
+
+   Two collection paths mirror the paper's fuzzers:
+   - [attach_tcg]: OS-agnostic coverage from translator block probes, the
+     Tardis mechanism (works on any firmware, including closed-source);
+   - [attach_kcov]: kernel-assisted coverage where the *guest* reports
+     covered PCs through a kcov-style hypercall, the Syzkaller mechanism
+     (requires guest support compiled in). *)
+
+type t = {
+  bitmap : Bytes.t; (* 64 KiB edge bitmap, AFL-style *)
+  mutable last_loc : int array; (* per-hart previous location *)
+  mutable blocks_seen : int;
+}
+
+let bitmap_size = 1 lsl 16
+
+let create ~harts =
+  { bitmap = Bytes.make bitmap_size '\000'; last_loc = Array.make harts 0; blocks_seen = 0 }
+
+let mix pc = (pc lsr 3) * 0x9E3779B1 land 0xFFFF_FFFF
+
+let record t ~hart ~pc =
+  let loc = mix pc land (bitmap_size - 1) in
+  let prev = if hart >= 0 && hart < Array.length t.last_loc then t.last_loc.(hart) else 0 in
+  let idx = (loc lxor prev) land (bitmap_size - 1) in
+  let v = Bytes.get_uint8 t.bitmap idx in
+  if v < 255 then Bytes.set_uint8 t.bitmap idx (v + 1);
+  if hart >= 0 && hart < Array.length t.last_loc then t.last_loc.(hart) <- loc lsr 1;
+  t.blocks_seen <- t.blocks_seen + 1
+
+let attach_tcg t (m : Machine.t) =
+  Probe.on_block m.probes (fun (ev : Probe.block_event) ->
+      record t ~hart:ev.b_hart ~pc:ev.b_pc)
+
+(** Hypercall number reserved for guest kcov reporting. *)
+let kcov_trap = 9
+
+let attach_kcov t (m : Machine.t) =
+  Machine.set_trap_handler m kcov_trap (fun _m cpu ->
+      record t ~hart:cpu.Cpu.id ~pc:(Cpu.get cpu Embsan_isa.Reg.a0))
+
+let reset_edges t =
+  Bytes.fill t.bitmap 0 bitmap_size '\000';
+  Array.fill t.last_loc 0 (Array.length t.last_loc) 0;
+  t.blocks_seen <- 0
+
+(** Indices of non-zero edges, bucketed AFL-style into hit-count classes. *)
+let signature t =
+  let acc = ref [] in
+  for i = bitmap_size - 1 downto 0 do
+    let v = Bytes.get_uint8 t.bitmap i in
+    if v > 0 then begin
+      let bucket =
+        if v = 1 then 1
+        else if v = 2 then 2
+        else if v = 3 then 3
+        else if v <= 7 then 4
+        else if v <= 15 then 5
+        else if v <= 31 then 6
+        else if v <= 127 then 7
+        else 8
+      in
+      acc := (i, bucket) :: !acc
+    end
+  done;
+  !acc
+
+let edge_count t = List.length (signature t)

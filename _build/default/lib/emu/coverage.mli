@@ -1,0 +1,29 @@
+(** Basic-block coverage collection with the two paths the paper's fuzzers
+    use: OS-agnostic translated-block probes (Tardis) and guest-assisted
+    kcov hypercalls (Syzkaller). *)
+
+type t = {
+  bitmap : Bytes.t;  (** 64 KiB AFL-style edge bitmap *)
+  mutable last_loc : int array;
+  mutable blocks_seen : int;
+}
+
+val bitmap_size : int
+val create : harts:int -> t
+val record : t -> hart:int -> pc:int -> unit
+
+(** Subscribe to translated-block events (works on any firmware). *)
+val attach_tcg : t -> Machine.t -> unit
+
+(** Hypercall number reserved for guest kcov reporting. *)
+val kcov_trap : int
+
+(** Install the kcov hypercall handler (requires a kcov-built guest). *)
+val attach_kcov : t -> Machine.t -> unit
+
+val reset_edges : t -> unit
+
+(** Non-zero edges bucketed into AFL-style hit-count classes. *)
+val signature : t -> (int * int) list
+
+val edge_count : t -> int

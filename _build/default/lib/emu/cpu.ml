@@ -1,0 +1,41 @@
+(* Per-hart architectural state. *)
+
+open Embsan_isa
+
+type status = Parked | Running | Halted
+
+type t = {
+  id : int;
+  regs : int array; (* 16 registers; r0 reads as zero *)
+  mutable pc : int;
+  mutable status : status;
+  mutable stall_until : int; (* global instruction count; 0 = not stalled *)
+  mutable insns : int; (* instructions retired on this hart *)
+}
+
+let create id = { id; regs = Array.make Reg.count 0; pc = 0; status = Parked; stall_until = 0; insns = 0 }
+
+let get cpu r = if Reg.equal r Reg.zero then 0 else cpu.regs.(Reg.to_int r)
+
+let set cpu r v =
+  let i = Reg.to_int r in
+  if i <> 0 then cpu.regs.(i) <- Word32.wrap v
+
+let reset cpu ~pc ~sp =
+  Array.fill cpu.regs 0 (Array.length cpu.regs) 0;
+  cpu.pc <- pc;
+  set cpu Reg.sp sp;
+  cpu.status <- Running;
+  cpu.stall_until <- 0
+
+let pp fmt cpu =
+  Fmt.pf fmt "@[<v>hart%d pc=%s status=%s@,%a@]" cpu.id (Word32_hex.hex cpu.pc)
+    (match cpu.status with
+    | Parked -> "parked"
+    | Running -> "running"
+    | Halted -> "halted")
+    (Fmt.iter_bindings
+       (fun f () ->
+         Array.iteri (fun i v -> f (Reg.name (Reg.of_int i)) v) cpu.regs)
+       (fun fmt (n, v) -> Fmt.pf fmt "%s=%s " n (Word32_hex.hex v)))
+    ()

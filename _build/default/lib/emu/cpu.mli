@@ -1,0 +1,26 @@
+(** Per-hart architectural state. *)
+
+type status = Parked | Running | Halted
+
+type t = {
+  id : int;
+  regs : int array;
+  mutable pc : int;
+  mutable status : status;
+  mutable stall_until : int;
+      (** global instruction count below which this hart is stalled *)
+  mutable insns : int;  (** instructions retired on this hart *)
+}
+
+val create : int -> t
+
+(** Read a register (r0 reads as zero). *)
+val get : t -> Embsan_isa.Reg.t -> int
+
+(** Write a register (writes to r0 are ignored; values wrap to 32 bits). *)
+val set : t -> Embsan_isa.Reg.t -> int -> unit
+
+(** Zero the registers and start running at [pc] with stack [sp]. *)
+val reset : t -> pc:int -> sp:int -> unit
+
+val pp : Format.formatter -> t -> unit

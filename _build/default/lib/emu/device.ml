@@ -1,0 +1,11 @@
+(* Memory-mapped device interface. *)
+
+type t = {
+  name : string;
+  base : int;
+  size : int;
+  read : offset:int -> width:int -> int;
+  write : offset:int -> width:int -> value:int -> unit;
+}
+
+let covers t addr = addr >= t.base && addr < t.base + t.size

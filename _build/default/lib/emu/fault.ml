@@ -1,0 +1,24 @@
+(* Exceptions shared between the bus, devices, translator and run loop. *)
+
+type access = {
+  hart : int;
+  pc : int;
+  addr : int;
+  size : int;
+  is_write : bool;
+}
+
+let pp_access fmt a =
+  Fmt.pf fmt "hart%d pc=%s %s addr=%s size=%d" a.hart (Word32_hex.hex a.pc)
+    (if a.is_write then "write" else "read")
+    (Word32_hex.hex a.addr) a.size
+
+(** Architectural memory fault (unmapped address, MMIO misuse, ...). *)
+exception Memory_fault of access * string
+
+(** Raised by the HALT instruction and the power device. *)
+exception Halted of int
+
+(** A probe callback requests that the current instruction be abandoned and
+    retried at [pc] once the hart's stall window expires (KCSAN). *)
+exception Retry_at of int

@@ -1,0 +1,21 @@
+(** Exceptions shared between the bus, devices, translator and run loop. *)
+
+type access = {
+  hart : int;
+  pc : int;
+  addr : int;
+  size : int;
+  is_write : bool;
+}
+
+val pp_access : Format.formatter -> access -> unit
+
+(** Architectural memory fault (unmapped address, null page, ...). *)
+exception Memory_fault of access * string
+
+(** Raised by the HALT instruction and the power device. *)
+exception Halted of int
+
+(** A probe callback abandons the current instruction; the run loop resets
+    the hart to [pc] so the instruction re-executes after the stall. *)
+exception Retry_at of int

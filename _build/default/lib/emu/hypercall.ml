@@ -1,0 +1,79 @@
+(* Platform hypercall ABI (TRAP instruction numbers).
+
+   The trap number is an instruction immediate; arguments travel in
+   a0..a2 and a result, when any, is returned in a0.  Numbers 16..31 are
+   the sanitizer callout range emitted by compile-time instrumentation
+   (EmbSan-C's "dummy sanitizer library", S3.2 category 1): each API of the
+   dummy library is exactly one trapping instruction. *)
+
+let exit_ = 1
+let putc = 2
+let kcov = 9 (* guest kcov-style coverage report: a0 = covered pc *)
+let hart_start = 10 (* a0 = hart id, a1 = entry pc, a2 = stack pointer *)
+let current_hart = 11 (* returns hart id in a0 *)
+
+(* Sanitizer callouts: memory access checks.  Size and direction are encoded
+   in the trap number so the callout is a single instruction; the address is
+   in a0. *)
+let check_load1 = 16
+let check_load2 = 17
+let check_load4 = 18
+let check_store1 = 19
+let check_store2 = 20
+let check_store4 = 21
+
+let check ~is_write ~size =
+  match (is_write, size) with
+  | false, 1 -> check_load1
+  | false, 2 -> check_load2
+  | false, 4 -> check_load4
+  | true, 1 -> check_store1
+  | true, 2 -> check_store2
+  | true, 4 -> check_store4
+  | _ -> invalid_arg "Hypercall.check"
+
+(** Inverse of {!check}: [Some (is_write, size)] for check callout numbers. *)
+let decode_check num =
+  match num with
+  | 16 -> Some (false, 1)
+  | 17 -> Some (false, 2)
+  | 18 -> Some (false, 4)
+  | 19 -> Some (true, 1)
+  | 20 -> Some (true, 2)
+  | 21 -> Some (true, 4)
+  | _ -> None
+
+(* Sanitizer state-maintenance callouts. *)
+let san_alloc = 22 (* a0 = ptr, a1 = size *)
+let san_free = 23 (* a0 = ptr, a1 = size *)
+let san_global = 24 (* a0 = addr, a1 = size: register global w/ redzones *)
+let san_stack_poison = 25 (* a0 = addr, a1 = size *)
+let san_stack_unpoison = 26 (* a0 = addr, a1 = size *)
+let san_poison_region = 27 (* a0 = addr, a1 = size: poison a heap region *)
+
+(* Native (in-guest) sanitizer support. *)
+let kasan_report = 28 (* a0 = addr, a1 = size, a2 = is_write *)
+let kcsan_report = 29 (* a0 = addr, a1 = size|is_write<<8, a2 = other pc *)
+
+let name num =
+  match num with
+  | 1 -> "exit"
+  | 2 -> "putc"
+  | 9 -> "kcov"
+  | 10 -> "hart_start"
+  | 11 -> "current_hart"
+  | 16 -> "check_load1"
+  | 17 -> "check_load2"
+  | 18 -> "check_load4"
+  | 19 -> "check_store1"
+  | 20 -> "check_store2"
+  | 21 -> "check_store4"
+  | 22 -> "san_alloc"
+  | 23 -> "san_free"
+  | 24 -> "san_global"
+  | 25 -> "san_stack_poison"
+  | 26 -> "san_stack_unpoison"
+  | 27 -> "san_poison_region"
+  | 28 -> "kasan_report"
+  | 29 -> "kcsan_report"
+  | n -> Printf.sprintf "trap%d" n

@@ -1,0 +1,42 @@
+(** Platform hypercall ABI (TRAP instruction numbers).  The trap number is
+    an instruction immediate; arguments travel in a0..a2 and a result, when
+    any, returns in a0.  Numbers 16..31 are the sanitizer callout range
+    emitted by compile-time instrumentation (EmbSan-C's dummy sanitizer
+    library, paper section 3.2). *)
+
+val exit_ : int
+val putc : int
+
+(** Guest kcov-style coverage report: a0 = covered pc. *)
+val kcov : int
+
+(** a0 = hart id, a1 = entry pc, a2 = stack pointer. *)
+val hart_start : int
+
+val current_hart : int
+val check_load1 : int
+val check_load2 : int
+val check_load4 : int
+val check_store1 : int
+val check_store2 : int
+val check_store4 : int
+
+(** The check callout number for an access shape. *)
+val check : is_write:bool -> size:int -> int
+
+(** Inverse of {!check}: [Some (is_write, size)] for callout numbers. *)
+val decode_check : int -> (bool * int) option
+
+val san_alloc : int
+val san_free : int
+val san_global : int
+val san_stack_poison : int
+val san_stack_unpoison : int
+val san_poison_region : int
+
+(** Native in-guest sanitizer report channels. *)
+
+val kasan_report : int
+val kcsan_report : int
+
+val name : int -> string

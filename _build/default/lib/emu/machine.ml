@@ -1,0 +1,442 @@
+(* Full-system machine: RAM, MMIO bus, harts, hypercall table, and a
+   TCG-like execution engine that translates basic blocks into closure
+   arrays with instrumentation probes baked in at translation time. *)
+
+open Embsan_isa
+
+type stop =
+  | Halted of int
+  | Fault of Fault.access * string
+  | Unhandled_trap of { pc : int; num : int }
+  | Decode_fault of { pc : int; reason : string }
+  | Budget_exhausted
+  | Deadlock
+
+let pp_stop fmt = function
+  | Halted code -> Fmt.pf fmt "halted(%d)" code
+  | Fault (a, reason) -> Fmt.pf fmt "fault(%s: %a)" reason Fault.pp_access a
+  | Unhandled_trap { pc; num } ->
+      Fmt.pf fmt "unhandled-trap(%d @ %s)" num (Word32_hex.hex pc)
+  | Decode_fault { pc; reason } ->
+      Fmt.pf fmt "decode-fault(%s @ %s)" reason (Word32_hex.hex pc)
+  | Budget_exhausted -> Fmt.string fmt "budget-exhausted"
+  | Deadlock -> Fmt.string fmt "deadlock"
+
+type block = { b_epoch : int; b_ops : (Cpu.t -> unit) array }
+
+type t = {
+  arch : Arch.t;
+  ram : Ram.t;
+  mutable devices : Device.t list;
+  uart : Devices.uart;
+  mailbox : Devices.mailbox;
+  harts : Cpu.t array;
+  probes : Probe.t;
+  block_cache : (int, block) Hashtbl.t;
+  trap_handlers : (int, handler) Hashtbl.t;
+  mutable total_insns : int;
+  mutable cost : int; (* modeled guest cycles, Cost_model weights *)
+  mutable external_cost : int; (* host-side sanitizer cost units *)
+  mutable next_hart : int;
+  mutable entry : int;
+}
+
+and handler = t -> Cpu.t -> unit
+
+exception Trap_unhandled of int * int (* pc, num *)
+
+let ram_base t = Ram.base t.ram
+let ram_size t = Ram.size t.ram
+
+let create ?(harts = 2) ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
+    ?(seed = 1) ~arch () =
+  let ram = Ram.create ~base:ram_base ~size:ram_size in
+  let uart_state, uart_dev = Devices.uart () in
+  let mailbox_state, mailbox_dev = Devices.mailbox () in
+  let rec m =
+    lazy
+      {
+        arch;
+        ram;
+        devices =
+          [
+            uart_dev;
+            Devices.power ();
+            mailbox_dev;
+            Devices.timer ~now:(fun () -> (Lazy.force m).total_insns);
+            Devices.rng ~seed;
+          ];
+        uart = uart_state;
+        mailbox = mailbox_state;
+        harts = Array.init harts Cpu.create;
+        probes = Probe.create ();
+        block_cache = Hashtbl.create 1024;
+        trap_handlers = Hashtbl.create 16;
+        total_insns = 0;
+        cost = 0;
+        external_cost = 0;
+        next_hart = 0;
+        entry = 0;
+      }
+  in
+  Lazy.force m
+
+let add_device t dev = t.devices <- dev :: t.devices
+
+let flush_tcg t = Hashtbl.reset t.block_cache
+
+let set_trap_handler t num handler = Hashtbl.replace t.trap_handlers num handler
+
+let remove_trap_handler t num = Hashtbl.remove t.trap_handlers num
+
+(** Add host-side sanitizer cost units (see {!Cost_model}). *)
+let add_external_cost t units = t.external_cost <- t.external_cost + units
+
+(** Modeled total cost of the run so far: translated guest cycles plus
+    host-side sanitizer work. *)
+let total_cost t = t.cost + t.external_cost
+
+let load_image t (image : Image.t) =
+  if image.arch <> t.arch then invalid_arg "Machine.load_image: arch mismatch";
+  Ram.load_image t.ram image;
+  t.entry <- image.entry;
+  flush_tcg t
+
+let start_hart t id ~pc ~sp = Cpu.reset t.harts.(id) ~pc ~sp
+
+(** Boot hart 0 at the image entry with the stack at the top of RAM. *)
+let boot t =
+  start_hart t 0 ~pc:t.entry ~sp:(Ram.limit t.ram - 16)
+
+(* --- Bus ------------------------------------------------------------------ *)
+
+let find_device t addr = List.find_opt (fun d -> Device.covers d addr) t.devices
+
+let bus_read t (acc : Fault.access) =
+  if Ram.contains t.ram acc.addr ~size:acc.size then Ram.read t.ram acc.addr acc.size
+  else
+    match find_device t acc.addr with
+    | Some d -> d.read ~offset:(acc.addr - d.base) ~width:acc.size
+    | None ->
+        Ram.check t.ram acc;
+        0
+
+let bus_write t (acc : Fault.access) value =
+  if Ram.contains t.ram acc.addr ~size:acc.size then
+    Ram.write t.ram acc.addr acc.size value
+  else
+    match find_device t acc.addr with
+    | Some d -> d.write ~offset:(acc.addr - d.base) ~width:acc.size ~value
+    | None -> Ram.check t.ram acc
+
+(* Debug accessors used by the sanitizer runtime and tests. *)
+let read_mem t ~addr ~width =
+  bus_read t { hart = -1; pc = 0; addr; size = width; is_write = false }
+
+let write_mem t ~addr ~width ~value =
+  bus_write t { hart = -1; pc = 0; addr; size = width; is_write = true } value
+
+let read_string t ~addr ~len = Ram.read_string t.ram ~addr ~len
+
+let console_output t = Devices.uart_output t.uart
+
+(* --- TCG-like translator ------------------------------------------------- *)
+
+let max_block_insns = 32
+
+let alu_eval (op : Insn.alu_op) a b =
+  match op with
+  | Add -> Word32.add a b
+  | Sub -> Word32.sub a b
+  | Mul -> Word32.mul a b
+  | Divu -> Word32.divu a b
+  | Remu -> Word32.remu a b
+  | And -> a land b
+  | Or -> a lor b
+  | Xor -> a lxor b
+  | Shl -> Word32.shl a b
+  | Shru -> Word32.shru a b
+  | Shrs -> Word32.shrs a b
+  | Slt -> if Word32.lt_s a b then 1 else 0
+  | Sltu -> if Word32.lt_u a b then 1 else 0
+  | Seq -> if Word32.wrap a = Word32.wrap b then 1 else 0
+  | Sne -> if Word32.wrap a <> Word32.wrap b then 1 else 0
+
+let cond_eval (c : Insn.cond) a b =
+  match c with
+  | Eq -> Word32.wrap a = Word32.wrap b
+  | Ne -> Word32.wrap a <> Word32.wrap b
+  | Lt -> Word32.lt_s a b
+  | Ltu -> Word32.lt_u a b
+  | Ge -> not (Word32.lt_s a b)
+  | Geu -> not (Word32.lt_u a b)
+
+let load_result width signed raw =
+  match (width : Insn.width) with
+  | W8 -> if signed then Word32.sext raw 8 else Word32.zext raw 8
+  | W16 -> if signed then Word32.sext raw 16 else Word32.zext raw 16
+  | W32 -> Word32.wrap raw
+
+let fetch_insn t pc =
+  if not (Ram.contains t.ram pc ~size:Insn.size) then
+    raise
+      (Fault.Memory_fault
+         ( { hart = -1; pc; addr = pc; size = Insn.size; is_write = false },
+           "instruction fetch outside RAM" ));
+  Codec.decode_with t.arch ~addr:pc (fun off -> Ram.read8 t.ram off) pc
+
+(* Translate one basic block starting at [base].  Instrumentation probes are
+   specialized in: if no memory probe is subscribed the generated load/store
+   ops contain no callback at all, exactly like an uninstrumented TCG
+   template. *)
+let translate t base =
+  let mem_probes = t.probes.mem <> [] in
+  let tick_alu cpu =
+    cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+    t.total_insns <- t.total_insns + 1;
+    t.cost <- t.cost + Cost_model.alu_insn
+  in
+  let tick_mem (cpu : Cpu.t) =
+    cpu.Cpu.insns <- cpu.Cpu.insns + 1;
+    t.total_insns <- t.total_insns + 1;
+    t.cost <- t.cost + Cost_model.mem_insn
+  in
+  let rec collect pc acc n =
+    let insn = fetch_insn t pc in
+    let acc = (pc, insn) :: acc in
+    if Insn.ends_block insn || n + 1 >= max_block_insns then (List.rev acc, pc + Insn.size)
+    else collect (pc + Insn.size) acc (n + 1)
+  in
+  let insns, end_pc = collect base [] 0 in
+  let op_of (pc, insn) : Cpu.t -> unit =
+    match (insn : Insn.t) with
+    | Nop | Fence -> tick_alu
+    | Halt ->
+        fun cpu ->
+          tick_alu cpu;
+          raise (Fault.Halted (Cpu.get cpu Reg.a0))
+    | Li (rd, imm) ->
+        fun cpu ->
+          tick_alu cpu;
+          Cpu.set cpu rd imm
+    | Alu (op, rd, rs1, rs2) ->
+        fun cpu ->
+          tick_alu cpu;
+          Cpu.set cpu rd (alu_eval op (Cpu.get cpu rs1) (Cpu.get cpu rs2))
+    | Alui (op, rd, rs1, imm) ->
+        fun cpu ->
+          tick_alu cpu;
+          Cpu.set cpu rd (alu_eval op (Cpu.get cpu rs1) imm)
+    | Load (w, signed, rd, rs1, imm) ->
+        let size = Insn.width_bytes w in
+        if mem_probes then (fun cpu ->
+          tick_mem cpu;
+          let addr = Word32.add (Cpu.get cpu rs1) imm in
+          Probe.fire_mem t.probes
+            {
+              hart = cpu.id;
+              pc;
+              addr;
+              size;
+              is_write = false;
+              is_atomic = false;
+              value = 0;
+            };
+          let raw =
+            bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
+          in
+          Cpu.set cpu rd (load_result w signed raw))
+        else fun cpu ->
+          tick_mem cpu;
+          let addr = Word32.add (Cpu.get cpu rs1) imm in
+          let raw =
+            bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
+          in
+          Cpu.set cpu rd (load_result w signed raw)
+    | Store (w, rs1, rs2, imm) ->
+        let size = Insn.width_bytes w in
+        if mem_probes then (fun cpu ->
+          tick_mem cpu;
+          let addr = Word32.add (Cpu.get cpu rs1) imm in
+          let value = Cpu.get cpu rs2 in
+          Probe.fire_mem t.probes
+            {
+              hart = cpu.id;
+              pc;
+              addr;
+              size;
+              is_write = true;
+              is_atomic = false;
+              value;
+            };
+          bus_write t { hart = cpu.id; pc; addr; size; is_write = true } value)
+        else fun cpu ->
+          tick_mem cpu;
+          let addr = Word32.add (Cpu.get cpu rs1) imm in
+          bus_write t
+            { hart = cpu.id; pc; addr; size; is_write = true }
+            (Cpu.get cpu rs2)
+    | Amo (op, rd, rs1, rs2) ->
+        fun cpu ->
+          tick_mem cpu;
+          let addr = Cpu.get cpu rs1 in
+          if mem_probes then
+            Probe.fire_mem t.probes
+              {
+                hart = cpu.id;
+                pc;
+                addr;
+                size = 4;
+                is_write = true;
+                is_atomic = true;
+                value = Cpu.get cpu rs2;
+              };
+          let acc : Fault.access =
+            { hart = cpu.id; pc; addr; size = 4; is_write = true }
+          in
+          let old = bus_read t { acc with is_write = false } in
+          let next =
+            match op with
+            | Amo_add -> Word32.add old (Cpu.get cpu rs2)
+            | Amo_swap -> Cpu.get cpu rs2
+          in
+          bus_write t acc next;
+          Cpu.set cpu rd old
+    | Branch (c, rs1, rs2, imm) ->
+        fun cpu ->
+          tick_alu cpu;
+          cpu.pc <-
+            (if cond_eval c (Cpu.get cpu rs1) (Cpu.get cpu rs2) then
+               Word32.add pc imm
+             else pc + Insn.size)
+    | Jal (rd, imm) ->
+        let target = Word32.add pc imm in
+        let is_call = Reg.equal rd Reg.ra in
+        fun cpu ->
+          tick_alu cpu;
+          Cpu.set cpu rd (pc + Insn.size);
+          cpu.pc <- target;
+          if is_call && t.probes.calls <> [] then
+            Probe.fire_call t.probes
+              { c_hart = cpu.id; c_pc = pc; c_target = target }
+    | Jalr (rd, rs1, imm) ->
+        let is_call = Reg.equal rd Reg.ra in
+        let is_ret = Reg.equal rd Reg.zero && Reg.equal rs1 Reg.ra in
+        fun cpu ->
+          tick_alu cpu;
+          let target = Word32.add (Cpu.get cpu rs1) imm in
+          Cpu.set cpu rd (pc + Insn.size);
+          cpu.pc <- target;
+          if is_call && t.probes.calls <> [] then
+            Probe.fire_call t.probes
+              { c_hart = cpu.id; c_pc = pc; c_target = target }
+          else if is_ret && t.probes.rets <> [] then
+            Probe.fire_ret t.probes
+              {
+                r_hart = cpu.id;
+                r_pc = pc;
+                r_target = target;
+                r_retval = Cpu.get cpu Reg.a0;
+              }
+    | Trap num ->
+        fun cpu ->
+          tick_alu cpu;
+          cpu.pc <- pc + Insn.size;
+          (match Hashtbl.find_opt t.trap_handlers num with
+          | Some handler -> handler t cpu
+          | None -> raise (Trap_unhandled (pc, num)))
+  in
+  let ops = List.map op_of insns in
+  let ops =
+    match List.rev insns with
+    | (_, last) :: _ when Insn.ends_block last -> ops
+    | _ -> ops @ [ (fun cpu -> cpu.Cpu.pc <- end_pc) ]
+  in
+  { b_epoch = t.probes.epoch; b_ops = Array.of_list ops }
+
+let lookup_block t pc =
+  match Hashtbl.find_opt t.block_cache pc with
+  | Some b when b.b_epoch = t.probes.epoch -> b
+  | Some _ | None ->
+      let b = translate t pc in
+      Hashtbl.replace t.block_cache pc b;
+      b
+
+(* --- Run loop -------------------------------------------------------------- *)
+
+let exec_block t (cpu : Cpu.t) =
+  let pc = cpu.pc in
+  if t.probes.blocks <> [] then
+    Probe.fire_block t.probes { b_hart = cpu.id; b_pc = pc };
+  let block = lookup_block t pc in
+  let ops = block.b_ops in
+  for i = 0 to Array.length ops - 1 do
+    ops.(i) cpu
+  done
+
+let runnable t (cpu : Cpu.t) =
+  cpu.status = Running && cpu.stall_until <= t.total_insns
+
+(** Run until a stop condition.  [until] is checked between blocks and makes
+    the machine pause (reported as [Budget_exhausted]?  no: returns [None]).
+    Returns [Some stop] for a definitive machine stop, [None] when [until]
+    fired or all work is done without halting. *)
+let run_slice t ~max_insns ~(until : unit -> bool) =
+  let deadline = t.total_insns + max_insns in
+  let n = Array.length t.harts in
+  let rec loop idle_rounds =
+    if until () then None
+    else if t.total_insns >= deadline then Some Budget_exhausted
+    else begin
+      (* pick next runnable hart round-robin *)
+      let rec pick k =
+        if k >= n then None
+        else
+          let cpu = t.harts.((t.next_hart + k) mod n) in
+          if runnable t cpu then Some cpu else pick (k + 1)
+      in
+      match pick 0 with
+      | Some cpu -> (
+          t.next_hart <- (cpu.id + 1) mod n;
+          match exec_block t cpu with
+          | () -> loop 0
+          | exception Fault.Halted code -> Some (Halted code)
+          | exception Fault.Memory_fault (acc, reason) -> Some (Fault (acc, reason))
+          | exception Fault.Retry_at pc ->
+              cpu.pc <- pc;
+              loop 0
+          | exception Trap_unhandled (pc, num) -> Some (Unhandled_trap { pc; num })
+          | exception Codec.Decode_error { addr; reason } ->
+              Some (Decode_fault { pc = addr; reason }))
+      | None ->
+          (* all harts parked/halted/stalled: advance time past the nearest
+             stall, or report deadlock *)
+          let nearest =
+            Array.fold_left
+              (fun acc (cpu : Cpu.t) ->
+                if cpu.status = Running && cpu.stall_until > t.total_insns then
+                  min acc cpu.stall_until
+                else acc)
+              max_int t.harts
+          in
+          if nearest = max_int || idle_rounds > 2 then Some Deadlock
+          else begin
+            t.total_insns <- nearest;
+            loop (idle_rounds + 1)
+          end
+    end
+  in
+  loop 0
+
+let run t ~max_insns =
+  match run_slice t ~max_insns ~until:(fun () -> false) with
+  | Some stop -> stop
+  | None -> Budget_exhausted
+
+(** Run until the mailbox signals the ready-to-run doorbell. *)
+let run_until_ready t ~max_insns =
+  run_slice t ~max_insns ~until:(fun () -> Devices.mailbox_ready t.mailbox)
+
+(** Run until the current mailbox request completes and the queue drains. *)
+let run_until_mailbox_idle t ~max_insns =
+  run_slice t ~max_insns ~until:(fun () -> Devices.mailbox_idle t.mailbox)

@@ -1,0 +1,86 @@
+(** Full-system machine: RAM, MMIO bus, harts, hypercall table, and a
+    TCG-like execution engine that translates basic blocks into closure
+    arrays with instrumentation probes baked in at translation time. *)
+
+type stop =
+  | Halted of int
+  | Fault of Fault.access * string
+  | Unhandled_trap of { pc : int; num : int }
+  | Decode_fault of { pc : int; reason : string }
+  | Budget_exhausted
+  | Deadlock
+
+val pp_stop : Format.formatter -> stop -> unit
+
+type block
+
+type t = {
+  arch : Embsan_isa.Arch.t;
+  ram : Ram.t;
+  mutable devices : Device.t list;
+  uart : Devices.uart;
+  mailbox : Devices.mailbox;
+  harts : Cpu.t array;
+  probes : Probe.t;
+  block_cache : (int, block) Hashtbl.t;
+  trap_handlers : (int, handler) Hashtbl.t;
+  mutable total_insns : int;
+  mutable cost : int;  (** modeled guest cycles ({!Cost_model} weights) *)
+  mutable external_cost : int;  (** host-side sanitizer cost units *)
+  mutable next_hart : int;
+  mutable entry : int;
+}
+
+and handler = t -> Cpu.t -> unit
+
+exception Trap_unhandled of int * int
+
+val ram_base : t -> int
+val ram_size : t -> int
+
+val create :
+  ?harts:int ->
+  ?ram_base:int ->
+  ?ram_size:int ->
+  ?seed:int ->
+  arch:Embsan_isa.Arch.t ->
+  unit ->
+  t
+
+val add_device : t -> Device.t -> unit
+
+(** Flush the translation cache (probe changes do this implicitly via the
+    probe epoch). *)
+val flush_tcg : t -> unit
+
+val set_trap_handler : t -> int -> handler -> unit
+val remove_trap_handler : t -> int -> unit
+
+(** Add host-side sanitizer cost units (see {!Cost_model}). *)
+val add_external_cost : t -> int -> unit
+
+(** Modeled total cost so far: translated guest cycles + host-side work. *)
+val total_cost : t -> int
+
+val load_image : t -> Embsan_isa.Image.t -> unit
+val start_hart : t -> int -> pc:int -> sp:int -> unit
+
+(** Boot hart 0 at the image entry with the stack at the top of RAM. *)
+val boot : t -> unit
+
+(** Debug/runtime accessors (no probes fired). *)
+
+val read_mem : t -> addr:int -> width:int -> int
+val write_mem : t -> addr:int -> width:int -> value:int -> unit
+val read_string : t -> addr:int -> len:int -> string
+val console_output : t -> string
+
+(** Run until a definitive stop or the instruction budget is exhausted. *)
+val run : t -> max_insns:int -> stop
+
+(** Run until the mailbox signals the ready-to-run doorbell; [None] when
+    the doorbell fired, [Some stop] when the machine stopped first. *)
+val run_until_ready : t -> max_insns:int -> stop option
+
+(** Run until the current mailbox request completes and the queue drains. *)
+val run_until_mailbox_idle : t -> max_insns:int -> stop option

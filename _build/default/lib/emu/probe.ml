@@ -1,0 +1,62 @@
+(* Instrumentation probes inserted into translated code templates.
+
+   This is the mechanism EmbSan's Common Sanitizer Runtime relies on
+   (S3.3): callbacks are *inserted at translation time* into the ops of a
+   basic block, so subscribing or unsubscribing bumps [epoch] and flushes
+   the translation cache. *)
+
+type mem_event = {
+  hart : int;
+  pc : int;
+  addr : int;
+  size : int;
+  is_write : bool;
+  is_atomic : bool; (* AMO instructions: marked accesses for KCSAN *)
+  value : int; (* value being written (stores); 0 for loads (pre-access) *)
+}
+
+type call_event = { c_hart : int; c_pc : int; c_target : int }
+
+type ret_event = { r_hart : int; r_pc : int; r_target : int; r_retval : int }
+
+type block_event = { b_hart : int; b_pc : int }
+
+type t = {
+  mutable mem : (mem_event -> unit) list;
+  mutable calls : (call_event -> unit) list;
+  mutable rets : (ret_event -> unit) list;
+  mutable blocks : (block_event -> unit) list;
+  mutable epoch : int;
+}
+
+let create () = { mem = []; calls = []; rets = []; blocks = []; epoch = 0 }
+
+let bump t = t.epoch <- t.epoch + 1
+
+let on_mem t f =
+  t.mem <- t.mem @ [ f ];
+  bump t
+
+let on_call t f =
+  t.calls <- t.calls @ [ f ];
+  bump t
+
+let on_ret t f =
+  t.rets <- t.rets @ [ f ];
+  bump t
+
+let on_block t f =
+  t.blocks <- t.blocks @ [ f ];
+  bump t
+
+let clear t =
+  t.mem <- [];
+  t.calls <- [];
+  t.rets <- [];
+  t.blocks <- [];
+  bump t
+
+let fire_mem t ev = List.iter (fun f -> f ev) t.mem
+let fire_call t ev = List.iter (fun f -> f ev) t.calls
+let fire_ret t ev = List.iter (fun f -> f ev) t.rets
+let fire_block t ev = List.iter (fun f -> f ev) t.blocks

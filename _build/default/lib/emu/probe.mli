@@ -1,0 +1,37 @@
+(** Instrumentation probes inserted into translated code templates
+    (EmbSan's core mechanism, paper section 3.3).  Subscribing bumps
+    [epoch], which invalidates cached translations so callbacks are baked
+    into freshly generated code. *)
+
+type mem_event = {
+  hart : int;
+  pc : int;
+  addr : int;
+  size : int;
+  is_write : bool;
+  is_atomic : bool;  (** AMO instructions: marked accesses for KCSAN *)
+  value : int;  (** value being written (stores); 0 for loads *)
+}
+
+type call_event = { c_hart : int; c_pc : int; c_target : int }
+type ret_event = { r_hart : int; r_pc : int; r_target : int; r_retval : int }
+type block_event = { b_hart : int; b_pc : int }
+
+type t = {
+  mutable mem : (mem_event -> unit) list;
+  mutable calls : (call_event -> unit) list;
+  mutable rets : (ret_event -> unit) list;
+  mutable blocks : (block_event -> unit) list;
+  mutable epoch : int;
+}
+
+val create : unit -> t
+val on_mem : t -> (mem_event -> unit) -> unit
+val on_call : t -> (call_event -> unit) -> unit
+val on_ret : t -> (ret_event -> unit) -> unit
+val on_block : t -> (block_event -> unit) -> unit
+val clear : t -> unit
+val fire_mem : t -> mem_event -> unit
+val fire_call : t -> call_event -> unit
+val fire_ret : t -> ret_event -> unit
+val fire_block : t -> block_event -> unit

@@ -1,0 +1,61 @@
+(* Physical RAM: a flat byte array mapped at [base, base + size).
+   Accesses outside raise {!Fault.Memory_fault}; addresses below the first
+   page are reported as null-pointer dereferences. *)
+
+type t = { base : int; bytes : Bytes.t }
+
+let create ~base ~size = { base; bytes = Bytes.make size '\000' }
+
+let base t = t.base
+let size t = Bytes.length t.bytes
+let limit t = t.base + Bytes.length t.bytes
+
+let contains t addr ~size:n =
+  addr >= t.base && addr + n <= limit t
+
+let fault (acc : Fault.access) t =
+  let reason =
+    if acc.addr < 0x1000 then "null pointer dereference"
+    else if acc.addr >= limit t then "access beyond RAM"
+    else "unmapped address"
+  in
+  raise (Fault.Memory_fault (acc, reason))
+
+let check t (acc : Fault.access) =
+  if not (contains t acc.addr ~size:acc.size) then fault acc t
+
+let read8 t addr = Char.code (Bytes.unsafe_get t.bytes (addr - t.base))
+
+let write8 t addr v =
+  Bytes.unsafe_set t.bytes (addr - t.base) (Char.unsafe_chr (v land 0xFF))
+
+let read t addr width =
+  let off = addr - t.base in
+  match width with
+  | 1 -> Bytes.get_uint8 t.bytes off
+  | 2 -> Bytes.get_uint16_le t.bytes off
+  | 4 -> Int32.to_int (Bytes.get_int32_le t.bytes off) land 0xFFFF_FFFF
+  | _ -> invalid_arg "Ram.read"
+
+let write t addr width v =
+  let off = addr - t.base in
+  match width with
+  | 1 -> Bytes.set_uint8 t.bytes off (v land 0xFF)
+  | 2 -> Bytes.set_uint16_le t.bytes off (v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t.bytes off (Int32.of_int v)
+  | _ -> invalid_arg "Ram.write"
+
+let blit_string t ~addr s =
+  Bytes.blit_string s 0 t.bytes (addr - t.base) (String.length s)
+
+let read_string t ~addr ~len = Bytes.sub_string t.bytes (addr - t.base) len
+
+(** Load all sections of a firmware image.  Raises if a section does not fit. *)
+let load_image t (image : Embsan_isa.Image.t) =
+  List.iter
+    (fun (s : Embsan_isa.Image.section) ->
+      if not (contains t s.base ~size:(String.length s.data)) then
+        invalid_arg
+          (Printf.sprintf "Ram.load_image: section %s does not fit" s.sec_name);
+      blit_string t ~addr:s.base s.data)
+    image.sections

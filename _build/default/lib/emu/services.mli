@@ -1,0 +1,5 @@
+(** Baseline platform hypercall services every firmware can rely on:
+    secondary hart startup, hart identification, explicit exit, character
+    output, and a default (dropping) kcov handler. *)
+
+val install : Machine.t -> unit

@@ -1,0 +1,4 @@
+(* Tiny formatting helper so low-level modules do not depend on the ISA
+   library's word module for printing alone. *)
+
+let hex v = Printf.sprintf "0x%08x" (v land 0xFFFF_FFFF)

@@ -1,0 +1,1 @@
+lib/fuzz/campaign.ml: Corpus Defs Embsan_core Embsan_emu Embsan_guest Embsan_isa Embsan_minic Firmware_db Fmt Hashtbl List Option Prog Replay Rng

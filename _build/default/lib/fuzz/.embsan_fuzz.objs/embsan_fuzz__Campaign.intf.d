@@ -1,0 +1,1 @@
+lib/fuzz/campaign.mli: Defs Embsan_core Embsan_guest Firmware_db Format Prog

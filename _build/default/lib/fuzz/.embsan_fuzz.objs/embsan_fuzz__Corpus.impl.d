@@ -1,0 +1,1 @@
+lib/fuzz/corpus.ml: Hashtbl List Prog Rng

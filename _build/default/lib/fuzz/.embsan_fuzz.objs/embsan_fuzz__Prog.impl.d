@@ -1,0 +1,1 @@
+lib/fuzz/prog.ml: Array Defs Embsan_guest Fmt List Rng String

@@ -1,0 +1,1 @@
+lib/fuzz/prog.mli: Defs Embsan_guest Format Rng

@@ -1,0 +1,232 @@
+(* Coverage-guided fuzzing campaign over one firmware image, with crash
+   triage against the bug registry and reproducer confirmation ("all found
+   bugs have been deduplicated and are reproducible", S4.2).
+
+   Two fuzzer front-ends matching the paper's tooling:
+   - Syzkaller mode (Linux firmware): kernel-assisted kcov coverage, so the
+     firmware is built with coverage callouts;
+   - Tardis mode (LiteOS/FreeRTOS/VxWorks): OS-agnostic coverage straight
+     from the emulator's translated-block probes, requiring nothing from
+     the guest - which is why it also works on the closed-source image. *)
+
+open Embsan_guest
+module Embsan = Embsan_core.Embsan
+module Report = Embsan_core.Report
+module Coverage = Embsan_emu.Coverage
+module Machine = Embsan_emu.Machine
+module Image = Embsan_isa.Image
+
+type config = {
+  fw : Firmware_db.firmware;
+  sanitizers : Embsan.sanitizers;
+  max_execs : int;
+  seed : int;
+  stop_when_all_found : bool;
+}
+
+let default_config fw =
+  {
+    fw;
+    sanitizers = Embsan.all_sanitizers;
+    max_execs = 3000;
+    seed = 1;
+    stop_when_all_found = true;
+  }
+
+type found = {
+  f_bug : Defs.bug;
+  f_exec : int; (* executions until first detection *)
+  f_prog : Prog.t;
+  f_confirmed : bool; (* reproduced on a fresh instance *)
+}
+
+type result = {
+  r_fw : Firmware_db.firmware;
+  r_found : found list;
+  r_execs : int;
+  r_crashes : int;
+  r_corpus : int;
+  r_coverage : int;
+  r_insns : int;
+  r_unmatched : string list; (* report titles not matching any known bug *)
+  r_corpus_progs : Prog.t list; (* the merged corpus (overhead workload) *)
+}
+
+let uses_kcov (fw : Firmware_db.firmware) = fw.fw_fuzzer = Firmware_db.Syzkaller
+
+(* Ground-truth symbolization for scoring reports on stripped firmware. *)
+let truth_symbolize (fw : Firmware_db.firmware) =
+  let image = fw.fw_truth ~kcov:false Embsan_minic.Codegen.Plain in
+  fun pc -> Option.map (fun (s : Image.symbol) -> s.name) (Image.symbol_at image pc)
+
+(* Match a report to a registered bug by kind + symbol. *)
+let match_bug symbolize (fw : Firmware_db.firmware) (r : Report.t) =
+  let loc = match r.location with Some l -> Some l | None -> symbolize r.pc in
+  List.find_opt
+    (fun (b : Defs.bug) ->
+      Defs.kind_matches b r.kind
+      &&
+      match loc with
+      | Some l -> List.mem l (Defs.bug_symbols b)
+      | None -> false)
+    fw.fw_bugs
+
+let match_crash (fw : Firmware_db.firmware) = function
+  | Machine.Fault (_, "null pointer dereference") ->
+      List.find_opt (fun (b : Defs.bug) -> b.b_class = Defs.Null_bug) fw.fw_bugs
+  | _ -> None
+
+let boot_with_coverage cfg cov =
+  let inst =
+    Replay.boot ~kcov:(uses_kcov cfg.fw) cfg.fw (Replay.Embsan_cfg cfg.sanitizers)
+  in
+  (if uses_kcov cfg.fw then Coverage.attach_kcov cov inst.machine
+   else Coverage.attach_tcg cov inst.machine);
+  inst
+
+(* Confirm a finding by replay on a fresh instance.  Bugs with
+   cross-program state dependencies are retried with the recent program
+   history prepended (then greedily shrunk), yielding a reproducer in the
+   "deduplicated and reproducible" sense of S4.2. *)
+let try_repro cfg bug calls =
+  match
+    Replay.run_reproducer cfg.fw (Replay.Embsan_cfg cfg.sanitizers) calls
+  with
+  | outcome -> Replay.detects bug outcome
+  | exception Replay.Boot_failed _ -> false
+
+let confirm cfg (bug : Defs.bug) ~history prog =
+  let calls = Prog.to_reproducer prog in
+  if try_repro cfg bug calls then Some prog
+  else begin
+    let full = List.concat_map Prog.to_reproducer history @ calls in
+    if not (try_repro cfg bug full) then None
+    else begin
+      (* greedy shrink: drop leading history programs while it reproduces *)
+      let rec shrink hist =
+        match hist with
+        | [] -> hist
+        | _ :: rest ->
+            let candidate = List.concat_map Prog.to_reproducer rest @ calls in
+            if try_repro cfg bug candidate then shrink rest else hist
+      in
+      let kept = shrink history in
+      Some (List.concat kept @ prog)
+    end
+  end
+
+let run (cfg : config) : result =
+  let rng = Rng.create ~seed:cfg.seed in
+  let corpus = Corpus.create () in
+  let cov = Coverage.create ~harts:2 in
+  let symbolize = truth_symbolize cfg.fw in
+  let inst = ref (boot_with_coverage cfg cov) in
+  let history = ref [] in (* recent programs, newest first *)
+  let found : (string, found) Hashtbl.t = Hashtbl.create 16 in
+  let unmatched = ref [] in
+  let crashes = ref 0 in
+  let execs = ref 0 in
+  let insns = ref 0 in
+  let seen_reports = ref 0 in
+  let total_bugs = List.length cfg.fw.fw_bugs in
+  let all_found () = Hashtbl.length found >= total_bugs in
+  let note_bug bug prog =
+    if not (Hashtbl.mem found bug.Defs.b_id) then begin
+      let entry =
+        match confirm cfg bug ~history:(List.rev !history) prog with
+        | Some repro ->
+            { f_bug = bug; f_exec = !execs; f_prog = repro; f_confirmed = true }
+        | None ->
+            { f_bug = bug; f_exec = !execs; f_prog = prog; f_confirmed = false }
+      in
+      Hashtbl.replace found bug.Defs.b_id entry
+    end
+  in
+  while !execs < cfg.max_execs && not (cfg.stop_when_all_found && all_found ())
+  do
+    incr execs;
+    let prog =
+      if Corpus.size corpus > 0 && Rng.chance rng ~percent:70 then
+        Prog.mutate rng cfg.fw.fw_syscalls
+          ~corpus_pick:(fun () -> Corpus.pick rng corpus)
+          (Option.value ~default:[] (Corpus.pick rng corpus))
+      else Prog.gen rng cfg.fw.fw_syscalls
+    in
+    Coverage.reset_edges cov;
+    history := prog :: (if List.length !history >= 4 then List.filteri (fun i _ -> i < 3) !history else !history);
+    let outcome = Replay.replay !inst (Prog.to_reproducer prog) in
+    ignore (Corpus.consider corpus prog (Coverage.signature cov));
+    (* new sanitizer reports? *)
+    let reports = Report.unique_reports !inst.sink in
+    let n = List.length reports in
+    if n > !seen_reports then begin
+      let fresh = List.filteri (fun i _ -> i >= !seen_reports) reports in
+      seen_reports := n;
+      List.iter
+        (fun r ->
+          match match_bug symbolize cfg.fw r with
+          | Some bug -> note_bug bug prog
+          | None -> unmatched := Report.title r :: !unmatched)
+        fresh
+    end;
+    (* architectural crash: triage, then reboot a fresh instance *)
+    (match outcome.o_crash with
+    | Some stop ->
+        incr crashes;
+        (match match_crash cfg.fw stop with
+        | Some bug -> note_bug bug prog
+        | None -> ());
+        insns := !insns + !inst.machine.total_insns;
+        inst := boot_with_coverage cfg cov;
+        history := [];
+        seen_reports := 0
+    | None -> ())
+  done;
+  insns := !insns + !inst.machine.total_insns;
+  {
+    r_fw = cfg.fw;
+    r_found = Hashtbl.fold (fun _ f acc -> f :: acc) found [];
+    r_execs = !execs;
+    r_crashes = !crashes;
+    r_corpus = Corpus.size corpus;
+    r_coverage = Corpus.coverage corpus;
+    r_insns = !insns;
+    r_unmatched = List.sort_uniq compare !unmatched;
+    r_corpus_progs = Corpus.programs corpus;
+  }
+
+(* The overhead experiment (Figure 2) replays the merged corpus; programs
+   that trigger sanitizer reports or crashes are excluded so the workload
+   measures steady-state behavior rather than post-corruption allocator
+   pathologies. *)
+let clean_corpus (fw : Firmware_db.firmware) (progs : Prog.t list) =
+  let filter_pass progs =
+    let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+    List.filter
+      (fun p ->
+        let before = Report.total_hits inst.sink in
+        let o = Replay.replay inst (Prog.to_reproducer p) in
+        o.o_crash = None && Report.total_hits inst.sink = before)
+      progs
+  in
+  (* iterate: dropping a program changes the allocator state the survivors
+     run under, which can expose previously-masked triggers (e.g. an
+     overflow that used to fail its allocation) *)
+  let rec fixpoint progs n =
+    let survivors = filter_pass progs in
+    if n = 0 || List.length survivors = List.length progs then survivors
+    else fixpoint survivors (n - 1)
+  in
+  fixpoint progs 4
+
+let pp_result fmt r =
+  Fmt.pf fmt "@[<v>%s: %d/%d bugs in %d execs (%d crashes, corpus %d, cov %d)@,%a@]"
+    r.r_fw.fw_name (List.length r.r_found)
+    (List.length r.r_fw.fw_bugs)
+    r.r_execs r.r_crashes r.r_corpus r.r_coverage
+    (Fmt.list ~sep:Fmt.cut (fun fmt f ->
+         Fmt.pf fmt "  exec %5d %s %-32s [%a]%s" f.f_exec
+           (if f.f_confirmed then "CONFIRMED" else "unconfirmed")
+           f.f_bug.b_id Prog.pp f.f_prog
+           ""))
+    (List.sort (fun a b -> compare a.f_exec b.f_exec) r.r_found)

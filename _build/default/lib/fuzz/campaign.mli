@@ -1,0 +1,46 @@
+(** Coverage-guided fuzzing campaign over one firmware image, with crash
+    triage against the bug registry and reproducer confirmation.  Two
+    front-ends match the paper's tooling: Syzkaller mode (guest kcov
+    coverage) for Linux firmware and Tardis mode (OS-agnostic
+    translated-block coverage) for the RTOS and closed-source images. *)
+
+open Embsan_guest
+
+type config = {
+  fw : Firmware_db.firmware;
+  sanitizers : Embsan_core.Embsan.sanitizers;
+  max_execs : int;
+  seed : int;
+  stop_when_all_found : bool;
+}
+
+val default_config : Firmware_db.firmware -> config
+
+type found = {
+  f_bug : Defs.bug;
+  f_exec : int;  (** executions until first detection *)
+  f_prog : Prog.t;  (** reproducer (possibly with shrunk history prefix) *)
+  f_confirmed : bool;  (** reproduced on a fresh instance *)
+}
+
+type result = {
+  r_fw : Firmware_db.firmware;
+  r_found : found list;
+  r_execs : int;
+  r_crashes : int;
+  r_corpus : int;
+  r_coverage : int;
+  r_insns : int;
+  r_unmatched : string list;
+  r_corpus_progs : Prog.t list;
+      (** the merged corpus (the overhead experiment's workload) *)
+}
+
+val run : config -> result
+
+(** Filter the corpus to programs that neither report nor crash, iterated
+    to a fixpoint (dropping a program changes allocator state for the
+    survivors).  The Figure-2 replay workload. *)
+val clean_corpus : Firmware_db.firmware -> Prog.t list -> Prog.t list
+
+val pp_result : Format.formatter -> result -> unit

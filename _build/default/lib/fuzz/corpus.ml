@@ -1,0 +1,38 @@
+(* Coverage-triaged corpus, AFL-style: a program joins the corpus when its
+   execution produced an (edge, hit-bucket) pair never seen before. *)
+
+type entry = { e_prog : Prog.t; e_new_pairs : int }
+
+type t = {
+  seen : (int * int, unit) Hashtbl.t; (* (edge index, bucket) *)
+  mutable entries : entry list;
+  mutable total_pairs : int;
+}
+
+let create () = { seen = Hashtbl.create 4096; entries = []; total_pairs = 0 }
+
+(** Record an execution's coverage signature; if it contributed new
+    coverage, add the program and return [true]. *)
+let consider t prog (signature : (int * int) list) =
+  let fresh =
+    List.filter (fun pair -> not (Hashtbl.mem t.seen pair)) signature
+  in
+  if fresh = [] then false
+  else begin
+    List.iter (fun pair -> Hashtbl.replace t.seen pair ()) fresh;
+    t.total_pairs <- t.total_pairs + List.length fresh;
+    t.entries <- { e_prog = prog; e_new_pairs = List.length fresh } :: t.entries;
+    true
+  end
+
+let size t = List.length t.entries
+let coverage t = t.total_pairs
+
+let pick rng t =
+  match t.entries with
+  | [] -> None
+  | es -> Some (Rng.pick rng es).e_prog
+
+(** All programs, oldest first (the "merged corpus" replayed by the
+    overhead experiment). *)
+let programs t = List.rev_map (fun e -> e.e_prog) t.entries

@@ -1,0 +1,23 @@
+(** Coverage-triaged corpus, AFL-style: a program joins when its execution
+    produced an (edge, hit-bucket) pair never seen before. *)
+
+type entry = { e_prog : Prog.t; e_new_pairs : int }
+
+type t = {
+  seen : (int * int, unit) Hashtbl.t;
+  mutable entries : entry list;
+  mutable total_pairs : int;
+}
+
+val create : unit -> t
+
+(** Record an execution's coverage signature; [true] iff it contributed new
+    coverage (the program was added). *)
+val consider : t -> Prog.t -> (int * int) list -> bool
+
+val size : t -> int
+val coverage : t -> int
+val pick : Rng.t -> t -> Prog.t option
+
+(** All programs, oldest first (the "merged corpus"). *)
+val programs : t -> Prog.t list

@@ -1,0 +1,100 @@
+(* Syscall programs: generation and mutation driven by the firmware's
+   syscall descriptions (the syzlang analog). *)
+
+open Embsan_guest
+
+type call = { nr : int; args : int array (* length 3 *) }
+
+type t = call list
+
+let pp_call fmt c =
+  Fmt.pf fmt "%d(%s)" c.nr
+    (String.concat ", " (Array.to_list (Array.map string_of_int c.args)))
+
+let pp fmt (p : t) = Fmt.(list ~sep:(any "; ") pp_call) fmt p
+
+let to_reproducer (p : t) = List.map (fun c -> (c.nr, c.args)) p
+
+let max_len = 8
+
+(* --- argument generation ---------------------------------------------------- *)
+
+let gen_arg rng (d : Defs.arg_domain) =
+  match d with
+  | Defs.Flag vs -> Rng.pick rng vs
+  | Range (lo, hi) ->
+      (* mostly in range, sometimes just outside to poke validation *)
+      if Rng.chance rng ~percent:85 then Rng.range rng lo hi
+      else Rng.range rng hi (hi + (hi - lo) + 1)
+  | Len ->
+      if Rng.chance rng ~percent:70 then Rng.range rng 0 128
+      else Rng.interesting rng
+  | Any32 ->
+      if Rng.chance rng ~percent:50 then Rng.range rng 0 0xFFFF
+      else Rng.interesting rng
+
+let gen_call rng (descs : Defs.syscall_desc list) =
+  let d = Rng.pick rng descs in
+  let args = Array.make 3 0 in
+  List.iteri (fun i dom -> if i < 3 then args.(i) <- gen_arg rng dom) d.sc_args;
+  { nr = d.sc_nr; args }
+
+let gen rng descs =
+  let len = Rng.range rng 1 max_len in
+  List.init len (fun _ -> gen_call rng descs)
+
+(* --- mutation ------------------------------------------------------------------ *)
+
+let desc_of descs nr = List.find_opt (fun d -> d.Defs.sc_nr = nr) descs
+
+let mutate_call rng descs (c : call) =
+  match desc_of descs c.nr with
+  | None -> gen_call rng descs
+  | Some d ->
+      let args = Array.copy c.args in
+      let n = List.length d.sc_args in
+      if n > 0 then begin
+        let i = Rng.below rng (min 3 n) in
+        args.(i) <- gen_arg rng (List.nth d.sc_args i)
+      end;
+      { c with args }
+
+let mutate rng descs ?(corpus_pick = fun () -> None) (p : t) : t =
+  let p = if p = [] then [ gen_call rng descs ] else p in
+  match Rng.below rng 5 with
+  | 0 ->
+      (* mutate one call's argument *)
+      let i = Rng.below rng (List.length p) in
+      List.mapi (fun j c -> if i = j then mutate_call rng descs c else c) p
+  | 1 when List.length p < max_len ->
+      (* insert a fresh call at a random position *)
+      let i = Rng.below rng (List.length p + 1) in
+      let rec ins j = function
+        | rest when j = i -> gen_call rng descs :: rest
+        | [] -> [ gen_call rng descs ]
+        | c :: rest -> c :: ins (j + 1) rest
+      in
+      ins 0 p
+  | 2 when List.length p > 1 ->
+      (* drop one call *)
+      let i = Rng.below rng (List.length p) in
+      List.filteri (fun j _ -> j <> i) p
+  | 3 when List.length p < max_len ->
+      (* duplicate a call (repeat-to-trigger pattern) *)
+      let i = Rng.below rng (List.length p) in
+      let c = List.nth p i in
+      p @ [ c ]
+  | _ -> (
+      (* splice with another corpus program *)
+      match corpus_pick () with
+      | Some (other : t) ->
+          let cut1 = Rng.below rng (List.length p + 1) in
+          let cut2 = Rng.below rng (List.length other + 1) in
+          let head = List.filteri (fun j _ -> j < cut1) p in
+          let tail = List.filteri (fun j _ -> j >= cut2) other in
+          let spliced = head @ tail in
+          if spliced = [] then p
+          else List.filteri (fun j _ -> j < max_len) spliced
+      | None ->
+          let i = Rng.below rng (List.length p) in
+          List.mapi (fun j c -> if i = j then mutate_call rng descs c else c) p)

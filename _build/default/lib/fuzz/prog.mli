@@ -1,0 +1,34 @@
+(** Syscall programs: generation and mutation driven by the firmware's
+    syscall descriptions (the syzlang analog). *)
+
+open Embsan_guest
+
+type call = { nr : int; args : int array (** length 3 *) }
+
+type t = call list
+
+val pp_call : Format.formatter -> call -> unit
+val pp : Format.formatter -> t -> unit
+
+(** As the (nr, args) list the replay harness consumes. *)
+val to_reproducer : t -> (int * int array) list
+
+(** Maximum calls per generated/mutated program. *)
+val max_len : int
+
+(** Draw one argument from a domain (boundary values included). *)
+val gen_arg : Rng.t -> Defs.arg_domain -> int
+
+val gen_call : Rng.t -> Defs.syscall_desc list -> call
+
+(** Generate a fresh program of 1..[max_len] calls. *)
+val gen : Rng.t -> Defs.syscall_desc list -> t
+
+(** One mutation step: argument tweak, insert, delete, duplicate or splice
+    with a corpus program. *)
+val mutate :
+  Rng.t ->
+  Defs.syscall_desc list ->
+  ?corpus_pick:(unit -> t option) ->
+  t ->
+  t

@@ -1,0 +1,34 @@
+(* Deterministic PRNG (splitmix-style) for reproducible fuzzing campaigns. *)
+
+type t = { mutable state : int }
+
+let create ~seed = { state = (seed * 0x9E3779B9) lor 1 }
+
+let next t =
+  let z = (t.state + 0x9E3779B9) land max_int in
+  t.state <- z;
+  let z = (z lxor (z lsr 16)) * 0x85EBCA6B land max_int in
+  let z = (z lxor (z lsr 13)) * 0xC2B2AE35 land max_int in
+  z lxor (z lsr 16)
+
+(** Uniform in [0, n). *)
+let below t n = if n <= 0 then 0 else next t mod n
+
+(** Uniform in [lo, hi] inclusive. *)
+let range t lo hi = lo + below t (hi - lo + 1)
+
+let chance t ~percent = below t 100 < percent
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick: empty"
+  | l -> List.nth l (below t (List.length l))
+
+let pick_arr t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick_arr: empty"
+  else a.(below t (Array.length a))
+
+(** A "interesting" 32-bit value: boundary constants that trip size checks. *)
+let interesting t =
+  pick t
+    [ 0; 1; 7; 8; 15; 16; 31; 32; 63; 64; 127; 128; 255; 256; 1023; 1024;
+      4095; 4096; 0x7FFFFFFF; 0x80000000; 0xFFFFFFFF ]

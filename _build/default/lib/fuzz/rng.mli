@@ -1,0 +1,19 @@
+(** Deterministic PRNG (splitmix-style) for reproducible fuzzing. *)
+
+type t
+
+val create : seed:int -> t
+val next : t -> int
+
+(** Uniform in [0, n). *)
+val below : t -> int -> int
+
+(** Uniform in [lo, hi] inclusive. *)
+val range : t -> int -> int -> int
+
+val chance : t -> percent:int -> bool
+val pick : t -> 'a list -> 'a
+val pick_arr : t -> 'a array -> 'a
+
+(** A boundary constant likely to trip size checks. *)
+val interesting : t -> int

@@ -1,0 +1,1 @@
+lib/guest/alloc_bestfit.ml: Embsan_minic Printf

@@ -1,0 +1,1 @@
+lib/guest/alloc_heap4.ml: Embsan_minic Printf

@@ -1,0 +1,1 @@
+lib/guest/alloc_slab.ml: Embsan_minic

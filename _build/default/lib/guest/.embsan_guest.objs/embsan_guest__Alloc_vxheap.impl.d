@@ -1,0 +1,1 @@
+lib/guest/alloc_vxheap.ml: Embsan_minic Printf

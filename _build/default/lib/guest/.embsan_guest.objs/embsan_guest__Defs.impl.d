@@ -1,0 +1,1 @@
+lib/guest/defs.ml: Embsan_core

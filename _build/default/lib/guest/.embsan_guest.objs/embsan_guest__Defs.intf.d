@@ -1,0 +1,1 @@
+lib/guest/defs.mli: Embsan_core

@@ -1,0 +1,1 @@
+lib/guest/firmware_db.mli: Defs Embsan_core Embsan_isa Embsan_minic Format

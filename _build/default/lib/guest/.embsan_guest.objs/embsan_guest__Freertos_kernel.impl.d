@@ -1,0 +1,1 @@
+lib/guest/freertos_kernel.ml: Alloc_heap4 Defs Embsan_core Rtos_base

@@ -1,0 +1,1 @@
+lib/guest/libk.ml: Embsan_minic

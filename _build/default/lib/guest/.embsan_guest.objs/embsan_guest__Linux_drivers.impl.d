@@ -1,0 +1,1 @@
+lib/guest/linux_drivers.ml: Defs Embsan_core

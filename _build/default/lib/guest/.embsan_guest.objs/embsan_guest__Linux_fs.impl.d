@@ -1,0 +1,1 @@
+lib/guest/linux_fs.ml: Defs Embsan_core Linux_net Printf

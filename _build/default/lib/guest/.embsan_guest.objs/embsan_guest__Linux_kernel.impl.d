@@ -1,0 +1,1 @@
+lib/guest/linux_kernel.ml: Alloc_slab Defs Embsan_minic Libk List Printf String

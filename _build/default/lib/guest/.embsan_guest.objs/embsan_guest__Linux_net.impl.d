@@ -1,0 +1,1 @@
+lib/guest/linux_net.ml: Defs Embsan_core Printf

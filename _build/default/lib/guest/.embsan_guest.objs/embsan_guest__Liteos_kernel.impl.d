@@ -1,0 +1,1 @@
+lib/guest/liteos_kernel.ml: Alloc_bestfit Defs Embsan_core Rtos_base

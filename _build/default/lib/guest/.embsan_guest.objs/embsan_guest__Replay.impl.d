@@ -1,0 +1,1 @@
+lib/guest/replay.ml: Defs Devices Embsan_core Embsan_emu Embsan_isa Embsan_minic Firmware_db Format Hashtbl List Machine Option Printf Services String

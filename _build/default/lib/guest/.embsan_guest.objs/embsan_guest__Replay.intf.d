@@ -1,0 +1,1 @@
+lib/guest/replay.mli: Defs Embsan_core Embsan_emu Firmware_db

@@ -1,0 +1,1 @@
+lib/guest/rtos_base.ml: Defs Embsan_minic Libk List Printf String

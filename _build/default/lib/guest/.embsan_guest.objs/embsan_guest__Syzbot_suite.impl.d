@@ -1,0 +1,1 @@
+lib/guest/syzbot_suite.ml: Defs Embsan_core List Printf String

@@ -1,0 +1,1 @@
+lib/guest/vxworks_kernel.ml: Alloc_vxheap Defs Embsan_core Embsan_isa Rtos_base

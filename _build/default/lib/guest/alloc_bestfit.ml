@@ -1,0 +1,85 @@
+(* LiteOS-style best-fit allocator (LOS_MemAlloc/LOS_MemFree): an implicit
+   block list over the whole pool - every block carries an 8-byte header
+   [size|used-bit ; magic].  Allocation walks all blocks picking the
+   best-fitting free one, coalescing adjacent free runs as it walks. *)
+
+let pool_size = 16384
+
+let source =
+  Printf.sprintf
+    {|
+barr heap_pool[%d];
+var los_lock = 0;
+var los_ready = 0;
+
+nosan fun los_init_once() {
+  if (los_ready == 0) {
+    los_ready = 1;
+    store32(&heap_pool, %d);          // one big free block (bit31 clear)
+    store32(&heap_pool + 4, 0x105A110C);
+  }
+  return 0;
+}
+
+nosan fun LOS_MemAlloc(size) {
+  if (size == 0) { return 0; }
+  while (amo_swap(&los_lock, 1) != 0) { }
+  los_init_once();
+  var need = ((size + 7) & ~7) + 8;
+  var off = 0;
+  var best = 0xFFFFF;
+  var best_size = 0xFFFFF;
+  while (off < %d) {
+    var hdr = load32(&heap_pool + off);
+    var used = hdr >> 31;
+    var bsize = hdr & 0x7FFFFFFF;
+    if (used == 0) {
+      // coalesce the following free run into this block
+      while (off + bsize < %d) {
+        var nh = load32(&heap_pool + off + bsize);
+        if ((nh >> 31) != 0) { break; }
+        bsize = bsize + (nh & 0x7FFFFFFF);
+      }
+      store32(&heap_pool + off, bsize);
+      if (bsize >= need) {
+        if (bsize < best_size) { best = off; best_size = bsize; }
+      }
+    }
+    off = off + bsize;
+  }
+  if (best == 0xFFFFF) {
+    store32(&los_lock, 0);
+    return 0;
+  }
+  if (best_size - need >= 16) {
+    store32(&heap_pool + best + need, best_size - need);
+    store32(&heap_pool + best + need + 4, 0x105A110C);
+    best_size = need;
+  }
+  store32(&heap_pool + best, best_size | 0x80000000);
+  store32(&heap_pool + best + 4, 0x105A110C);
+  store32(&los_lock, 0);
+  san_alloc(&heap_pool + best + 8, size);
+  return &heap_pool + best + 8;
+}
+
+nosan fun LOS_MemFree(p) {
+  if (p == 0) { return 0; }
+  while (amo_swap(&los_lock, 1) != 0) { }
+  var base = p - 8;
+  var hdr = load32(base);
+  var bsize = hdr & 0x7FFFFFFF;
+  store32(base, bsize);               // clear the used bit
+  store32(&los_lock, 0);
+  san_free(p, bsize - 8);
+  return 0;
+}
+
+nosan fun kheap_init() {
+  san_poison(&heap_pool, %d);
+  return 0;
+}
+|}
+    pool_size pool_size pool_size pool_size pool_size
+
+let unit_ = { Embsan_minic.Driver.src_name = "alloc_bestfit"; code = source }

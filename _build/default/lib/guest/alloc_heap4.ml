@@ -1,0 +1,111 @@
+(* FreeRTOS heap_4-style allocator (pvPortMalloc/vPortFree): an
+   address-ordered free list with split-on-allocate and coalesce-on-free,
+   with in-band 8-byte block headers [size ; next-offset/magic].  All
+   metadata traffic runs at the (exempt, nosan) allocator functions' pcs. *)
+
+let pool_size = 16384
+
+let source =
+  Printf.sprintf
+    {|
+barr heap_pool[%d];
+var heap4_head = 0xFFFFF;     // free-list head offset; 0xFFFFF = none
+var heap4_lock = 0;
+var heap4_ready = 0;
+var heap4_free_bytes = 0;
+
+nosan fun heap4_init_once() {
+  if (heap4_ready == 0) {
+    heap4_ready = 1;
+    heap4_head = 0;
+    heap4_free_bytes = %d;
+    store32(&heap_pool, %d);
+    store32(&heap_pool + 4, 0xFFFFF);
+  }
+  return 0;
+}
+
+nosan fun pvPortMalloc(size) {
+  if (size == 0) { return 0; }
+  while (amo_swap(&heap4_lock, 1) != 0) { }
+  heap4_init_once();
+  var need = ((size + 7) & ~7) + 8;
+  var prev = 0xFFFFF;
+  var cur = heap4_head;
+  while (cur != 0xFFFFF) {
+    var base = &heap_pool + cur;
+    var bsize = load32(base);
+    if (bsize >= need) {
+      var next = load32(base + 4);
+      if (bsize - need >= 16) {
+        var rem = cur + need;
+        store32(&heap_pool + rem, bsize - need);
+        store32(&heap_pool + rem + 4, next);
+        next = rem;
+        store32(base, need);
+        bsize = need;
+      }
+      if (prev == 0xFFFFF) { heap4_head = next; }
+      else { store32(&heap_pool + prev + 4, next); }
+      store32(base + 4, 0xA110C8ED);        // allocated magic
+      heap4_free_bytes = heap4_free_bytes - bsize;
+      store32(&heap4_lock, 0);
+      san_alloc(base + 8, size);
+      return base + 8;
+    }
+    prev = cur;
+    cur = load32(base + 4);
+  }
+  store32(&heap4_lock, 0);
+  return 0;
+}
+
+nosan fun vPortFree(p) {
+  if (p == 0) { return 0; }
+  while (amo_swap(&heap4_lock, 1) != 0) { }
+  var base = p - 8;
+  var off = base - &heap_pool;
+  var bsize = load32(base);
+  var objsize = bsize - 8;      // poison only the freed payload, not the
+                                // whole coalesced region
+  heap4_free_bytes = heap4_free_bytes + bsize;
+  // address-ordered insert
+  var prev = 0xFFFFF;
+  var cur = heap4_head;
+  while (cur != 0xFFFFF) {
+    if (cur > off) { break; }
+    prev = cur;
+    cur = load32(&heap_pool + cur + 4);
+  }
+  // coalesce with the following block
+  if (cur != 0xFFFFF) {
+    if (off + bsize == cur) {
+      bsize = bsize + load32(&heap_pool + cur);
+      store32(base, bsize);
+      cur = load32(&heap_pool + cur + 4);
+    }
+  }
+  store32(base + 4, cur);
+  if (prev == 0xFFFFF) { heap4_head = off; }
+  else {
+    // coalesce with the preceding block
+    var psize = load32(&heap_pool + prev);
+    if (prev + psize == off) {
+      store32(&heap_pool + prev, psize + bsize);
+      store32(&heap_pool + prev + 4, load32(base + 4));
+    }
+    else { store32(&heap_pool + prev + 4, off); }
+  }
+  store32(&heap4_lock, 0);
+  san_free(p, objsize);
+  return 0;
+}
+
+nosan fun kheap_init() {
+  san_poison(&heap_pool, %d);
+  return 0;
+}
+|}
+    pool_size pool_size pool_size pool_size
+
+let unit_ = { Embsan_minic.Driver.src_name = "alloc_heap4"; code = source }

@@ -1,0 +1,148 @@
+(* Linux-like slab allocator (kmalloc/kfree).
+
+   One contiguous pool symbol ([heap_pool]) is carved at init into four
+   size caches plus a large-object bump arena.  Object state lives in a
+   separate state array (out-of-band), like slab freelist metadata kept off
+   the objects themselves.  Allocator functions are [nosan] - kernels
+   exclude the allocator from sanitizer instrumentation - and EmbSan-D
+   exempts their pc range.
+
+   Layout of heap_pool (24576 bytes):
+     [    0,  2048)  cache 0: 64 objects x 32 B
+     [ 2048,  6144)  cache 1: 64 objects x 64 B
+     [ 6144, 10240)  cache 2: 32 objects x 128 B
+     [10240, 14336)  cache 3: 16 objects x 256 B
+     [14336, 24576)  large-object arena (bump, 8 B headers) *)
+
+let source =
+  {|
+barr heap_pool[24576];
+barr slab_state[176];          // 64+64+32+16 per-object state bytes
+var slab_lock = 0;
+var big_next = 14336;
+var kmalloc_fail_count = 0;
+
+nosan fun slab_lock_acquire() {
+  while (amo_swap(&slab_lock, 1) != 0) { }
+  return 0;
+}
+
+nosan fun slab_lock_release() {
+  store32(&slab_lock, 0);
+  return 0;
+}
+
+// cache index for a request size; 4 means the large arena
+nosan fun slab_cache_index(size) {
+  if (size <= 32) { return 0; }
+  if (size <= 64) { return 1; }
+  if (size <= 128) { return 2; }
+  if (size <= 256) { return 3; }
+  return 4;
+}
+
+nosan fun slab_cache_objsize(c) {
+  if (c == 0) { return 32; }
+  if (c == 1) { return 64; }
+  if (c == 2) { return 128; }
+  return 256;
+}
+
+nosan fun slab_cache_base(c) {
+  if (c == 0) { return 0; }
+  if (c == 1) { return 2048; }
+  if (c == 2) { return 6144; }
+  return 10240;
+}
+
+nosan fun slab_cache_count(c) {
+  if (c == 0) { return 64; }
+  if (c == 1) { return 64; }
+  if (c == 2) { return 32; }
+  return 16;
+}
+
+nosan fun slab_state_base(c) {
+  if (c == 0) { return 0; }
+  if (c == 1) { return 64; }
+  if (c == 2) { return 128; }
+  return 160;
+}
+
+nosan fun kmalloc(size) {
+  if (size == 0) { return 0; }
+  slab_lock_acquire();
+  var c = slab_cache_index(size);
+  if (c == 4) {
+    // large object: bump arena with an 8-byte in-band header.  Kept inline
+    // so every metadata access runs at kmalloc's (exempt) pc.
+    var need = (size + 15) & ~7;
+    if (big_next + need > 24576) {
+      slab_lock_release();
+      return 0;
+    }
+    var hdr = &heap_pool + big_next;
+    big_next = big_next + need;
+    store32(hdr, size);
+    store32(hdr + 4, 0xB16B10C5);       // big-block magic
+    slab_lock_release();
+    san_alloc(hdr + 8, size);
+    return hdr + 8;
+  }
+  var sbase = slab_state_base(c);
+  var count = slab_cache_count(c);
+  var i = 0;
+  while (i < count) {
+    if (slab_state[sbase + i] == 0) {
+      slab_state[sbase + i] = 1;
+      var p = &heap_pool + slab_cache_base(c) + i * slab_cache_objsize(c);
+      slab_lock_release();
+      san_alloc(p, size);
+      return p;
+    }
+    i = i + 1;
+  }
+  kmalloc_fail_count = kmalloc_fail_count + 1;
+  slab_lock_release();
+  return 0;
+}
+
+nosan fun kfree(p) {
+  if (p == 0) { return 0; }
+  var off = p - &heap_pool;
+  if (off >= 14336) {
+    // large object: header precedes the block
+    san_free(p, load32(p - 8));
+    return 0;
+  }
+  slab_lock_acquire();
+  var c = 0;
+  if (off >= 2048) { c = 1; }
+  if (off >= 6144) { c = 2; }
+  if (off >= 10240) { c = 3; }
+  var objsize = slab_cache_objsize(c);
+  var i = (off - slab_cache_base(c)) / objsize;
+  var sbase = slab_state_base(c);
+  slab_state[sbase + i] = 0;
+  slab_lock_release();
+  san_free(p, objsize);
+  return 0;
+}
+
+// kcalloc-alike used by several drivers
+nosan fun kzalloc(size) {
+  var p = kmalloc(size);
+  if (p != 0) { memset(p, 0, size); }
+  return p;
+}
+
+nosan fun kheap_init() {
+  san_poison(&heap_pool, 24576);
+  return 0;
+}
+|}
+
+let unit_ = { Embsan_minic.Driver.src_name = "alloc_slab"; code = source }
+
+(** Total pool bytes, exported for layout assertions in tests. *)
+let pool_size = 24576

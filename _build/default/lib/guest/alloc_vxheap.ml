@@ -1,0 +1,91 @@
+(* VxWorks-style memory partition allocator (memPartAlloc/memPartFree):
+   next-fit over an implicit block list with a rover that resumes the scan
+   where the previous allocation left off. *)
+
+let pool_size = 16384
+
+let source =
+  Printf.sprintf
+    {|
+barr heap_pool[%d];
+var vx_lock = 0;
+var vx_ready = 0;
+var vx_rover = 0;
+
+nosan fun vx_init_once() {
+  if (vx_ready == 0) {
+    vx_ready = 1;
+    store32(&heap_pool, %d);
+    store32(&heap_pool + 4, 0x4D454D50);   // "MEMP"
+  }
+  return 0;
+}
+
+// scan from [start] until [limit]; returns block offset or 0xFFFFF
+nosan fun vx_scan(start, limit, need) {
+  var off = start;
+  while (off < limit) {
+    var hdr = load32(&heap_pool + off);
+    var used = hdr >> 31;
+    var bsize = hdr & 0x7FFFFFFF;
+    if (used == 0) {
+      // merge following free blocks
+      while (off + bsize < %d) {
+        var nh = load32(&heap_pool + off + bsize);
+        if ((nh >> 31) != 0) { break; }
+        bsize = bsize + (nh & 0x7FFFFFFF);
+      }
+      store32(&heap_pool + off, bsize);
+      if (bsize >= need) { return off; }
+    }
+    off = off + bsize;
+  }
+  return 0xFFFFF;
+}
+
+nosan fun memPartAlloc(size) {
+  if (size == 0) { return 0; }
+  while (amo_swap(&vx_lock, 1) != 0) { }
+  vx_init_once();
+  var need = ((size + 7) & ~7) + 8;
+  var found = vx_scan(vx_rover, %d, need);
+  if (found == 0xFFFFF) { found = vx_scan(0, vx_rover, need); }
+  if (found == 0xFFFFF) {
+    store32(&vx_lock, 0);
+    return 0;
+  }
+  var bsize = load32(&heap_pool + found) & 0x7FFFFFFF;
+  if (bsize - need >= 16) {
+    store32(&heap_pool + found + need, bsize - need);
+    store32(&heap_pool + found + need + 4, 0x4D454D50);
+    bsize = need;
+  }
+  store32(&heap_pool + found, bsize | 0x80000000);
+  store32(&heap_pool + found + 4, 0x4D454D50);
+  vx_rover = found + bsize;
+  if (vx_rover >= %d) { vx_rover = 0; }
+  store32(&vx_lock, 0);
+  san_alloc(&heap_pool + found + 8, size);
+  return &heap_pool + found + 8;
+}
+
+nosan fun memPartFree(p) {
+  if (p == 0) { return 0; }
+  while (amo_swap(&vx_lock, 1) != 0) { }
+  var base = p - 8;
+  var hdr = load32(base);
+  var bsize = hdr & 0x7FFFFFFF;
+  store32(base, bsize);
+  store32(&vx_lock, 0);
+  san_free(p, bsize - 8);
+  return 0;
+}
+
+nosan fun kheap_init() {
+  san_poison(&heap_pool, %d);
+  return 0;
+}
+|}
+    pool_size pool_size pool_size pool_size pool_size pool_size
+
+let unit_ = { Embsan_minic.Driver.src_name = "alloc_vxheap"; code = source }

@@ -1,0 +1,48 @@
+(** The evaluated firmware images (Table 1): metadata, memoized builders
+    for every compilation mode, syscall descriptions and the injected-bug
+    registry. *)
+
+type fuzzer = Syzkaller | Tardis
+
+val fuzzer_name : fuzzer -> string
+
+type source_avail = Open | Closed
+
+type inst_mode = EmbSan_C | EmbSan_D
+
+val inst_name : inst_mode -> string
+
+type firmware = {
+  fw_name : string;
+  fw_base_os : string;
+  fw_arch : Embsan_isa.Arch.t;
+  fw_inst : inst_mode;
+  fw_source : source_avail;
+  fw_fuzzer : fuzzer;
+  fw_smp : bool;
+  fw_build : kcov:bool -> Embsan_minic.Codegen.mode -> Embsan_isa.Image.t;
+  fw_truth : kcov:bool -> Embsan_minic.Codegen.mode -> Embsan_isa.Image.t;
+      (** ground-truth image for evaluation scoring: identical layout, with
+          symbols even when the shipped firmware is stripped *)
+  fw_syscalls : Defs.syscall_desc list;
+  fw_bugs : Defs.bug list;
+}
+
+(** Table 1's eleven firmware images, in the paper's order. *)
+val all : firmware list
+
+val find : string -> firmware option
+
+(** The Table-2 bug-suite firmware (the 25 syzbot replays). *)
+val syzbot_suite_fw : firmware
+
+(** The firmware value [Embsan.prepare] expects, in the image's Table-1
+    instrumentation mode. *)
+val embsan_firmware : ?kcov:bool -> firmware -> Embsan_core.Embsan.firmware
+
+(** Force a specific mode (overhead bench); [None] when impossible
+    (compile-time instrumentation of closed-source firmware). *)
+val embsan_firmware_mode :
+  ?kcov:bool -> firmware -> [ `C | `D ] -> Embsan_core.Embsan.firmware option
+
+val pp_table1_row : Format.formatter -> firmware -> unit

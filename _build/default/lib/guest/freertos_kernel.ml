@@ -1,0 +1,207 @@
+(* FreeRTOS-style guest modeling the InfiniTime smartwatch firmware:
+   heap_4 allocator, littlefs-like flash filesystem, SPI transfer engine
+   and the ST7789 display driver. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- src/libs/littlefs (OOB write) -------------------------------------------- *)
+
+let littlefs : module_def =
+  {
+    m_name = "freertos_littlefs";
+    m_source =
+      {|
+var lfs_cache = 0;
+var lfs_reads = 0;
+
+// BUG (src/libs/littlefs, OOB write): a read that straddles the cache
+// block copies block_size bytes from the requested offset, overrunning
+// the cache tail for offsets near the end.
+fun lfs_cache_read(off, len) {
+  if (lfs_cache == 0) {
+    lfs_cache = pvPortMalloc(128);
+    if (lfs_cache == 0) { return 0 - 12; }
+  }
+  if (len > 64) { return 0 - 22; }
+  var start = off & 127;
+  var i = 0;
+  while (i < len) {
+    store8(lfs_cache + start + i, (off + i) & 0xFF);  // start+len can pass 128
+    i = i + 1;
+  }
+  lfs_reads = lfs_reads + 1;
+  return load8(lfs_cache + start);
+}
+
+fun sys_littlefs(a, b, c) {
+  if (a == 0) { return lfs_reads; }
+  if (a == 1) { return lfs_cache_read(b, c); }
+  return 0 - 22;
+}
+
+fun freertos_littlefs_init() {
+  syscall_table[16] = &sys_littlefs;
+  return 0;
+}
+|};
+    m_init = Some "freertos_littlefs_init";
+    m_syscalls =
+      [
+        { sc_nr = 16; sc_name = "lfs_read"; sc_args = [ Flag [ 0; 1 ]; Range (0, 127); Len ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "freertos/lfs_cache_read";
+          b_paper_location = "src/libs/littlefs/";
+          b_symbol = "lfs_cache_read";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (16, [| 1; 100; 40 |]) ];
+          b_benign = [ (16, [| 1; 32; 40 |]) ];
+        };
+      ];
+  }
+
+(* --- src/drivers/Spi (OOB write) ------------------------------------------------ *)
+
+let spi : module_def =
+  {
+    m_name = "freertos_spi";
+    m_source =
+      {|
+var spi_xfers = 0;
+
+// BUG (src/drivers/Spi, OOB write): the DMA descriptor list holds 6
+// segments, but a transfer is split on 32-byte boundaries of a length
+// capped at 255 bytes (up to 8 segments).
+fun spi_dma_transfer(len) {
+  if (len > 255) { return 0 - 22; }
+  var segs = pvPortMalloc(48);                 // 6 segments x 8
+  if (segs == 0) { return 0 - 12; }
+  var n = (len + 31) >> 5;
+  var i = 0;
+  while (i < n) {
+    store32(segs + i * 8, 0x40003000);
+    store32(segs + i * 8 + 4, 32);
+    i = i + 1;
+  }
+  spi_xfers = spi_xfers + 1;
+  var v = load32(segs);
+  vPortFree(segs);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_spi(a, b, c) {
+  if (a == 0) { return spi_xfers + (c & 0); }
+  if (a == 1) { return spi_dma_transfer(b); }
+  return 0 - 22;
+}
+
+fun freertos_spi_init() {
+  syscall_table[17] = &sys_spi;
+  return 0;
+}
+|};
+    m_init = Some "freertos_spi_init";
+    m_syscalls =
+      [
+        { sc_nr = 17; sc_name = "spi_xfer"; sc_args = [ Flag [ 0; 1 ]; Range (0, 255); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "freertos/spi_dma_transfer";
+          b_paper_location = "src/drivers/Spi";
+          b_symbol = "spi_dma_transfer";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (17, [| 1; 230; 0 |]) ];
+          b_benign = [ (17, [| 1; 150; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- src/drivers/St7789 (UAF) ------------------------------------------------------ *)
+
+let st7789 : module_def =
+  {
+    m_name = "freertos_st7789";
+    m_source =
+      {|
+var st_framebuf = 0;
+var st_fb_live = 0;
+var st_sleeping = 0;
+
+fun st7789_wake(depth) {
+  if (st_framebuf == 0) {
+    st_framebuf = pvPortMalloc(96);
+    if (st_framebuf == 0) { return 0 - 12; }
+    st_fb_live = 1;
+  }
+  st_sleeping = 0;
+  return depth & 1;
+}
+
+fun st7789_sleep(release_fb) {
+  if (st_framebuf == 0) { return 0 - 2; }
+  st_sleeping = 1;
+  if (release_fb == 1) {
+    if (st_fb_live == 1) {
+      vPortFree(st_framebuf);                  // pointer kept for wake
+      st_fb_live = 0;
+    }
+  }
+  return 0;
+}
+
+// BUG (src/drivers/St7789, UAF): the flush task keeps running while the
+// sleep path released the framebuffer.
+fun st7789_flush(line) {
+  if (st_framebuf == 0) { return 0 - 2; }
+  store8(st_framebuf + (line & 63), 0xAA);     // flush after sleep release
+  return line & 63;
+}
+
+fun sys_st7789(a, b, c) {
+  if (a == 0) { return st7789_wake(b + (c & 0)); }
+  if (a == 1) { return st7789_sleep(b & 1); }
+  if (a == 2) { return st7789_flush(b); }
+  return 0 - 22;
+}
+
+fun freertos_st7789_init() {
+  syscall_table[18] = &sys_st7789;
+  return 0;
+}
+|};
+    m_init = Some "freertos_st7789_init";
+    m_syscalls =
+      [
+        { sc_nr = 18; sc_name = "st7789"; sc_args = [ Flag [ 0; 1; 2 ]; Range (0, 63); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "freertos/st7789_flush";
+          b_paper_location = "src/drivers/St7789";
+          b_symbol = "st7789_flush";
+          b_alt_symbols = [];
+          b_kind = Report.Use_after_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (18, [| 0; 0; 0 |]); (18, [| 1; 1; 0 |]); (18, [| 2; 5; 0 |]) ];
+          b_benign = [ (18, [| 0; 0; 0 |]); (18, [| 2; 5; 0 |]) ];
+        };
+      ];
+  }
+
+let banner = "FreeRTOS-EV (InfiniTime-like)\n"
+let modules = [ littlefs; spi; st7789 ]
+
+let build ?(kcov = false) ~arch ~mode () =
+  ( Rtos_base.build ~kcov ~arch ~mode ~banner ~alloc_unit:Alloc_heap4.unit_ modules,
+    Rtos_base.syscalls modules,
+    Rtos_base.bugs modules )

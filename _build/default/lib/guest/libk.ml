@@ -1,0 +1,103 @@
+(* Common guest support library: byte-wise memory/string routines, UART
+   console output and the mailbox (executor device) protocol. *)
+
+let source =
+  {|
+// --- memory and strings -----------------------------------------------------
+
+fun memcpy(dst, src, n) {
+  var i = 0;
+  while (i < n) { store8(dst + i, load8(src + i)); i = i + 1; }
+  return dst;
+}
+
+fun memset(p, v, n) {
+  var i = 0;
+  while (i < n) { store8(p + i, v); i = i + 1; }
+  return p;
+}
+
+fun memcmp(a, b, n) {
+  var i = 0;
+  while (i < n) {
+    var ca = load8(a + i);
+    var cb = load8(b + i);
+    if (ca != cb) {
+      if (ca < cb) { return 0 - 1; }
+      return 1;
+    }
+    i = i + 1;
+  }
+  return 0;
+}
+
+fun strlen(s) {
+  var n = 0;
+  while (load8(s + n) != 0) { n = n + 1; }
+  return n;
+}
+
+fun strncpy(dst, src, n) {
+  var i = 0;
+  while (i < n) {
+    var c = load8(src + i);
+    store8(dst + i, c);
+    if (c == 0) { return dst; }
+    i = i + 1;
+  }
+  return dst;
+}
+
+// 32-bit FNV-1a over a buffer - used by several subsystems as a checksum
+fun fnv1a(p, n) {
+  var h = 0x811C9DC5;
+  var i = 0;
+  while (i < n) {
+    h = (h ^ load8(p + i)) * 0x01000193;
+    i = i + 1;
+  }
+  return h;
+}
+
+// --- console -------------------------------------------------------------------
+
+fun uart_putc(c) { store8(0xF0000000, c); return 0; }
+
+fun uart_puts(s) {
+  var i = 0;
+  while (load8(s + i) != 0) { uart_putc(load8(s + i)); i = i + 1; }
+  return 0;
+}
+
+fun uart_put_hex(v) {
+  var i = 28;
+  uart_putc('0'); uart_putc('x');
+  while (1) {
+    var d = (v >> i) & 15;
+    if (d < 10) { uart_putc('0' + d); } else { uart_putc('a' + d - 10); }
+    if (i == 0) { break; }
+    i = i - 4;
+  }
+  return 0;
+}
+
+// --- platform devices -------------------------------------------------------------
+
+fun plat_cycles() { return load32(0xF0000300); }
+fun plat_rng() { return load32(0xF0000400); }
+fun plat_exit(code) { store32(0xF0000100, code); return 0; }
+
+// --- mailbox / executor protocol ---------------------------------------------------
+
+fun mb_pending() { return load32(0xF0000200); }
+fun mb_nr() { return load32(0xF0000204); }
+fun mb_arg(i) { return load32(0xF0000208 + i * 4); }
+fun mb_complete(ret) {
+  store32(0xF0000220, ret);
+  store32(0xF0000224, 1);
+  return 0;
+}
+fun mb_ready() { store32(0xF0000228, 1); return 0; }
+|}
+
+let unit_ = { Embsan_minic.Driver.src_name = "libk"; code = source }

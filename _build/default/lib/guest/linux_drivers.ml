@@ -1,0 +1,999 @@
+(* Embedded-Linux device drivers with injected bugs (Tables 3/4).  Each
+   vendor driver is its own compilation unit, so firmware images mix and
+   match exactly the drivers their board has. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- drivers/net/ethernet/marvell (OOB write, armvirt) ----------------------- *)
+
+let eth_marvell : module_def =
+  {
+    m_name = "eth_marvell";
+    m_source =
+      {|
+var mvneta_txq_fill = 0;
+
+// BUG (drivers/net/ethernet/marvell, OOB write): the TX descriptor ring
+// is 8 entries of 12 bytes, but the fill level check uses the *byte* size.
+fun mvneta_tx_fill(slot, dma_addr, len) {
+  var ring = kmalloc(96);
+  if (ring == 0) { return 0 - 12; }
+  if (slot > 96) { kfree(ring); return 0 - 22; }   // wrong bound: slots go to 8
+  var d = ring + slot * 12;
+  store32(d, dma_addr);
+  store32(d + 4, len);
+  store32(d + 8, 0x80000000);
+  mvneta_txq_fill = mvneta_txq_fill + 1;
+  var cmd = load32(ring + 8);
+  kfree(ring);
+  return cmd >> 16;
+}
+
+fun sys_eth_marvell(a, b, c) {
+  if (a == 0) { return mvneta_txq_fill; }
+  if (a == 1) { return mvneta_tx_fill(b & 0x7F, 0x1000, c); }
+  return 0 - 22;
+}
+
+fun eth_marvell_init() {
+  syscall_table[56] = &sys_eth_marvell;
+  return 0;
+}
+|};
+    m_init = Some "eth_marvell_init";
+    m_syscalls =
+      [
+        { sc_nr = 56; sc_name = "eth_marvell"; sc_args = [ Flag [ 0; 1 ]; Range (0, 12); Len ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/mvneta_tx_fill";
+          b_paper_location = "drivers/net/ethernet/marvell";
+          b_symbol = "mvneta_tx_fill";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (56, [| 1; 9; 64 |]) ];
+          b_benign = [ (56, [| 1; 5; 64 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/ethernet/realtek (OOB write; armvirt, rtl839x, x86_64) ------ *)
+
+let eth_realtek : module_def =
+  {
+    m_name = "eth_realtek";
+    m_source =
+      {|
+var r8169_stats_words = 0;
+
+// BUG (drivers/net/ethernet/realtek, OOB write): hardware statistics are
+// 10 words but the DMA snapshot buffer is sized for the 8 words of the
+// previous chip generation.
+fun r8169_get_stats(generation) {
+  var stats = kmalloc(32);             // 8 words
+  if (stats == 0) { return 0 - 12; }
+  var words = 8;
+  if (generation >= 2) { words = 10; } // new chips report 10 words
+  var i = 0;
+  while (i < words) {
+    store32(stats + i * 4, plat_rng());
+    i = i + 1;
+  }
+  r8169_stats_words = words;
+  var total = load32(stats);
+  kfree(stats);
+  return total & 0xFFFF;
+}
+
+fun sys_eth_realtek(a, b, c) {
+  if (a == 0) { return r8169_stats_words + (c & 0); }
+  if (a == 1) { return r8169_get_stats(b & 3); }
+  return 0 - 22;
+}
+
+fun eth_realtek_init() {
+  syscall_table[57] = &sys_eth_realtek;
+  return 0;
+}
+|};
+    m_init = Some "eth_realtek_init";
+    m_syscalls =
+      [
+        { sc_nr = 57; sc_name = "eth_realtek"; sc_args = [ Flag [ 0; 1 ]; Range (0, 3); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/r8169_get_stats";
+          b_paper_location = "drivers/net/ethernet/realtek";
+          b_symbol = "r8169_get_stats";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (57, [| 1; 2; 0 |]) ];
+          b_benign = [ (57, [| 1; 1; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/ethernet/atheros (double free, armvirt) ---------------------- *)
+
+let eth_atheros : module_def =
+  {
+    m_name = "eth_atheros";
+    m_source =
+      {|
+var atl1c_ring = 0;
+var atl1c_ring_live = 0;
+
+fun atl1c_open() {
+  if (atl1c_ring_live != 0) { return 0 - 16; }
+  atl1c_ring = kmalloc(128);
+  if (atl1c_ring == 0) { return 0 - 12; }
+  atl1c_ring_live = 1;
+  return 0;
+}
+
+// BUG (drivers/net/ethernet/atheros, double free): close after a TX
+// timeout reset frees the ring that the reset path already released.
+fun atl1c_close(after_reset) {
+  if (atl1c_ring_live == 0) { return 0 - 2; }
+  if (after_reset == 5) {
+    kfree(atl1c_ring);           // reset path freed it...
+  }
+  kfree(atl1c_ring);             // ...close frees it again
+  atl1c_ring = 0;
+  atl1c_ring_live = 0;
+  return 0;
+}
+
+fun sys_eth_atheros(a, b, c) {
+  if (a == 0) { return atl1c_open(); }
+  if (a == 1) { return atl1c_close(b + (c & 0)); }
+  return 0 - 22;
+}
+
+fun eth_atheros_init() {
+  syscall_table[58] = &sys_eth_atheros;
+  return 0;
+}
+|};
+    m_init = Some "eth_atheros_init";
+    m_syscalls =
+      [
+        { sc_nr = 58; sc_name = "eth_atheros"; sc_args = [ Flag [ 0; 1 ]; Range (0, 7); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/atl1c_close";
+          b_paper_location = "drivers/net/ethernet/atheros";
+          b_symbol = "atl1c_close";
+          b_alt_symbols = [];
+          b_kind = Report.Double_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (58, [| 0; 0; 0 |]); (58, [| 1; 5; 0 |]) ];
+          b_benign = [ (58, [| 0; 0; 0 |]); (58, [| 1; 2; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/ethernet/broadcom (two OOBs, ipq807x) ------------------------- *)
+
+let eth_broadcom : module_def =
+  {
+    m_name = "eth_broadcom";
+    m_source =
+      {|
+barr bgmac_rx_staging[64];
+var bgmac_rx_count = 0;
+
+// BUG 1 (drivers/net/ethernet/broadcom, OOB write): the RX frame length
+// from the descriptor is trusted up to the MTU, but the staging copy
+// buffer is smaller than the MTU.
+fun bgmac_dma_rx(frame_len) {
+  if (frame_len > 96) { return 0 - 90; }    // "MTU" check
+  var buf = kmalloc(64);
+  if (buf == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < frame_len) {
+    store8(buf + i, load8(&bgmac_rx_staging + (i & 63)));
+    i = i + 1;
+  }
+  bgmac_rx_count = bgmac_rx_count + 1;
+  var h = fnv1a(buf, 4);
+  kfree(buf);
+  return h & 0x7FFFFFFF;
+}
+
+// BUG 2 (drivers/net/ethernet/broadcom, OOB read): the per-queue counter
+// table has 4 entries; the queue index comes from an 8-entry mask.
+arr bgmac_q_counters[4];
+fun bgmac_read_counters(q) {
+  var v = bgmac_q_counters[q & 7];          // q 4..7 read past the table
+  return v + bgmac_rx_count;
+}
+
+fun sys_eth_broadcom(a, b, c) {
+  if (a == 0) { return bgmac_dma_rx(b + (c & 0)); }
+  if (a == 1) { return bgmac_read_counters(b); }
+  return 0 - 22;
+}
+
+fun eth_broadcom_init() {
+  syscall_table[59] = &sys_eth_broadcom;
+  memset(&bgmac_rx_staging, 0x66, 64);
+  return 0;
+}
+|};
+    m_init = Some "eth_broadcom_init";
+    m_syscalls =
+      [
+        { sc_nr = 59; sc_name = "eth_broadcom"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/bgmac_dma_rx";
+          b_paper_location = "drivers/net/ethernet/broadcom";
+          b_symbol = "bgmac_dma_rx";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (59, [| 0; 80; 0 |]) ];
+          b_benign = [ (59, [| 0; 48; 0 |]) ];
+        };
+        {
+          b_id = "linux/bgmac_read_counters";
+          b_paper_location = "drivers/net/ethernet/broadcom";
+          b_symbol = "bgmac_read_counters";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Global_bug;
+          b_syscalls = [ (59, [| 1; 5; 0 |]) ];
+          b_benign = [ (59, [| 1; 2; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/ethernet/mediatek (OOB write, mt7629) -------------------------- *)
+
+let eth_mediatek : module_def =
+  {
+    m_name = "eth_mediatek";
+    m_source =
+      {|
+var mtk_tx_seq = 0;
+
+// BUG (drivers/net/ethernet/mediatek, OOB write): TSO header parsing
+// writes the 16-byte pseudo header at the offset given by the header
+// length field without checking it against the descriptor size.
+fun mtk_tx_map(hdr_off) {
+  var desc = kmalloc(48);
+  if (desc == 0) { return 0 - 12; }
+  if (hdr_off > 40) { kfree(desc); return 0 - 22; }
+  var i = 0;
+  while (i < 16) {
+    store8(desc + hdr_off + i, mtk_tx_seq & 0xFF);   // hdr_off 33..40 spills
+    i = i + 1;
+  }
+  mtk_tx_seq = mtk_tx_seq + 1;
+  var v = load32(desc);
+  kfree(desc);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_eth_mediatek(a, b, c) {
+  if (a == 0) { return mtk_tx_seq + (c & 0); }
+  if (a == 1) { return mtk_tx_map(b); }
+  return 0 - 22;
+}
+
+fun eth_mediatek_init() {
+  syscall_table[61] = &sys_eth_mediatek;
+  return 0;
+}
+|};
+    m_init = Some "eth_mediatek_init";
+    m_syscalls =
+      [
+        { sc_nr = 61; sc_name = "eth_mediatek"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/mtk_tx_map";
+          b_paper_location = "drivers/net/ethernet/mediatek";
+          b_symbol = "mtk_tx_map";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (61, [| 1; 38; 0 |]) ];
+          b_benign = [ (61, [| 1; 30; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/ethernet/stmicro (OOB write, x86_64) ---------------------------- *)
+
+let eth_stmicro : module_def =
+  {
+    m_name = "eth_stmicro";
+    m_source =
+      {|
+var stmmac_desc_count = 0;
+
+// BUG (drivers/net/ethernet/stmicro, OOB write): extended descriptors are
+// 32 bytes but the allocation uses the 16-byte basic descriptor size when
+// the extended-mode flag comes from user configuration.
+fun stmmac_init_desc(extended, seed) {
+  var size = 16;
+  var desc = kmalloc(16);
+  if (desc == 0) { return 0 - 12; }
+  if (extended == 1) { size = 32; }        // size grows, allocation did not
+  var i = 0;
+  while (i < size) {
+    store8(desc + i, (seed + i) & 0xFF);
+    i = i + 1;
+  }
+  stmmac_desc_count = stmmac_desc_count + 1;
+  var v = load8(desc);
+  kfree(desc);
+  return v;
+}
+
+fun sys_eth_stmicro(a, b, c) {
+  if (a == 0) { return stmmac_desc_count; }
+  if (a == 1) { return stmmac_init_desc(b & 1, c); }
+  return 0 - 22;
+}
+
+fun eth_stmicro_init() {
+  syscall_table[62] = &sys_eth_stmicro;
+  return 0;
+}
+|};
+    m_init = Some "eth_stmicro_init";
+    m_syscalls =
+      [
+        { sc_nr = 62; sc_name = "eth_stmicro"; sc_args = [ Flag [ 0; 1 ]; Flag [ 0; 1 ]; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/stmmac_init_desc";
+          b_paper_location = "drivers/net/ethernet/stmicro";
+          b_symbol = "stmmac_init_desc";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (62, [| 1; 1; 3 |]) ];
+          b_benign = [ (62, [| 1; 0; 3 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/wireless/broadcom (UAF, bcm63xx) --------------------------------- *)
+
+let wifi_broadcom : module_def =
+  {
+    m_name = "wifi_broadcom";
+    m_source =
+      {|
+var brcm_vif = 0;
+var brcm_vif_live = 0;
+
+fun brcm_join(ssid_hash) {
+  if (brcm_vif_live != 0) { return 0 - 16; }
+  brcm_vif = kmalloc(80);
+  if (brcm_vif == 0) { return 0 - 12; }
+  store32(brcm_vif, ssid_hash);
+  store32(brcm_vif + 8, 0);      // beacon count
+  brcm_vif_live = 1;
+  return 0;
+}
+
+fun brcm_leave(keep_fw) {
+  if (brcm_vif_live == 0) { return 0 - 2; }
+  kfree(brcm_vif);
+  brcm_vif_live = 0;
+  if (keep_fw == 0) { brcm_vif = 0; }
+  return 0;
+}
+
+// BUG (drivers/net/wireless/broadcom, UAF): the firmware-event path still
+// delivers beacons to an interface that [brcm_leave] freed with the
+// keep-firmware flag set.
+fun brcm_fweh_beacon() {
+  if (brcm_vif == 0) { return 0 - 2; }
+  var n = load32(brcm_vif + 8) + 1;
+  store32(brcm_vif + 8, n);
+  return n;
+}
+
+fun sys_wifi_broadcom(a, b, c) {
+  if (a == 0) { return brcm_join(b + (c & 0)); }
+  if (a == 1) { return brcm_leave(b & 1); }
+  if (a == 2) { return brcm_fweh_beacon(); }
+  return 0 - 22;
+}
+
+fun wifi_broadcom_init() {
+  syscall_table[63] = &sys_wifi_broadcom;
+  return 0;
+}
+|};
+    m_init = Some "wifi_broadcom_init";
+    m_syscalls =
+      [
+        { sc_nr = 63; sc_name = "wifi_broadcom"; sc_args = [ Flag [ 0; 1; 2 ]; Range (0, 3); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/brcm_fweh_beacon";
+          b_paper_location = "drivers/net/wireless/broadcom";
+          b_symbol = "brcm_fweh_beacon";
+          b_alt_symbols = [];
+          b_kind = Report.Use_after_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (63, [| 0; 2; 0 |]); (63, [| 1; 1; 0 |]); (63, [| 2; 0; 0 |]) ];
+          b_benign = [ (63, [| 0; 2; 0 |]); (63, [| 2; 0; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/wireless/ath (UAF, ipq807x) ---------------------------------------- *)
+
+let wifi_ath : module_def =
+  {
+    m_name = "wifi_ath";
+    m_source =
+      {|
+var ath_txq = 0;
+var ath_txq_live = 0;
+var ath_pending = 0;
+
+fun ath_start(qdepth) {
+  if (ath_txq_live != 0) { return 0 - 16; }
+  if (qdepth > 16) { return 0 - 22; }
+  ath_txq = kmalloc(64);
+  if (ath_txq == 0) { return 0 - 12; }
+  store32(ath_txq, qdepth);
+  ath_txq_live = 1;
+  ath_pending = 0;
+  return 0;
+}
+
+fun ath_tx(seq) {
+  if (ath_txq_live == 0) { return 0 - 2; }
+  ath_pending = ath_pending + 1;
+  store32(ath_txq + 4, seq);
+  return ath_pending;
+}
+
+// BUG (drivers/net/wireless/ath, UAF): stop frees the TX queue while
+// completions are still pending; the completion handler then writes the
+// freed queue.
+fun ath_stop_drain(force) {
+  if (ath_txq_live == 0) { return 0 - 2; }
+  kfree(ath_txq);
+  ath_txq_live = 0;
+  if (force == 1) {
+    if (ath_pending > 0) {
+      store32(ath_txq + 8, 0xDEAD);    // completion against freed queue
+    }
+  }
+  ath_txq = 0;
+  ath_pending = 0;
+  return 0;
+}
+
+fun sys_wifi_ath(a, b, c) {
+  if (a == 0) { return ath_start(b); }
+  if (a == 1) { return ath_tx(c); }
+  if (a == 2) { return ath_stop_drain(b & 1); }
+  return 0 - 22;
+}
+
+fun wifi_ath_init() {
+  syscall_table[64] = &sys_wifi_ath;
+  return 0;
+}
+|};
+    m_init = Some "wifi_ath_init";
+    m_syscalls =
+      [
+        { sc_nr = 64; sc_name = "wifi_ath"; sc_args = [ Flag [ 0; 1; 2 ]; Range (0, 17); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/ath_stop_drain";
+          b_paper_location = "drivers/net/wireless/ath";
+          b_symbol = "ath_stop_drain";
+          b_alt_symbols = [];
+          b_kind = Report.Use_after_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (64, [| 0; 8; 0 |]); (64, [| 1; 0; 5 |]); (64, [| 2; 1; 0 |]) ];
+          b_benign = [ (64, [| 0; 8; 0 |]); (64, [| 2; 0; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/wireless/intel/iwlwifi (OOB write, x86_64) --------------------------- *)
+
+let wifi_iwlwifi : module_def =
+  {
+    m_name = "wifi_iwlwifi";
+    m_source =
+      {|
+barr iwl_fw_blob[128];
+var iwl_cmds_sent = 0;
+
+// BUG (drivers/net/wireless/intel/iwlwifi, OOB write): host command
+// payloads are capped at 64 bytes, but the 4-byte command header is
+// written after the payload at the unchecked total offset.
+fun iwl_send_hcmd(payload_len, cmd_id) {
+  if (payload_len > 64) { return 0 - 22; }
+  var cmd = kmalloc(64);
+  if (cmd == 0) { return 0 - 12; }
+  memcpy(cmd, &iwl_fw_blob, payload_len);
+  store32(cmd + payload_len, cmd_id);       // payload_len 61..64 spills
+  iwl_cmds_sent = iwl_cmds_sent + 1;
+  var v = load32(cmd);
+  kfree(cmd);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_wifi_iwlwifi(a, b, c) {
+  if (a == 0) { return iwl_cmds_sent; }
+  if (a == 1) { return iwl_send_hcmd(b, c); }
+  return 0 - 22;
+}
+
+fun wifi_iwlwifi_init() {
+  syscall_table[65] = &sys_wifi_iwlwifi;
+  memset(&iwl_fw_blob, 0x10, 128);
+  return 0;
+}
+|};
+    m_init = Some "wifi_iwlwifi_init";
+    m_syscalls =
+      [
+        { sc_nr = 65; sc_name = "wifi_iwlwifi"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/iwl_send_hcmd";
+          b_paper_location = "drivers/net/wireless/intel/iwlwifi";
+          b_symbol = "iwl_send_hcmd";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (65, [| 1; 62; 9 |]) ];
+          b_benign = [ (65, [| 1; 32; 9 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/wireless/broadcom/b43 (OOB write, x86_64) ----------------------------- *)
+
+let wifi_b43 : module_def =
+  {
+    m_name = "wifi_b43";
+    m_source =
+      {|
+var b43_dma_slots = 0;
+
+// BUG (drivers/net/wireless/broadcom/b43, OOB write): the DMA slot index
+// wraps at 16 in the hardware but the driver's mirror array has 12
+// entries (the old core revision's count).
+fun b43_dma_tx(slot, meta) {
+  var ring = kmalloc(48);              // 12 slots x 4 bytes
+  if (ring == 0) { return 0 - 12; }
+  var idx = slot & 15;
+  store32(ring + idx * 4, meta);       // idx 12..15 out of bounds
+  b43_dma_slots = b43_dma_slots + 1;
+  var v = load32(ring);
+  kfree(ring);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_wifi_b43(a, b, c) {
+  if (a == 0) { return b43_dma_slots; }
+  if (a == 1) { return b43_dma_tx(b, c); }
+  return 0 - 22;
+}
+
+fun wifi_b43_init() {
+  syscall_table[66] = &sys_wifi_b43;
+  return 0;
+}
+|};
+    m_init = Some "wifi_b43_init";
+    m_syscalls =
+      [
+        { sc_nr = 66; sc_name = "wifi_b43"; sc_args = [ Flag [ 0; 1 ]; Range (0, 15); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/b43_dma_tx";
+          b_paper_location = "drivers/net/wireless/broadcom/b43";
+          b_symbol = "b43_dma_tx";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (66, [| 1; 13; 7 |]) ];
+          b_benign = [ (66, [| 1; 9; 7 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/bluetooth (OOB write, bcm63xx) --------------------------------------------- *)
+
+let bluetooth : module_def =
+  {
+    m_name = "bluetooth";
+    m_source =
+      {|
+var hci_cmd_count = 0;
+
+// BUG (drivers/bluetooth, OOB write): the HCI event copies the remote
+// name with the length from the packet; names are up to 48 bytes but the
+// connection slot reserves 32.
+fun hci_remote_name_evt(name_len, seed) {
+  if (name_len > 48) { return 0 - 22; }
+  var conn = kmalloc(32);
+  if (conn == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < name_len) {
+    store8(conn + i, (seed + i * 7) & 0xFF);
+    i = i + 1;
+  }
+  hci_cmd_count = hci_cmd_count + 1;
+  var h = fnv1a(conn, 4);
+  kfree(conn);
+  return h & 0x7FFFFFFF;
+}
+
+fun sys_bluetooth(a, b, c) {
+  if (a == 0) { return hci_cmd_count; }
+  if (a == 1) { return hci_remote_name_evt(b, c); }
+  return 0 - 22;
+}
+
+fun bluetooth_init() {
+  syscall_table[67] = &sys_bluetooth;
+  return 0;
+}
+|};
+    m_init = Some "bluetooth_init";
+    m_syscalls =
+      [
+        { sc_nr = 67; sc_name = "bluetooth"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/hci_remote_name_evt";
+          b_paper_location = "drivers/bluetooth";
+          b_symbol = "hci_remote_name_evt";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (67, [| 1; 40; 3 |]) ];
+          b_benign = [ (67, [| 1; 24; 3 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/net/bluetooth/realtek (UAF, rtl839x) ----------------------------------------- *)
+
+let bt_realtek : module_def =
+  {
+    m_name = "bt_realtek";
+    m_source =
+      {|
+var btrtl_dev = 0;
+var btrtl_dev_live = 0;
+
+fun btrtl_setup(fw_ver) {
+  if (btrtl_dev_live != 0) { return 0 - 16; }
+  btrtl_dev = kmalloc(40);
+  if (btrtl_dev == 0) { return 0 - 12; }
+  store32(btrtl_dev, fw_ver);
+  btrtl_dev_live = 1;
+  return 0;
+}
+
+// BUG (drivers/net/bluetooth/realtek, UAF): shutdown frees the device
+// state but the suspended flag keeps a resume path that reads it.
+fun btrtl_shutdown(suspended) {
+  if (btrtl_dev_live == 0) { return 0 - 2; }
+  kfree(btrtl_dev);
+  btrtl_dev_live = 0;
+  if (suspended == 1) { return 0; }    // resume path keeps the stale pointer
+  btrtl_dev = 0;
+  return 0;
+}
+
+fun btrtl_resume() {
+  if (btrtl_dev == 0) { return 0 - 19; }
+  return load32(btrtl_dev);            // UAF after suspended shutdown
+}
+
+fun sys_bt_realtek(a, b, c) {
+  if (a == 0) { return btrtl_setup(b + (c & 0)); }
+  if (a == 1) { return btrtl_shutdown(b & 1); }
+  if (a == 2) { return btrtl_resume(); }
+  return 0 - 22;
+}
+
+fun bt_realtek_init() {
+  syscall_table[68] = &sys_bt_realtek;
+  return 0;
+}
+|};
+    m_init = Some "bt_realtek_init";
+    m_syscalls =
+      [
+        { sc_nr = 68; sc_name = "bt_realtek"; sc_args = [ Flag [ 0; 1; 2 ]; Range (0, 3); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/btrtl_resume";
+          b_paper_location = "drivers/net/bluetooth/realtek";
+          b_symbol = "btrtl_resume";
+          b_alt_symbols = [];
+          b_kind = Report.Use_after_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (68, [| 0; 3; 0 |]); (68, [| 1; 1; 0 |]); (68, [| 2; 0; 0 |]) ];
+          b_benign = [ (68, [| 0; 3; 0 |]); (68, [| 2; 0; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/dma/bcm2835-dma (OOB write, bcm63xx) -------------------------------------------- *)
+
+let dma_bcm2835 : module_def =
+  {
+    m_name = "dma_bcm2835";
+    m_source =
+      {|
+var bcm_dma_started = 0;
+
+// BUG (drivers/dma/bcm2835-dma, OOB write): the control-block chain
+// length is taken from the transfer size in 256-byte frames, but the
+// chain array holds 4 control blocks of 16 bytes.
+fun bcm2835_dma_start(xfer_len) {
+  var cbs = kmalloc(64);              // 4 control blocks
+  if (cbs == 0) { return 0 - 12; }
+  var frames = (xfer_len + 255) >> 8;
+  if (frames > 6) { kfree(cbs); return 0 - 22; }   // wrong cap: array holds 4
+  var i = 0;
+  while (i < frames) {
+    store32(cbs + i * 16, 0x3000 + i);
+    store32(cbs + i * 16 + 4, 256);
+    i = i + 1;
+  }
+  bcm_dma_started = bcm_dma_started + 1;
+  var v = load32(cbs);
+  kfree(cbs);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_dma_bcm2835(a, b, c) {
+  if (a == 0) { return bcm_dma_started + (c & 0); }
+  if (a == 1) { return bcm2835_dma_start(b); }
+  return 0 - 22;
+}
+
+fun dma_bcm2835_init() {
+  syscall_table[69] = &sys_dma_bcm2835;
+  return 0;
+}
+|};
+    m_init = Some "dma_bcm2835_init";
+    m_syscalls =
+      [
+        { sc_nr = 69; sc_name = "dma_bcm2835"; sc_args = [ Flag [ 0; 1 ]; Range (0, 2048); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/bcm2835_dma_start";
+          b_paper_location = "drivers/dma/bcm2835-dma";
+          b_symbol = "bcm2835_dma_start";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (69, [| 1; 1300; 0 |]) ];
+          b_benign = [ (69, [| 1; 900; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/dma/mediatek (double free, mt7629) ----------------------------------------------- *)
+
+let dma_mediatek : module_def =
+  {
+    m_name = "dma_mediatek";
+    m_source =
+      {|
+var mtk_dma_desc = 0;
+var mtk_dma_live = 0;
+
+fun mtk_dma_prep(len) {
+  if (mtk_dma_live != 0) { return 0 - 16; }
+  if (len > 128) { return 0 - 22; }
+  mtk_dma_desc = kmalloc(24);
+  if (mtk_dma_desc == 0) { return 0 - 12; }
+  store32(mtk_dma_desc, len);
+  mtk_dma_live = 1;
+  return 0;
+}
+
+// BUG (drivers/dma/mediatek, double free): terminating a channel whose
+// transfer already completed frees the descriptor that the completion
+// callback freed.
+fun mtk_dma_terminate(completed) {
+  if (mtk_dma_live == 0) { return 0 - 2; }
+  if (completed == 2) {
+    kfree(mtk_dma_desc);          // completion already freed it
+  }
+  kfree(mtk_dma_desc);
+  mtk_dma_desc = 0;
+  mtk_dma_live = 0;
+  return 0;
+}
+
+fun sys_dma_mediatek(a, b, c) {
+  if (a == 0) { return mtk_dma_prep(b); }
+  if (a == 1) { return mtk_dma_terminate(c); }
+  return 0 - 22;
+}
+
+fun dma_mediatek_init() {
+  syscall_table[70] = &sys_dma_mediatek;
+  return 0;
+}
+|};
+    m_init = Some "dma_mediatek_init";
+    m_syscalls =
+      [
+        { sc_nr = 70; sc_name = "dma_mediatek"; sc_args = [ Flag [ 0; 1 ]; Len; Range (0, 3) ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/mtk_dma_terminate";
+          b_paper_location = "drivers/dma/mediatek";
+          b_symbol = "mtk_dma_terminate";
+          b_alt_symbols = [];
+          b_kind = Report.Double_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (70, [| 0; 32; 0 |]); (70, [| 1; 0; 2 |]) ];
+          b_benign = [ (70, [| 0; 32; 0 |]); (70, [| 1; 0; 1 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/scsi/aic7xxx (OOB write, bcm63xx) --------------------------------------------------- *)
+
+let scsi_aic7xxx : module_def =
+  {
+    m_name = "scsi_aic7xxx";
+    m_source =
+      {|
+var ahc_scb_count = 0;
+
+// BUG (drivers/scsi/aic7xxx, OOB write): the CDB is copied into the SCB
+// with the length from the request; 16-byte CDBs overflow the 12-byte
+// field of older sequencer firmware SCBs.
+fun ahc_queue_scb(cdb_len, lun) {
+  if (cdb_len > 16) { return 0 - 22; }
+  var scb = kmalloc(28);            // 16 header + 12 CDB field
+  if (scb == 0) { return 0 - 12; }
+  store32(scb, lun);
+  var i = 0;
+  while (i < cdb_len) {
+    store8(scb + 16 + i, 0xC0 + i);   // cdb_len 13..16 spills
+    i = i + 1;
+  }
+  ahc_scb_count = ahc_scb_count + 1;
+  var v = load32(scb + 4);
+  kfree(scb);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_scsi_aic7xxx(a, b, c) {
+  if (a == 0) { return ahc_scb_count; }
+  if (a == 1) { return ahc_queue_scb(b, c); }
+  return 0 - 22;
+}
+
+fun scsi_aic7xxx_init() {
+  syscall_table[71] = &sys_scsi_aic7xxx;
+  return 0;
+}
+|};
+    m_init = Some "scsi_aic7xxx_init";
+    m_syscalls =
+      [
+        { sc_nr = 71; sc_name = "scsi_aic7xxx"; sc_args = [ Flag [ 0; 1 ]; Range (0, 16); Range (0, 7) ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/ahc_queue_scb";
+          b_paper_location = "drivers/scsi/aic7xxx";
+          b_symbol = "ahc_queue_scb";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (71, [| 1; 15; 2 |]) ];
+          b_benign = [ (71, [| 1; 10; 2 |]) ];
+        };
+      ];
+  }
+
+(* --- drivers/iommu (OOB write, x86_64) ------------------------------------------------------------- *)
+
+let iommu : module_def =
+  {
+    m_name = "iommu";
+    m_source =
+      {|
+var iommu_maps = 0;
+
+// BUG (drivers/iommu, OOB write): a second-level page table holds 32
+// entries, but the index uses 6 bits of the IOVA.
+fun iommu_map_page(iova, phys) {
+  var pt = kmalloc(128);            // 32 entries x 4
+  if (pt == 0) { return 0 - 12; }
+  var idx = (iova >> 12) & 63;      // should be & 31
+  store32(pt + idx * 4, phys | 1);
+  iommu_maps = iommu_maps + 1;
+  var v = load32(pt);
+  kfree(pt);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_iommu(a, b, c) {
+  if (a == 0) { return iommu_maps; }
+  if (a == 1) { return iommu_map_page(b, c); }
+  return 0 - 22;
+}
+
+fun iommu_init() {
+  syscall_table[72] = &sys_iommu;
+  return 0;
+}
+|};
+    m_init = Some "iommu_init";
+    m_syscalls =
+      [
+        { sc_nr = 72; sc_name = "iommu"; sc_args = [ Flag [ 0; 1 ]; Any32; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/iommu_map_page";
+          b_paper_location = "drivers/iommu";
+          b_symbol = "iommu_map_page";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (72, [| 1; 0x21000; 0x5000 |]) ];
+          b_benign = [ (72, [| 1; 0x11000; 0x5000 |]) ];
+        };
+      ];
+  }

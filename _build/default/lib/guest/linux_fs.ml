@@ -1,0 +1,378 @@
+(* Embedded-Linux filesystem subsystems with injected bugs (Tables 3/4):
+   NFS client, NFS common XDR decoding, btrfs (UAF variant and the SMP race
+   variant), FUSE and a minimal VFS path walker. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- fs/nfs: read-ahead window (OOB, mt7629 and rk3566) --------------------- *)
+
+let nfs : module_def =
+  {
+    m_name = "fs_nfs";
+    m_source =
+      {|
+var nfs_mounted = 0;
+var nfs_reads = 0;
+
+// BUG (fs/nfs, OOB write): the server-provided chunk count is multiplied
+// by the 8-byte chunk size after the <=12 validation, so counts 9..12
+// overrun the 72-byte read descriptor (9 slots of 8).
+fun nfs_read_ahead(chunks, seed) {
+  if (chunks > 12) { return 0 - 22; }
+  var desc = kmalloc(72);
+  if (desc == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < chunks) {
+    store32(desc + i * 8, seed + i);
+    store32(desc + i * 8 + 4, i);
+    i = i + 1;
+  }
+  nfs_reads = nfs_reads + 1;
+  var first = load32(desc);
+  kfree(desc);
+  return first & 0x7FFFFFFF;
+}
+
+fun sys_nfs(a, b, c) {
+  if (a == 0) { nfs_mounted = 1; return 0; }
+  if (a == 1) {
+    if (nfs_mounted == 0) { return 0 - 19; }
+    return nfs_read_ahead(b, c);
+  }
+  if (a == 2) { nfs_mounted = 0; return nfs_reads; }
+  return 0 - 22;
+}
+
+fun fs_nfs_init() {
+  syscall_table[8] = &sys_nfs;
+  return 0;
+}
+|};
+    m_init = Some "fs_nfs_init";
+    m_syscalls =
+      [
+        { sc_nr = 8; sc_name = "nfs"; sc_args = [ Flag [ 0; 1; 2 ]; Range (0, 16); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/nfs_read_ahead";
+          b_paper_location = "fs/nfs";
+          b_symbol = "nfs_read_ahead";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (8, [| 0; 0; 0 |]); (8, [| 1; 11; 5 |]) ];
+          b_benign = [ (8, [| 0; 0; 0 |]); (8, [| 1; 8; 5 |]) ];
+        };
+      ];
+  }
+
+(* --- fs/nfs_common: XDR string decode (OOB, armvirt and rk3566) ------------- *)
+
+let nfs_common : module_def =
+  {
+    m_name = "fs_nfs_common";
+    m_source =
+      {|
+barr xdr_wire[96];
+var xdr_decoded = 0;
+
+// BUG (fs/nfs_common, OOB write): the name buffer is sized from the
+// on-wire length, but XDR copies the 4-byte-aligned padded length, so any
+// non-multiple-of-4 length spills up to 3 bytes past the buffer.
+fun nfs_common_decode(wire_len) {
+  if (wire_len == 0) { return 0 - 22; }
+  if (wire_len > 64) { return 0 - 22; }
+  var name = kmalloc(wire_len);
+  if (name == 0) { return 0 - 12; }
+  var padded = (wire_len + 3) & ~3;
+  var i = 0;
+  while (i < padded) {
+    store8(name + i, load8(&xdr_wire + (i & 95)));
+    i = i + 1;
+  }
+  xdr_decoded = xdr_decoded + 1;
+  var csum_len = wire_len;
+  if (csum_len > 8) { csum_len = 8; }
+  var h = fnv1a(name, csum_len);
+  kfree(name);
+  return h & 0x7FFFFFFF;
+}
+
+fun sys_nfs_common(a, b, c) {
+  if (a == 0) { return xdr_decoded + c; }
+  if (a == 1) { return nfs_common_decode(b); }
+  return 0 - 22;
+}
+
+fun fs_nfs_common_init() {
+  syscall_table[9] = &sys_nfs_common;
+  memset(&xdr_wire, 0x41, 96);
+  return 0;
+}
+|};
+    m_init = Some "fs_nfs_common_init";
+    m_syscalls =
+      [
+        { sc_nr = 9; sc_name = "nfs_common"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/nfs_common_decode";
+          b_paper_location = "fs/nfs_common";
+          b_symbol = "nfs_common_decode";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (9, [| 1; 62; 0 |]) ];
+          b_benign = [ (9, [| 1; 60; 0 |]) ];
+        };
+      ];
+  }
+
+(* --- fs/btrfs ----------------------------------------------------------------- *)
+
+let btrfs_uaf_bug =
+  {
+    b_id = "linux/btrfs_scan_device";
+    b_paper_location = "fs/btrfs";
+    b_symbol = "btrfs_scan_one_device";
+    b_alt_symbols = [];
+    b_kind = Report.Use_after_free;
+    b_class = Heap_bug;
+    b_syscalls = [ (10, [| 0; 1; 0 |]); (10, [| 1; 0; 0 |]) ];
+    b_benign = [ (10, [| 0; 0; 0 |]); (10, [| 1; 0; 0 |]) ];
+  }
+
+let btrfs_race_bugs =
+  [
+    {
+      b_id = "linux/btrfs_trans_race";
+      b_paper_location = "fs/btrfs";
+      b_symbol = "btrfs_commit_transaction";
+      b_alt_symbols = [ "btrfs_sync"; "btrfs_commit_worker" ];
+      b_kind = Report.Data_race;
+      b_class = Race_bug;
+      b_syscalls = [ (11, [| 0; 0; 0 |]); (11, [| 0; 0; 0 |]); (11, [| 0; 0; 0 |]) ];
+      b_benign = [];
+    };
+    {
+      b_id = "linux/btrfs_dirty_race";
+      b_paper_location = "fs/btrfs";
+      b_symbol = "btrfs_mark_dirty";
+      b_alt_symbols = [];
+      (* note: conflicts attributed to the sync/worker read side belong to
+         the generation race above *)
+      b_kind = Report.Data_race;
+      b_class = Race_bug;
+      b_syscalls = [ (11, [| 1; 0; 0 |]); (11, [| 1; 0; 0 |]); (11, [| 1; 0; 0 |]) ];
+      b_benign = [];
+    };
+  ]
+
+(* [races]: include the unsynchronized transaction-commit worker (only the
+   SMP x86_64 build runs it).  [uaf]: include the stale device-handle scan
+   bug (the bcm63xx kernel version). *)
+let btrfs ~uaf ~races : module_def =
+  let scan_source =
+    if uaf then
+      {|
+// BUG (fs/btrfs, UAF): a device handle released on the degraded path stays
+// in the device list and the next scan reads its generation field.
+fun btrfs_scan_one_device(degraded) {
+  if (btrfs_device == 0) {
+    btrfs_device = kmalloc(56);
+    if (btrfs_device == 0) { return 0 - 12; }
+    store32(btrfs_device, 4096);       // sectorsize
+    store32(btrfs_device + 4, 1);      // generation
+  }
+  if (degraded == 1) {
+    if (btrfs_degraded == 0) {
+      kfree(btrfs_device);
+      btrfs_degraded = 1;              // handle stays in the list
+    }
+    return 0 - 117;
+  }
+  return load32(btrfs_device + 4);
+}
+|}
+    else
+      {|
+fun btrfs_scan_one_device(degraded) {
+  if (btrfs_device == 0) {
+    btrfs_device = kmalloc(56);
+    if (btrfs_device == 0) { return 0 - 12; }
+    store32(btrfs_device, 4096);
+    store32(btrfs_device + 4, 1);
+  }
+  if (degraded == 1) {
+    kfree(btrfs_device);
+    btrfs_device = 0;                  // fixed: drop from the list
+    btrfs_degraded = 1;
+    return 0 - 117;
+  }
+  return load32(btrfs_device + 4);
+}
+|}
+  in
+  let race_source =
+    if races then
+      {|
+// BUG (fs/btrfs, data races): transaction generation and the dirty-bytes
+// accounting are updated by both the syscall path and the async commit
+// worker without synchronization.
+fun btrfs_commit_transaction() {
+  btrfs_generation = btrfs_generation + 1;
+  btrfs_dirty_bytes = btrfs_dirty_bytes + 512;
+  return btrfs_generation;
+}
+
+fun btrfs_mark_dirty(n) {
+  btrfs_dirty_bytes = btrfs_dirty_bytes + n;
+  if (btrfs_dirty_bytes > 65536) { btrfs_dirty_bytes = 0; }
+  return btrfs_dirty_bytes;
+}
+
+fun btrfs_commit_worker(a, b, c) {
+  var i = 0;
+  while (i < 400) {
+    btrfs_commit_transaction();
+    btrfs_mark_dirty(64);
+    i = i + 1;
+  }
+  return 0;
+}
+
+fun btrfs_sync(which, n) {
+  queue_work(&btrfs_commit_worker);
+  var i = 0;
+  while (i < 400) {
+    if (which == 0) { btrfs_commit_transaction(); }
+    else { btrfs_mark_dirty(n & 0xFF); }
+    i = i + 1;
+  }
+  return btrfs_generation;
+}
+|}
+    else
+      {|
+fun btrfs_sync(which, n) {
+  btrfs_generation = btrfs_generation + which + (n & 1);
+  return btrfs_generation;
+}
+|}
+  in
+  {
+    m_name = "fs_btrfs";
+    m_source =
+      Printf.sprintf
+        {|
+var btrfs_device = 0;
+var btrfs_degraded = 0;
+var btrfs_generation = 0;
+var btrfs_dirty_bytes = 0;
+%s
+%s
+fun sys_btrfs_scan(a, b, c) {
+  if (a == 0) { return btrfs_scan_one_device(b + (c & 0)); }
+  if (a == 1) { return btrfs_scan_one_device(0); }
+  return 0 - 22;
+}
+
+fun sys_btrfs_sync(a, b, c) {
+  return btrfs_sync(a, b + (c & 0));
+}
+
+fun fs_btrfs_init() {
+  syscall_table[10] = &sys_btrfs_scan;
+  syscall_table[11] = &sys_btrfs_sync;
+  return 0;
+}
+|}
+        scan_source race_source;
+    m_init = Some "fs_btrfs_init";
+    m_syscalls =
+      [
+        { sc_nr = 10; sc_name = "btrfs_scan"; sc_args = [ Flag [ 0; 1 ]; Flag [ 0; 1 ]; Any32 ] };
+        { sc_nr = 11; sc_name = "btrfs_sync"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs = (if uaf then [ btrfs_uaf_bug ] else []) @ if races then btrfs_race_bugs else [];
+  }
+
+(* --- fs/fuse: connection setup (double free, ipq807x) ------------------------ *)
+
+let fuse : module_def =
+  {
+    m_name = "fs_fuse";
+    m_source =
+      {|
+var fuse_conn = 0;
+var fuse_conn_live = 0;
+
+// BUG (fs/fuse, double free): when INIT negotiation fails the connection
+// is freed, but the abort path frees it again because the live flag is
+// updated only after the reply is sent.
+fun fuse_conn_setup(version) {
+  if (fuse_conn_live != 0) { return 0 - 16; }
+  fuse_conn = kmalloc(64);
+  if (fuse_conn == 0) { return 0 - 12; }
+  store32(fuse_conn, version);
+  fuse_conn_live = 1;
+  if (version < 7) {
+    kfree(fuse_conn);            // negotiation failed
+    fuse_abort_conn();           // abort also frees
+    return 0 - 71;
+  }
+  return 0;
+}
+
+fun fuse_abort_conn() {
+  if (fuse_conn_live == 0) { return 0 - 2; }
+  kfree(fuse_conn);
+  fuse_conn = 0;
+  fuse_conn_live = 0;
+  return 0;
+}
+
+fun sys_fuse(a, b, c) {
+  if (a == 0) { return fuse_conn_setup(b + (c & 0)); }
+  if (a == 1) { return fuse_abort_conn(); }
+  return 0 - 22;
+}
+
+fun fs_fuse_init() {
+  syscall_table[12] = &sys_fuse;
+  return 0;
+}
+|};
+    m_init = Some "fs_fuse_init";
+    m_syscalls =
+      [
+        { sc_nr = 12; sc_name = "fuse"; sc_args = [ Flag [ 0; 1 ]; Range (0, 15); Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/fuse_conn_setup";
+          b_paper_location = "fs/fuse";
+          b_symbol = "fuse_abort_conn";
+          b_alt_symbols = [];
+          b_kind = Report.Double_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (12, [| 0; 5; 0 |]) ];
+          b_benign = [ (12, [| 0; 9; 0 |]); (12, [| 1; 0; 0 |]) ];
+        };
+      ];
+  }
+
+let linux_all ~sched_classify ~sched_filter ~btrfs_uaf ~btrfs_races =
+  [
+    nfs;
+    nfs_common;
+    btrfs ~uaf:btrfs_uaf ~races:btrfs_races;
+    fuse;
+    Linux_net.sched ~classify_bug:sched_classify ~filter_bug:sched_filter;
+  ]

@@ -1,0 +1,109 @@
+(* Embedded-Linux-style kernel: slab allocator, indirect syscall table,
+   optional SMP worker hart, and a configurable set of subsystem modules.
+   This is the base OS of the OpenWRT-* and OpenHarmony-rk3566 firmware. *)
+
+open Defs
+
+let smp_source =
+  {|
+// asynchronous work queue drained by the kworker hart; queue state is
+// spinlock-protected (the injected btrfs races are elsewhere)
+arr work_queue[16];
+var work_head = 0;
+var work_tail = 0;
+var work_lock = 0;
+
+fun queue_work(fp) {
+  while (amo_swap(&work_lock, 1) != 0) { }
+  work_queue[work_head & 15] = fp;
+  work_head = work_head + 1;
+  store32(&work_lock, 0);
+  return 0;
+}
+
+fun kworker_main() {
+  while (1) {
+    var fp = 0;
+    while (amo_swap(&work_lock, 1) != 0) { }
+    if (work_tail != work_head) {
+      fp = work_queue[work_tail & 15];
+      work_tail = work_tail + 1;
+    }
+    store32(&work_lock, 0);
+    if (fp != 0) { icall3(fp, 0, 0, 0); }
+  }
+  return 0;
+}
+
+fun start_workers() {
+  trap3(10, 1, &kworker_main, __stack_top - 0x10000);
+  return 0;
+}
+|}
+
+let base_source ~smp ~inits =
+  let init_calls =
+    String.concat "\n" (List.map (fun f -> Printf.sprintf "  %s();" f) inits)
+  in
+  Printf.sprintf
+    {|
+arr syscall_table[96];
+var linux_boot_stamp = 0;
+
+fun sys_nop(a, b, c) { return a & (b | c) & 0; }
+fun sys_getpid(a, b, c) { return 1; }
+fun sys_uname(a, b, c) { return 0x45564131; }    // "EVA1"
+
+%s
+
+fun kmain() {
+  kheap_init();
+  linux_boot_stamp = plat_cycles();
+  syscall_table[0] = &sys_nop;
+  syscall_table[1] = &sys_getpid;
+  syscall_table[2] = &sys_uname;
+%s
+%s
+  mb_ready();
+  while (1) {
+    if (mb_pending()) {
+      var nr = mb_nr();
+      var ret = 0 - 38;
+      if (nr < 96) {
+        var fp = syscall_table[nr];
+        if (fp != 0) { ret = icall3(fp, mb_arg(0), mb_arg(1), mb_arg(2)); }
+      }
+      mb_complete(ret);
+    }
+  }
+  return 0;
+}
+|}
+    (if smp then smp_source else "")
+    init_calls
+    (if smp then "  start_workers();" else "")
+
+let core_syscalls =
+  [
+    { sc_nr = 0; sc_name = "nop"; sc_args = [ Any32; Any32; Any32 ] };
+    { sc_nr = 1; sc_name = "getpid"; sc_args = [] };
+    { sc_nr = 2; sc_name = "uname"; sc_args = [] };
+  ]
+
+(** Assemble sources for a Linux-family firmware from its module set. *)
+let sources ~smp (modules : module_def list) =
+  let inits = List.filter_map (fun m -> m.m_init) modules in
+  [ Libk.unit_; Alloc_slab.unit_ ]
+  @ [ { Embsan_minic.Driver.src_name = "linux_base"; code = base_source ~smp ~inits } ]
+  @ List.map
+      (fun m -> { Embsan_minic.Driver.src_name = m.m_name; code = m.m_source })
+      modules
+
+let build ?(smp = false) ?(kcov = false) ~arch ~mode (modules : module_def list) =
+  let cfg = { Embsan_minic.Driver.default_config with arch; mode; kcov } in
+  Embsan_minic.Driver.compile cfg (sources ~smp modules)
+
+let syscalls (modules : module_def list) =
+  core_syscalls @ List.concat_map (fun m -> m.m_syscalls) modules
+
+let bugs (modules : module_def list) = List.concat_map (fun m -> m.m_bugs) modules

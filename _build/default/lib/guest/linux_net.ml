@@ -1,0 +1,403 @@
+(* Embedded-Linux network subsystems with injected bugs (Tables 3/4).
+
+   Handlers follow the realistic pattern: validate (incompletely), allocate
+   from the slab, move payload bytes, and maintain per-subsystem state.
+   Each bug lives in a function named after the paper's report location.
+
+   Modules shared by firmware with *different* bug sets are generated per
+   variant (a board's kernel tree carries different driver versions), so a
+   campaign on one firmware cannot find another firmware's bugs. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- net/netfilter: rule table management (OOB write, OpenWRT-armvirt) --- *)
+
+let netfilter : module_def =
+  {
+    m_name = "net_netfilter";
+    m_source =
+      {|
+// netfilter: a rule is 16 bytes: [proto, verdict, match_len, pad] + match bytes
+barr nf_scratch[64];
+var nf_rule_count = 0;
+var nf_drop_count = 0;
+
+fun nf_checksum_rule(rule, len) {
+  return fnv1a(rule, len);
+}
+
+// BUG (net/netfilter, OOB write): match_len is validated against the rule
+// capacity but the 4-byte header is not accounted for, so match_len in
+// (12, 16] writes past the 16-byte rule object.
+fun nf_setrule(proto, verdict, match_len) {
+  if (match_len > 16) { return 0 - 22; }
+  var rule = kmalloc(16);
+  if (rule == 0) { return 0 - 12; }
+  store8(rule, proto);
+  store8(rule + 1, verdict);
+  store8(rule + 2, match_len);
+  store8(rule + 3, 0);
+  var i = 0;
+  while (i < match_len) {
+    store8(rule + 4 + i, load8(&nf_scratch + (i & 63)));
+    i = i + 1;
+  }
+  nf_rule_count = nf_rule_count + 1;
+  var sum = nf_checksum_rule(rule, 4);
+  kfree(rule);
+  return sum & 0x7FFFFFFF;
+}
+
+fun sys_netfilter(a, b, c) {
+  if (a == 0) { return nf_rule_count; }
+  if (a == 1) { return nf_setrule(b & 0xFF, (b >> 8) & 0xFF, c); }
+  if (a == 2) { nf_drop_count = nf_drop_count + 1; return nf_drop_count; }
+  return 0 - 22;
+}
+
+fun net_netfilter_init() {
+  syscall_table[32] = &sys_netfilter;
+  memset(&nf_scratch, 0x5A, 64);
+  return 0;
+}
+|};
+    m_init = Some "net_netfilter_init";
+    m_syscalls =
+      [
+        {
+          sc_nr = 32;
+          sc_name = "netfilter";
+          sc_args = [ Flag [ 0; 1; 2 ]; Any32; Len ];
+        };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/nf_setrule";
+          b_paper_location = "net/netfilter";
+          b_symbol = "nf_setrule";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (32, [| 1; 6; 15 |]) ];
+          b_benign = [ (32, [| 1; 6; 10 |]) ];
+        };
+      ];
+  }
+
+(* --- net/wireless: scan result handling (OOB write, OpenWRT-armvirt) ------ *)
+
+let wireless : module_def =
+  {
+    m_name = "net_wireless";
+    m_source =
+      {|
+var wext_scan_active = 0;
+var wext_bss_seen = 0;
+
+// BUG (net/wireless, OOB write): the SSID length field from the "air" is
+// trusted; IEEE 802.11 allows up to 32 bytes but the element buffer is
+// sized for 32 *total* bytes including the 2-byte element header.
+fun wext_scan_result(ssid_len, seed) {
+  var bss = kmalloc(32);
+  if (bss == 0) { return 0 - 12; }
+  if (ssid_len > 32) { kfree(bss); return 0 - 22; }
+  store8(bss, 0);              // element id
+  store8(bss + 1, ssid_len);   // element len
+  var i = 0;
+  while (i < ssid_len) {
+    store8(bss + 2 + i, (seed + i) & 0xFF);
+    i = i + 1;
+  }
+  wext_bss_seen = wext_bss_seen + 1;
+  var h = fnv1a(bss, 2);
+  kfree(bss);
+  return h & 0x7FFFFFFF;
+}
+
+fun sys_wireless(a, b, c) {
+  if (a == 0) { wext_scan_active = 1; return 0; }
+  if (a == 1) { return wext_scan_result(b, c); }
+  if (a == 2) { wext_scan_active = 0; return wext_bss_seen; }
+  return 0 - 22;
+}
+
+fun net_wireless_init() {
+  syscall_table[33] = &sys_wireless;
+  return 0;
+}
+|};
+    m_init = Some "net_wireless_init";
+    m_syscalls =
+      [
+        {
+          sc_nr = 33;
+          sc_name = "wireless";
+          sc_args = [ Flag [ 0; 1; 2 ]; Len; Any32 ];
+        };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/wext_scan_result";
+          b_paper_location = "net/wireless";
+          b_symbol = "wext_scan_result";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (33, [| 1; 31; 7 |]) ];
+          b_benign = [ (33, [| 1; 16; 7 |]) ];
+        };
+      ];
+  }
+
+(* --- net/sched: classifier OOB (ipq807x variant) / filter UAF (rk3566) ----- *)
+
+let classify_bug =
+  {
+    b_id = "linux/tc_classify";
+    b_paper_location = "net/sched";
+    b_symbol = "tc_classify";
+    b_alt_symbols = [];
+    b_kind = Report.Oob_access;
+    b_class = Global_bug;
+    (* dscp 8..11 lands in the 16-byte global redzone; beyond that the read
+       silently hits the next object (the classic redzone blind spot) *)
+    b_syscalls = [ (34, [| 0; 9; 0 |]) ];
+    b_benign = [ (34, [| 0; 5; 0 |]) ];
+  }
+
+let filter_uaf_bug =
+  {
+    b_id = "linux/tc_filter_del";
+    b_paper_location = "net/sched";
+    b_symbol = "tc_filter_stats";
+    b_alt_symbols = [];
+    b_kind = Report.Use_after_free;
+    b_class = Heap_bug;
+    b_syscalls = [ (34, [| 1; 1; 0 |]); (34, [| 2; 0; 0 |]); (34, [| 3; 0; 0 |]) ];
+    b_benign = [ (34, [| 1; 1; 0 |]); (34, [| 3; 0; 0 |]) ];
+  }
+
+let sched ~classify_bug:with_oob ~filter_bug:with_uaf : module_def =
+  let classify_guard =
+    if with_oob then "" else "  if (dscp > 7) { return 0; }\n"
+  in
+  let del_clear =
+    if with_uaf then "  if (flush == 1) { tc_filter = 0; }"
+    else "  tc_filter = 0; if (flush == 1) { tc_filter = 0; }"
+  in
+  {
+    m_name = "net_sched";
+    m_source =
+      Printf.sprintf
+        {|
+var tc_filter = 0;
+var tc_filter_live = 0;
+var tc_class_hits = 0;
+
+arr tc_prio_map[8] = { 0, 1, 2, 3, 4, 5, 6, 7 };
+
+// priority-to-band lookup; buggy kernels trust the 8-bit DSCP value even
+// though the map has 8 entries (global OOB read)
+fun tc_classify(dscp) {
+%s  var band = tc_prio_map[dscp];
+  tc_class_hits = tc_class_hits + 1;
+  return band;
+}
+
+fun tc_filter_new(kind) {
+  if (tc_filter_live != 0) { return 0 - 16; }
+  tc_filter = kmalloc(40);
+  if (tc_filter == 0) { return 0 - 12; }
+  store32(tc_filter, kind);
+  store32(tc_filter + 4, 0);
+  tc_filter_live = 1;
+  return 0;
+}
+
+// deleting without the flush flag leaves the stale pointer behind in buggy
+// kernels; a subsequent stats query dereferences it (UAF)
+fun tc_filter_del(flush) {
+  if (tc_filter_live == 0) { return 0 - 2; }
+  kfree(tc_filter);
+  tc_filter_live = 0;
+%s
+  return 0;
+}
+
+fun tc_filter_stats() {
+  if (tc_filter == 0) { return 0 - 2; }
+  return load32(tc_filter + 4);
+}
+
+fun sys_sched(a, b, c) {
+  if (a == 0) { return tc_classify(b & 0xFF); }
+  if (a == 1) { return tc_filter_new(b + c); }
+  if (a == 2) { return tc_filter_del(b); }
+  if (a == 3) { return tc_filter_stats(); }
+  return 0 - 22;
+}
+
+fun net_sched_init() {
+  syscall_table[34] = &sys_sched;
+  return 0;
+}
+|}
+        classify_guard del_clear;
+    m_init = Some "net_sched_init";
+    m_syscalls =
+      [
+        {
+          sc_nr = 34;
+          sc_name = "sched";
+          sc_args = [ Flag [ 0; 1; 2; 3 ]; Range (0, 15); Flag [ 0; 1 ] ];
+        };
+      ];
+    m_bugs =
+      (if with_oob then [ classify_bug ] else [])
+      @ if with_uaf then [ filter_uaf_bug ] else [];
+  }
+
+(* --- net/core: skb lifetime (double free, OpenWRT-mt7629) ------------------- *)
+
+let core : module_def =
+  {
+    m_name = "net_core";
+    m_source =
+      {|
+var skb_alloc_count = 0;
+
+fun skb_alloc(len) {
+  if (len > 200) { return 0; }
+  var skb = kmalloc(len + 16);
+  if (skb == 0) { return 0; }
+  store32(skb, len);
+  store32(skb + 4, 1);          // refcount
+  skb_alloc_count = skb_alloc_count + 1;
+  return skb;
+}
+
+// BUG (net/core, double free): the congested path frees the clone and
+// reports a collapsed error code, so the unwind frees it again.
+fun skb_clone_xmit(len, corrupt) {
+  var skb = skb_alloc(len);
+  if (skb == 0) { return 0 - 12; }
+  var clone = kmalloc(len + 16);
+  if (clone == 0) { kfree(skb); return 0 - 12; }
+  memcpy(clone, skb, len + 16);
+  var err = 0;
+  if (corrupt == 7) {
+    kfree(clone);               // error path frees...
+    err = 0 - 5;
+  }
+  if (err != 0) {
+    kfree(clone);               // ...and the unwind frees again
+    kfree(skb);
+    return err;
+  }
+  kfree(clone);
+  kfree(skb);
+  return len;
+}
+
+fun sys_netcore(a, b, c) {
+  if (a == 0) { return skb_alloc_count; }
+  if (a == 1) { return skb_clone_xmit(b & 0xFF, c); }
+  return 0 - 22;
+}
+
+fun net_core_init() {
+  syscall_table[36] = &sys_netcore;
+  return 0;
+}
+|};
+    m_init = Some "net_core_init";
+    m_syscalls =
+      [
+        { sc_nr = 36; sc_name = "netcore"; sc_args = [ Flag [ 0; 1 ]; Len; Range (0, 15) ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/skb_clone_xmit";
+          b_paper_location = "net/core";
+          b_symbol = "skb_clone_xmit";
+          b_alt_symbols = [];
+          b_kind = Report.Double_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (36, [| 1; 32; 7 |]) ];
+          b_benign = [ (36, [| 1; 32; 3 |]) ];
+        };
+      ];
+  }
+
+(* --- netrom: session teardown (double free, OpenWRT-rtl839x) ----------------- *)
+
+let netrom : module_def =
+  {
+    m_name = "fs_netrom";
+    m_source =
+      {|
+var nr_session = 0;
+var nr_session_state = 0;
+
+fun netrom_connect(addr) {
+  if (nr_session != 0) { return 0 - 16; }
+  nr_session = kmalloc(48);
+  if (nr_session == 0) { return 0 - 12; }
+  store32(nr_session, addr);
+  nr_session_state = 1;
+  return 0;
+}
+
+// BUG (fs/netrom, double free): close on a session already torn down by
+// the timeout path frees the control block a second time.
+fun netrom_close(timed_out) {
+  if (nr_session == 0) { return 0 - 2; }
+  if (timed_out == 3) {
+    kfree(nr_session);          // timeout path
+    nr_session_state = 0;
+  }
+  if (nr_session_state == 0) {
+    kfree(nr_session);          // close path frees again
+    nr_session = 0;
+    return 0 - 110;
+  }
+  kfree(nr_session);
+  nr_session = 0;
+  nr_session_state = 0;
+  return 0;
+}
+
+fun sys_netrom(a, b, c) {
+  if (a == 0) { return netrom_connect(b + c); }
+  if (a == 1) { return netrom_close(c); }
+  return 0 - 22;
+}
+
+fun fs_netrom_init() {
+  syscall_table[13] = &sys_netrom;
+  return 0;
+}
+|};
+    m_init = Some "fs_netrom_init";
+    m_syscalls =
+      [
+        { sc_nr = 13; sc_name = "netrom"; sc_args = [ Flag [ 0; 1 ]; Any32; Range (0, 7) ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "linux/netrom_close";
+          b_paper_location = "fs/netrom";
+          b_symbol = "netrom_close";
+          b_alt_symbols = [];
+          b_kind = Report.Double_free;
+          b_class = Heap_bug;
+          b_syscalls = [ (13, [| 0; 5; 0 |]); (13, [| 1; 0; 3 |]) ];
+          b_benign = [ (13, [| 0; 5; 0 |]); (13, [| 1; 0; 1 |]) ];
+        };
+      ];
+  }

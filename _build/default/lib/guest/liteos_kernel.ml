@@ -1,0 +1,128 @@
+(* LiteOS-style guest (OpenHarmony stm32mp1 / stm32f407 boards): best-fit
+   allocator, VFS path walker and a FAT directory parser. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- fs/vfs: path lookup (OOB, both stm32 boards) --------------------------- *)
+
+let vfs : module_def =
+  {
+    m_name = "liteos_vfs";
+    m_source =
+      {|
+barr vfs_path_buf[128];
+var vfs_lookups = 0;
+
+// BUG (fs/vfs, OOB write): a path component is copied into the 24-byte
+// dentry name field with the component length capped at NAME_MAX (32).
+fun vfs_path_lookup(comp_len, seed) {
+  if (comp_len > 32) { return 0 - 36; }        // ENAMETOOLONG at NAME_MAX
+  var dentry = LOS_MemAlloc(40);               // 16 header + 24 name
+  if (dentry == 0) { return 0 - 12; }
+  store32(dentry, 0x64656E74);
+  var i = 0;
+  while (i < comp_len) {
+    store8(dentry + 16 + i, (seed + i) & 0x7F);  // comp_len 25..32 spills
+    i = i + 1;
+  }
+  vfs_lookups = vfs_lookups + 1;
+  var h = fnv1a(dentry + 16, 4);
+  LOS_MemFree(dentry);
+  return h & 0x7FFFFFFF;
+}
+
+fun sys_vfs(a, b, c) {
+  if (a == 0) { return vfs_lookups; }
+  if (a == 1) { return vfs_path_lookup(b, c); }
+  return 0 - 22;
+}
+
+fun liteos_vfs_init() {
+  syscall_table[14] = &sys_vfs;
+  memset(&vfs_path_buf, '/', 128);
+  return 0;
+}
+|};
+    m_init = Some "liteos_vfs_init";
+    m_syscalls =
+      [
+        { sc_nr = 14; sc_name = "vfs_lookup"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "liteos/vfs_path_lookup";
+          b_paper_location = "fs/vfs";
+          b_symbol = "vfs_path_lookup";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (14, [| 1; 30; 11 |]) ];
+          b_benign = [ (14, [| 1; 20; 11 |]) ];
+        };
+      ];
+  }
+
+(* --- fs/fat: directory entry parser (OOB, stm32f407 only) --------------------- *)
+
+let fat : module_def =
+  {
+    m_name = "liteos_fat";
+    m_source =
+      {|
+var fat_sector_cache = 0;
+var fat_dirents = 0;
+
+// BUG (fs/fat, OOB read): long-filename entries chain up to the sequence
+// number; sequences above 1 read past the single cached 64-byte sector.
+fun fat_parse_dirent(seq, off) {
+  if (fat_sector_cache == 0) {
+    fat_sector_cache = LOS_MemAlloc(64);
+    if (fat_sector_cache == 0) { return 0 - 12; }
+    memset(fat_sector_cache, 0x20, 64);
+  }
+  var entry_off = (off & 31) + (seq & 7) * 32;   // seq > 1 runs off the sector
+  var attr = load8(fat_sector_cache + entry_off);
+  fat_dirents = fat_dirents + 1;
+  return attr;
+}
+
+fun sys_fat(a, b, c) {
+  if (a == 0) { return fat_dirents; }
+  if (a == 1) { return fat_parse_dirent(b, c); }
+  return 0 - 22;
+}
+
+fun liteos_fat_init() {
+  syscall_table[15] = &sys_fat;
+  return 0;
+}
+|};
+    m_init = Some "liteos_fat_init";
+    m_syscalls =
+      [
+        { sc_nr = 15; sc_name = "fat_dirent"; sc_args = [ Flag [ 0; 1 ]; Range (0, 7); Range (0, 63) ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "liteos/fat_parse_dirent";
+          b_paper_location = "fs/fat";
+          b_symbol = "fat_parse_dirent";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (15, [| 1; 2; 10 |]) ];
+          b_benign = [ (15, [| 1; 1; 10 |]) ];
+        };
+      ];
+  }
+
+let banner = "LiteOS-EV 1.0\n"
+
+let build ?(with_fat = true) ?(kcov = false) ~arch ~mode () =
+  let modules = if with_fat then [ vfs; fat ] else [ vfs ] in
+  ( Rtos_base.build ~kcov ~arch ~mode ~banner ~alloc_unit:Alloc_bestfit.unit_ modules,
+    Rtos_base.syscalls modules,
+    Rtos_base.bugs modules )

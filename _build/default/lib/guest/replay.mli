@@ -1,0 +1,59 @@
+(** Reproducer replay harness: boot a firmware under a sanitizer
+    configuration, execute syscall sequences through the mailbox executor
+    and report what was detected.  Used by the Table-2 bench, campaign
+    crash triage and the test suites. *)
+
+module Embsan = Embsan_core.Embsan
+module Report = Embsan_core.Report
+
+type outcome = {
+  o_reports : Report.t list;
+  o_crash : Embsan_emu.Machine.stop option;
+  o_cost : int;  (** modeled cycles consumed by the replay *)
+  o_insns : int;
+}
+
+(** Sanitizer configurations a firmware can run under. *)
+type config =
+  | No_sanitizer  (** plain run: the overhead baseline *)
+  | Embsan_cfg of Embsan.sanitizers  (** EmbSan in the Table-1 mode *)
+  | Embsan_mode of Embsan.sanitizers * [ `C | `D ]  (** forced mode *)
+  | Native_kasan  (** in-guest KASAN baseline build *)
+  | Native_kcsan  (** in-guest KCSAN baseline build *)
+
+val config_name : config -> string
+
+type instance = {
+  machine : Embsan_emu.Machine.t;
+  sink : Report.sink;
+  fw : Firmware_db.firmware;
+}
+
+exception Boot_failed of string
+
+(** Memoized probing phase for (firmware, sanitizers, kcov, mode). *)
+val session_for :
+  ?kcov:bool ->
+  ?forced_mode:[ `C | `D ] ->
+  Firmware_db.firmware ->
+  Embsan.sanitizers ->
+  Embsan.session
+
+(** Boot an instance (raises {!Boot_failed} if the firmware does not reach
+    the ready doorbell, or the configuration is impossible). *)
+val boot : ?harts:int -> ?kcov:bool -> Firmware_db.firmware -> config -> instance
+
+(** Execute one syscall; [Some stop] if the machine crashed. *)
+val syscall :
+  instance -> nr:int -> args:int array -> Embsan_emu.Machine.stop option
+
+(** Replay a call sequence, stopping at the first architectural crash. *)
+val replay : instance -> (int * int array) list -> outcome
+
+(** Boot + replay in one shot. *)
+val run_reproducer :
+  Firmware_db.firmware -> config -> (int * int array) list -> outcome
+
+(** Did the outcome detect this bug (matching symbol + compatible kind, or
+    a null fault for null bugs)? *)
+val detects : Defs.bug -> outcome -> bool

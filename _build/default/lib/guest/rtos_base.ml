@@ -1,0 +1,62 @@
+(* Shared kernel-core template for the RTOS-family guests (LiteOS,
+   FreeRTOS, VxWorks).  Smaller than the Linux base: single hart, indirect
+   service table, mailbox serve loop. *)
+
+let source ~banner ~inits =
+  let init_calls =
+    String.concat "\n" (List.map (fun f -> Printf.sprintf "  %s();" f) inits)
+  in
+  Printf.sprintf
+    {|
+arr syscall_table[96];
+barr os_banner[] = %S;
+
+fun sys_nop(a, b, c) { return a & (b | c) & 0; }
+fun sys_version(a, b, c) { return 0x00010004; }
+
+fun kmain() {
+  kheap_init();
+  uart_puts(&os_banner);
+  syscall_table[0] = &sys_nop;
+  syscall_table[1] = &sys_version;
+%s
+  mb_ready();
+  while (1) {
+    if (mb_pending()) {
+      var nr = mb_nr();
+      var ret = 0 - 38;
+      if (nr < 96) {
+        var fp = syscall_table[nr];
+        if (fp != 0) { ret = icall3(fp, mb_arg(0), mb_arg(1), mb_arg(2)); }
+      }
+      mb_complete(ret);
+    }
+  }
+  return 0;
+}
+|}
+    banner init_calls
+
+let core_syscalls =
+  [
+    { Defs.sc_nr = 0; sc_name = "nop"; sc_args = [ Defs.Any32; Defs.Any32; Defs.Any32 ] };
+    { Defs.sc_nr = 1; sc_name = "version"; sc_args = [] };
+  ]
+
+let sources ~banner ~alloc_unit (modules : Defs.module_def list) =
+  let inits = List.filter_map (fun m -> m.Defs.m_init) modules in
+  [ Libk.unit_; alloc_unit ]
+  @ [ { Embsan_minic.Driver.src_name = "rtos_base"; code = source ~banner ~inits } ]
+  @ List.map
+      (fun m -> { Embsan_minic.Driver.src_name = m.Defs.m_name; code = m.Defs.m_source })
+      modules
+
+let build ?(kcov = false) ~arch ~mode ~banner ~alloc_unit modules =
+  let cfg = { Embsan_minic.Driver.default_config with arch; mode; kcov } in
+  Embsan_minic.Driver.compile cfg (sources ~banner ~alloc_unit modules)
+
+let syscalls (modules : Defs.module_def list) =
+  core_syscalls @ List.concat_map (fun m -> m.Defs.m_syscalls) modules
+
+let bugs (modules : Defs.module_def list) =
+  List.concat_map (fun m -> m.Defs.m_bugs) modules

@@ -1,0 +1,734 @@
+(* The Table-2 bug suite: 25 previously-confirmed Embedded Linux bugs from
+   syzbot, re-created with the same function names, bug types and - for the
+   last two - the global-OOB class that only compile-time redzones catch.
+
+   Every bug registers one syscall (10 + index) whose handler reaches the
+   bad access under the trigger arguments; benign arguments exercise the
+   same path without the violation. *)
+
+open Defs
+module Report = Embsan_core.Report
+
+type case = {
+  c_location : string;
+  c_kind : Report.bug_kind;
+  c_class : bug_class;
+  c_source : string; (* defines a handler function named c_location *)
+  c_trigger : int array list; (* per-call args of the reproducer *)
+  c_benign : int array list;
+}
+
+let nr_of_index i = 10 + i
+
+(* Helper used by many cases: a stateful object freed on one path and used
+   on another.  Each case still has its own globals and field layout. *)
+
+let cases : case list =
+  [
+    {
+      c_location = "ringbuf_map_alloc";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.17-rc2 OOB: the ringbuf header is placed after the data area using
+// the unmasked size, so non-power-of-two sizes index past the allocation.
+fun ringbuf_map_alloc(a, b, c) {
+  var size = b & 0x7F;
+  if (size < 8) { return 0 - 22; }
+  var rb = kmalloc(72);
+  if (rb == 0) { return 0 - 12; }
+  store32(rb + (size & ~7), 0x52494E47);   // header at rounded size
+  var v = load32(rb);
+  kfree(rb);
+  return v & 0x7FFFFFFF;
+}
+|};
+      c_trigger = [ [| 0; 120; 0 |] ];
+      c_benign = [ [| 0; 48; 0 |] ];
+    };
+    {
+      c_location = "ieee80211_scan_rx";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var scan_req = 0;
+// 5.19 UAF: an aborted scan frees the request while beacons still route
+// through the rx path that dereferences it.
+fun ieee80211_scan_rx(a, b, c) {
+  if (a == 0) {
+    if (scan_req == 0) { scan_req = kmalloc(96); }
+    if (scan_req == 0) { return 0 - 12; }
+    store32(scan_req, 1);
+    return 0;
+  }
+  if (a == 1) {
+    if (scan_req != 0) { kfree(scan_req); }    // abort: pointer kept
+    return 0;
+  }
+  if (scan_req == 0) { return 0 - 2; }
+  return load32(scan_req);                      // rx after abort
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "bpf_prog_test_run_xdp";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.17-rc1 OOB: test-run sizes the frame for data_len but the XDP
+// metadata area is carved out in front without shrinking the data.
+fun bpf_prog_test_run_xdp(a, b, c) {
+  var data_len = b & 0xFF;
+  var meta_len = c & 31;
+  if (data_len > 128) { return 0 - 22; }
+  var frame = kmalloc(128);
+  if (frame == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < data_len + meta_len) {            // meta not accounted
+    store8(frame + i, i & 0xFF);
+    i = i + 1;
+  }
+  var v = load8(frame);
+  kfree(frame);
+  return v;
+}
+|};
+      c_trigger = [ [| 0; 120; 24 |] ];
+      c_benign = [ [| 0; 90; 24 |] ];
+    };
+    {
+      c_location = "btrfs_scan_one_device";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var syz_btrfs_dev = 0;
+// 5.17 UAF: device handle freed on the duplicate-fsid path but kept in
+// the scan list.
+fun btrfs_scan_one_device(a, b, c) {
+  if (syz_btrfs_dev == 0) {
+    syz_btrfs_dev = kmalloc(56);
+    if (syz_btrfs_dev == 0) { return 0 - 12; }
+    store32(syz_btrfs_dev + 4, 7);
+    return 0;
+  }
+  if (a == 1) {
+    kfree(syz_btrfs_dev);                      // duplicate fsid
+    return 0 - 17;
+  }
+  return load32(syz_btrfs_dev + 4);
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "post_one_notification";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var wq_pipe = 0;
+// 5.19-rc1 UAF: the watch-queue pipe is torn down while a notification
+// is being posted into its ring.
+fun post_one_notification(a, b, c) {
+  if (a == 0) {
+    if (wq_pipe == 0) { wq_pipe = kmalloc(64); }
+    if (wq_pipe == 0) { return 0 - 12; }
+    store32(wq_pipe, 0);
+    return 0;
+  }
+  if (a == 1) {
+    if (wq_pipe != 0) { kfree(wq_pipe); }      // teardown keeps pointer
+    return 0;
+  }
+  if (wq_pipe == 0) { return 0 - 2; }
+  var slot = load32(wq_pipe) & 7;
+  store32(wq_pipe + 8 + slot * 4, b);          // post into freed ring
+  store32(wq_pipe, slot + 1);
+  return slot;
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 5; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 5; 0 |] ];
+    };
+    {
+      c_location = "post_watch_notification";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var watch_list = 0;
+// 5.19-rc1 UAF: the watch list node is freed by key GC but the
+// notification walk still visits it.
+fun post_watch_notification(a, b, c) {
+  if (a == 0) {
+    if (watch_list == 0) { watch_list = kmalloc(48); }
+    if (watch_list == 0) { return 0 - 12; }
+    store32(watch_list + 12, b);
+    return 0;
+  }
+  if (a == 1) {
+    if (watch_list != 0) { kfree(watch_list); }
+    return 0;
+  }
+  if (watch_list == 0) { return 0 - 2; }
+  return load32(watch_list + 12);              // walk after GC
+}
+|};
+      c_trigger = [ [| 0; 3; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 3; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "watch_queue_set_filter";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.17-rc6 OOB: the filter copy trusts the user-supplied count before
+// clamping it to the allocated filter table.
+fun watch_queue_set_filter(a, b, c) {
+  var nr_filters = b & 31;
+  var wfilter = kmalloc(80);                   // room for 10 entries
+  if (wfilter == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < nr_filters) {
+    store32(wfilter + i * 8, c);
+    store32(wfilter + i * 8 + 4, i);
+    i = i + 1;
+  }
+  var v = load32(wfilter);
+  kfree(wfilter);
+  return v & 0x7FFFFFFF;
+}
+|};
+      c_trigger = [ [| 0; 12; 1 |] ];
+      c_benign = [ [| 0; 9; 1 |] ];
+    };
+    {
+      c_location = "free_pages";
+      c_kind = Report.Null_deref;
+      c_class = Null_bug;
+      c_source =
+        {|
+// 5.17-rc8 null-ptr-deref: freeing order-N pages with a null struct page
+// dereferences the page flags.
+fun free_pages(a, b, c) {
+  var page = 0;
+  if (b < 100) { page = kmalloc(32); }
+  if (page == 0) {
+    return load32(page + 4);                   // null + 4
+  }
+  var v = load32(page + 4);
+  kfree(page);
+  return v;
+}
+|};
+      c_trigger = [ [| 0; 200; 0 |] ];
+      c_benign = [ [| 0; 5; 0 |] ];
+    };
+    {
+      c_location = "vxlan_vnifilter_dump_dev";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.17 OOB: the VNI dump writes one summary entry per VNI but the
+// message buffer is sized for the previous dump's count.
+fun vxlan_vnifilter_dump_dev(a, b, c) {
+  var vnis = b & 15;
+  var msg = kmalloc(96);                       // 8 entries x 12
+  if (msg == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < vnis) {
+    store32(msg + i * 12, 0x08000000 + i);
+    store32(msg + i * 12 + 4, c);
+    store32(msg + i * 12 + 8, 0);
+    i = i + 1;
+  }
+  var v = load32(msg);
+  kfree(msg);
+  return v & 0x7FFFFFFF;
+}
+|};
+      c_trigger = [ [| 0; 10; 0 |] ];
+      c_benign = [ [| 0; 7; 0 |] ];
+    };
+    {
+      c_location = "imageblit";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.19 OOB: console blit with a y offset beyond the framebuffer height
+// writes past the end of the framebuffer.
+fun imageblit(a, b, c) {
+  var fb = kmalloc(256);                       // 16x16 fb, 1 byte/px
+  if (fb == 0) { return 0 - 12; }
+  var y = b & 31;
+  var x = c & 15;
+  var row = 0;
+  while (row < 8) {
+    store8(fb + (y + row) * 16 + x, 0xFF);     // y > 8 runs off the fb
+    row = row + 1;
+  }
+  var v = load8(fb);
+  kfree(fb);
+  return v;
+}
+|};
+      c_trigger = [ [| 0; 12; 3 |] ];
+      c_benign = [ [| 0; 4; 3 |] ];
+    };
+    {
+      c_location = "bpf_jit_free";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 5.19-rc4 OOB: the JIT image size is rounded to the insn alignment when
+// poisoning the header, overrunning odd-sized images.
+fun bpf_jit_free(a, b, c) {
+  var img_size = (b & 63) + 4;
+  var img = kmalloc(img_size);
+  if (img == 0) { return 0 - 12; }
+  var rounded = (img_size + 7) & ~7;
+  var i = 0;
+  while (i < rounded) {
+    store8(img + i, 0xCC);                     // poison past odd sizes
+    i = i + 1;
+  }
+  var v = load8(img);
+  kfree(img);
+  return v;
+}
+|};
+      c_trigger = [ [| 0; 17; 0 |] ];
+      c_benign = [ [| 0; 20; 0 |] ];
+    };
+    {
+      c_location = "null_skcipher_crypt";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var skcipher_tfm = 0;
+// 5.17-rc6 UAF: the null-cipher tfm is freed while a request still
+// references it.
+fun null_skcipher_crypt(a, b, c) {
+  if (a == 0) {
+    if (skcipher_tfm == 0) { skcipher_tfm = kmalloc(40); }
+    if (skcipher_tfm == 0) { return 0 - 12; }
+    store32(skcipher_tfm, 0x63727970);
+    return 0;
+  }
+  if (a == 1) {
+    if (skcipher_tfm != 0) { kfree(skcipher_tfm); }
+    return 0;
+  }
+  if (skcipher_tfm == 0) { return 0 - 2; }
+  return load32(skcipher_tfm);                 // crypt after free
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "bio_poll";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var polled_bio = 0;
+// 5.18-rc6 UAF: the bio completes (and is freed) between submission and
+// the poll loop's dereference.
+fun bio_poll(a, b, c) {
+  if (a == 0) {
+    if (polled_bio == 0) { polled_bio = kmalloc(72); }
+    if (polled_bio == 0) { return 0 - 12; }
+    store32(polled_bio + 16, 0);               // bi_status
+    return 0;
+  }
+  if (a == 1) {
+    if (polled_bio != 0) { kfree(polled_bio); }   // completion frees
+    return 0;
+  }
+  if (polled_bio == 0) { return 0 - 2; }
+  return load32(polled_bio + 16);              // poll after completion
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "blk_mq_sched_free_rqs";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var sched_tags = 0;
+// 5.18 UAF: the scheduler tag set is freed on elevator switch while the
+// flush path still walks the request array.
+fun blk_mq_sched_free_rqs(a, b, c) {
+  if (a == 0) {
+    if (sched_tags == 0) { sched_tags = kmalloc(112); }
+    if (sched_tags == 0) { return 0 - 12; }
+    store32(sched_tags + 8, b & 7);
+    return 0;
+  }
+  if (a == 1) {
+    if (sched_tags != 0) { kfree(sched_tags); }
+    return 0;
+  }
+  if (sched_tags == 0) { return 0 - 2; }
+  var n = load32(sched_tags + 8);              // walk after free
+  return n;
+}
+|};
+      c_trigger = [ [| 0; 3; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 3; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "do_sync_mmap_readahead";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var mmap_file = 0;
+// 5.18-rc7 UAF: the file is closed concurrently with a major fault's
+// readahead, which still reads the file's ra state.
+fun do_sync_mmap_readahead(a, b, c) {
+  if (a == 0) {
+    if (mmap_file == 0) { mmap_file = kmalloc(88); }
+    if (mmap_file == 0) { return 0 - 12; }
+    store32(mmap_file + 24, 32);               // ra_pages
+    return 0;
+  }
+  if (a == 1) {
+    if (mmap_file != 0) { kfree(mmap_file); }
+    return 0;
+  }
+  if (mmap_file == 0) { return 0 - 2; }
+  return load32(mmap_file + 24);               // readahead after close
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "filp_close";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var open_filp = 0;
+var filp_refs = 0;
+// 5.18 UAF: a second close on the same struct file reads its f_op after
+// the first close released it.
+fun filp_close(a, b, c) {
+  if (a == 0) {
+    if (open_filp == 0) { open_filp = kmalloc(64); filp_refs = 1; }
+    if (open_filp == 0) { return 0 - 12; }
+    store32(open_filp + 4, 0x66696C65);
+    return 0;
+  }
+  if (open_filp == 0) { return 0 - 9; }
+  var ops = load32(open_filp + 4);             // second close: UAF read
+  if (filp_refs == 1) {
+    kfree(open_filp);
+    filp_refs = 0;                             // pointer left behind
+  }
+  return ops & 0x7FFFFFFF;
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 1; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 1; 0; 0 |] ];
+    };
+    {
+      c_location = "setup_rw_floppy";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var floppy_cmd = 0;
+// 5.17-rc4 UAF: the raw command buffer is released by the timeout
+// handler while the interrupt path still programs the FDC from it.
+fun setup_rw_floppy(a, b, c) {
+  if (a == 0) {
+    if (floppy_cmd == 0) { floppy_cmd = kmalloc(48); }
+    if (floppy_cmd == 0) { return 0 - 12; }
+    store8(floppy_cmd, 0xE6);                  // READ DATA
+    return 0;
+  }
+  if (a == 1) {
+    if (floppy_cmd != 0) { kfree(floppy_cmd); }  // timeout path
+    return 0;
+  }
+  if (floppy_cmd == 0) { return 0 - 2; }
+  return load8(floppy_cmd);                    // irq path after timeout
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "driver_register";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var drv_node = 0;
+// 5.18-next UAF: re-registering a driver whose private node was freed by
+// a failed probe reads the stale list node.
+fun driver_register(a, b, c) {
+  if (a == 0) {
+    if (drv_node == 0) { drv_node = kmalloc(56); }
+    if (drv_node == 0) { return 0 - 12; }
+    store32(drv_node + 8, 0);
+    return 0;
+  }
+  if (a == 1) {
+    if (drv_node != 0) { kfree(drv_node); }    // failed probe
+    return 0;
+  }
+  if (drv_node == 0) { return 0 - 2; }
+  return load32(drv_node + 8);                 // re-register
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "dev_uevent";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var uevent_dev = 0;
+// 5.17-rc4 UAF: a uevent is emitted for a device being deleted; the
+// kobject name is read after the release.
+fun dev_uevent(a, b, c) {
+  if (a == 0) {
+    if (uevent_dev == 0) { uevent_dev = kmalloc(72); }
+    if (uevent_dev == 0) { return 0 - 12; }
+    store8(uevent_dev + 32, 'e');
+    return 0;
+  }
+  if (a == 1) {
+    if (uevent_dev != 0) { kfree(uevent_dev); }
+    return 0;
+  }
+  if (uevent_dev == 0) { return 0 - 2; }
+  return load8(uevent_dev + 32);               // name read after release
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "run_unpack";
+      c_kind = Report.Oob_access;
+      c_class = Heap_bug;
+      c_source =
+        {|
+// 6.0 OOB (ntfs3): the run-list decompressor trusts the on-disk size
+// nibbles and writes entries past the mapping pairs array.
+fun run_unpack(a, b, c) {
+  var pairs = b & 31;
+  var runs = kmalloc(120);                     // 15 runs x 8
+  if (runs == 0) { return 0 - 12; }
+  var i = 0;
+  while (i < pairs) {
+    store32(runs + i * 8, c + i);
+    store32(runs + i * 8 + 4, i);
+    i = i + 1;
+  }
+  var v = load32(runs);
+  kfree(runs);
+  return v & 0x7FFFFFFF;
+}
+|};
+      c_trigger = [ [| 0; 17; 2 |] ];
+      c_benign = [ [| 0; 14; 2 |] ];
+    };
+    {
+      c_location = "ath9k_hif_usb_rx_cb";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var hif_rx_ctx = 0;
+// 5.19 UAF: USB disconnect frees the rx context while a completed URB's
+// callback still runs against it.
+fun ath9k_hif_usb_rx_cb(a, b, c) {
+  if (a == 0) {
+    if (hif_rx_ctx == 0) { hif_rx_ctx = kmalloc(64); }
+    if (hif_rx_ctx == 0) { return 0 - 12; }
+    store32(hif_rx_ctx + 12, 0);
+    return 0;
+  }
+  if (a == 1) {
+    if (hif_rx_ctx != 0) { kfree(hif_rx_ctx); }  // disconnect
+    return 0;
+  }
+  if (hif_rx_ctx == 0) { return 0 - 2; }
+  var n = load32(hif_rx_ctx + 12) + 1;
+  store32(hif_rx_ctx + 12, n);                   // URB callback
+  return n;
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0; 0 |] ];
+    };
+    {
+      c_location = "vma_adjust";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var adj_vma = 0;
+// 5.19-rc1 UAF: a vma merged away is freed, but the adjust path still
+// updates its end address.
+fun vma_adjust(a, b, c) {
+  if (a == 0) {
+    if (adj_vma == 0) { adj_vma = kmalloc(80); }
+    if (adj_vma == 0) { return 0 - 12; }
+    store32(adj_vma + 4, 0x2000);              // vm_end
+    return 0;
+  }
+  if (a == 1) {
+    if (adj_vma != 0) { kfree(adj_vma); }      // merged away
+    return 0;
+  }
+  if (adj_vma == 0) { return 0 - 2; }
+  store32(adj_vma + 4, b);                     // adjust after merge
+  return 0;
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 2; 0x3000; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 2; 0x3000; 0 |] ];
+    };
+    {
+      c_location = "nilfs_mdt_destroy";
+      c_kind = Report.Use_after_free;
+      c_class = Heap_bug;
+      c_source =
+        {|
+var mdt_info = 0;
+// 6.0-rc7 UAF: a failed fill_super destroys the mdt twice through two
+// error paths; the second destroy reads the freed info block.
+fun nilfs_mdt_destroy(a, b, c) {
+  if (a == 0) {
+    if (mdt_info == 0) { mdt_info = kmalloc(44); }
+    if (mdt_info == 0) { return 0 - 12; }
+    store32(mdt_info, 0x4E49);
+    return 0;
+  }
+  if (mdt_info == 0) { return 0 - 2; }
+  var v = load32(mdt_info);                    // second destroy reads
+  if (b == 0) {
+    kfree(mdt_info);                           // first destroy frees
+    if (c == 1) { mdt_info = 0; }
+  }
+  return v & 0xFFFF;
+}
+|};
+      c_trigger = [ [| 0; 0; 0 |]; [| 1; 0; 0 |]; [| 1; 0; 0 |] ];
+      c_benign = [ [| 0; 0; 0 |]; [| 1; 0; 1 |] ];
+    };
+    {
+      c_location = "fbcon_get_font";
+      c_kind = Report.Oob_access;
+      c_class = Global_bug;
+      c_source =
+        {|
+// built-in console fonts: 6 fonts x 16 bytes of header data
+barr builtin_fonts[96];
+// 5.7-rc5 GLOBAL OOB: the font index is validated against the newer
+// 8-font table, but this kernel ships 6 fonts.
+fun fbcon_get_font(a, b, c) {
+  var idx = b & 7;                             // idx 6..7 past the table
+  var off = idx * 16;
+  var v = load8(&builtin_fonts + off) + load8(&builtin_fonts + off + 8);
+  return v + (c & 0);
+}
+|};
+      c_trigger = [ [| 0; 6; 0 |] ];
+      c_benign = [ [| 0; 4; 0 |] ];
+    };
+    {
+      c_location = "string";
+      c_kind = Report.Oob_access;
+      c_class = Global_bug;
+      c_source =
+        {|
+// vsnprintf field-width padding table
+barr string_pad_table[24];
+// 4.17-rc1 GLOBAL OOB (lib/vsprintf string()): precision handling reads
+// the pad table one element past the end for maximal field widths.
+fun string(a, b, c) {
+  var width = b & 31;
+  if (width > 25) { return 0 - 22; }
+  var pad = load8(&string_pad_table + width); // width 24..25 past the table
+  return pad + (c & 0);
+}
+|};
+      c_trigger = [ [| 0; 25; 0 |] ];
+      c_benign = [ [| 0; 12; 0 |] ];
+    };
+  ]
+
+(* --- module assembly ---------------------------------------------------------- *)
+
+let module_of_cases () : module_def =
+  let sources = List.map (fun c -> c.c_source) cases in
+  let registrations =
+    List.mapi
+      (fun i c ->
+        Printf.sprintf "  syscall_table[%d] = &%s;" (nr_of_index i) c.c_location)
+      cases
+  in
+  let init =
+    Printf.sprintf "fun syzbot_suite_init() {\n%s\n  return 0;\n}\n"
+      (String.concat "\n" registrations)
+  in
+  let bugs =
+    List.mapi
+      (fun i c ->
+        {
+          b_id = "syzbot/" ^ c.c_location;
+          b_paper_location = c.c_location;
+          b_symbol = c.c_location;
+          b_alt_symbols = [];
+          b_kind = c.c_kind;
+          b_class = c.c_class;
+          b_syscalls = List.map (fun args -> (nr_of_index i, args)) c.c_trigger;
+          b_benign = List.map (fun args -> (nr_of_index i, args)) c.c_benign;
+        })
+      cases
+  in
+  let syscalls =
+    List.mapi
+      (fun i c ->
+        {
+          sc_nr = nr_of_index i;
+          sc_name = c.c_location;
+          sc_args = [ Flag [ 0; 1; 2 ]; Len; Any32 ];
+        })
+      cases
+  in
+  {
+    m_name = "syzbot_suite";
+    m_source = String.concat "\n" sources ^ "\n" ^ init;
+    m_init = Some "syzbot_suite_init";
+    m_syscalls = syscalls;
+    m_bugs = bugs;
+  }
+
+let suite = module_of_cases ()
+let bug_count = List.length cases

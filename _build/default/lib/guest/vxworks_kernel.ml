@@ -1,0 +1,161 @@
+(* VxWorks-style guest modeling the TP-Link WDR-7660 router firmware:
+   partition allocator and the PPPoE / DHCP server daemons.  This firmware
+   ships *stripped* (closed source): only the binary-mode prober applies.
+
+   Because the stripped image gives the prober no symbols, kmain performs a
+   handful of boot-time allocations so the dynamic allocator inference has
+   signal (real daemons allocate sockets and buffers at startup). *)
+
+open Defs
+module Report = Embsan_core.Report
+
+(* --- pppoed (OOB write) --------------------------------------------------------- *)
+
+let pppoed : module_def =
+  {
+    m_name = "vx_pppoed_mod";
+    m_source =
+      {|
+var pppoed_sessions = 0;
+
+// BUG (pppoed, OOB write): the PADR tag walker copies a tag value with
+// the on-wire tag length into the 16-byte host-uniq field.
+fun pppoed_input(tag_len, seed) {
+  if (tag_len > 32) { return 0 - 22; }
+  var pkt = memPartAlloc(40);                 // 24 header + 16 host-uniq
+  if (pkt == 0) { return 0 - 12; }
+  store32(pkt, 0x11090000);                   // ver/type/code
+  var i = 0;
+  while (i < tag_len) {
+    store8(pkt + 24 + i, (seed + i) & 0xFF);  // tag_len 17..32 spills
+    i = i + 1;
+  }
+  pppoed_sessions = pppoed_sessions + 1;
+  var v = load32(pkt);
+  memPartFree(pkt);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_pppoed(a, b, c) {
+  if (a == 0) { return pppoed_sessions; }
+  if (a == 1) { return pppoed_input(b, c); }
+  return 0 - 22;
+}
+
+fun vx_pppoed_init() {
+  syscall_table[20] = &sys_pppoed;
+  return 0;
+}
+|};
+    m_init = Some "vx_pppoed_init";
+    m_syscalls =
+      [
+        { sc_nr = 20; sc_name = "pppoed"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "vxworks/pppoed_input";
+          b_paper_location = "pppoed";
+          b_symbol = "pppoed_input";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (20, [| 1; 28; 5 |]) ];
+          b_benign = [ (20, [| 1; 12; 5 |]) ];
+        };
+      ];
+  }
+
+(* --- dhcpsd (OOB write) ------------------------------------------------------------ *)
+
+let dhcpsd : module_def =
+  {
+    m_name = "vx_dhcpsd_mod";
+    m_source =
+      {|
+var dhcpsd_leases = 0;
+
+// BUG (dhcpsd, OOB write): DHCP option 12 (hostname) is copied into the
+// lease record with the option length; the record reserves 20 bytes.
+fun dhcpsd_parse_options(opt_len, seed) {
+  if (opt_len > 48) { return 0 - 22; }
+  var lease = memPartAlloc(32);               // 12 header + 20 hostname
+  if (lease == 0) { return 0 - 12; }
+  store32(lease, 0xC0A80164);                 // leased address
+  var i = 0;
+  while (i < opt_len) {
+    store8(lease + 12 + i, (seed + i) & 0x7F);  // opt_len 21..48 spills
+    i = i + 1;
+  }
+  dhcpsd_leases = dhcpsd_leases + 1;
+  var v = load32(lease);
+  memPartFree(lease);
+  return v & 0x7FFFFFFF;
+}
+
+fun sys_dhcpsd(a, b, c) {
+  if (a == 0) { return dhcpsd_leases; }
+  if (a == 1) { return dhcpsd_parse_options(b, c); }
+  return 0 - 22;
+}
+
+fun vx_dhcpsd_init() {
+  syscall_table[21] = &sys_dhcpsd;
+  return 0;
+}
+|};
+    m_init = Some "vx_dhcpsd_init";
+    m_syscalls =
+      [
+        { sc_nr = 21; sc_name = "dhcpsd"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "vxworks/dhcpsd_parse_options";
+          b_paper_location = "dhcpsd";
+          b_symbol = "dhcpsd_parse_options";
+          b_alt_symbols = [];
+          b_kind = Report.Oob_access;
+          b_class = Heap_bug;
+          b_syscalls = [ (21, [| 1; 30; 9 |]) ];
+          b_benign = [ (21, [| 1; 16; 9 |]) ];
+        };
+      ];
+  }
+
+(* boot-time daemon startup: allocates socket and buffer objects so the
+   binary-mode prober's dynamic inference sees allocator behavior *)
+let boot_daemons : module_def =
+  {
+    m_name = "vx_boot";
+    m_source =
+      {|
+var vx_sock_pppoe = 0;
+var vx_sock_dhcp = 0;
+var vx_log_ring = 0;
+
+fun vx_daemons_start() {
+  vx_sock_pppoe = memPartAlloc(48);
+  vx_sock_dhcp = memPartAlloc(48);
+  vx_log_ring = memPartAlloc(96);
+  var tmp = memPartAlloc(24);
+  memPartFree(tmp);
+  return 0;
+}
+|};
+    m_init = Some "vx_daemons_start";
+    m_syscalls = [];
+    m_bugs = [];
+  }
+
+let banner = "VxWorks-EV bootrom\n"
+let modules = [ boot_daemons; pppoed; dhcpsd ]
+
+(** Build the firmware image; [stripped] (default) models the closed-source
+    binary the tester actually has. *)
+let build ?(stripped = true) ?(kcov = false) ~arch ~mode () =
+  let img = Rtos_base.build ~kcov ~arch ~mode ~banner ~alloc_unit:Alloc_vxheap.unit_ modules in
+  let img = if stripped then Embsan_isa.Image.strip img else img in
+  (img, Rtos_base.syscalls modules, Rtos_base.bugs modules)

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Bytes Char Codec Format Hashtbl Image Insn List Reg String Word32

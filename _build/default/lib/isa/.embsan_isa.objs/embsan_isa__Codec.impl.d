@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Arch Bytes Char Insn List Printf Reg String Word32

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Buffer Codec Fmt Image Insn Reg String Word32

@@ -1,0 +1,1 @@
+lib/isa/image.ml: Arch Buffer Char Fmt List String Word32

@@ -1,0 +1,51 @@
+(* Architecture flavors of the EVA-32 instruction set.
+
+   The three flavors share instruction semantics but differ in binary
+   encoding: opcode numbering and immediate endianness.  This forces every
+   consumer of firmware bytes (loader, prober, disassembler) through
+   arch-dependent paths, mirroring the paper's x86 / ARM / MIPS targets. *)
+
+type t =
+  | Arm_ev
+  | Mips_ev
+  | X86_ev
+
+let all = [ Arm_ev; Mips_ev; X86_ev ]
+
+let to_string = function
+  | Arm_ev -> "arm-ev"
+  | Mips_ev -> "mips-ev"
+  | X86_ev -> "x86-ev"
+
+let of_string = function
+  | "arm-ev" -> Some Arm_ev
+  | "mips-ev" -> Some Mips_ev
+  | "x86-ev" -> Some X86_ev
+  | _ -> None
+
+let to_byte = function Arm_ev -> 0xA1 | Mips_ev -> 0xB2 | X86_ev -> 0xC3
+
+let of_byte = function
+  | 0xA1 -> Some Arm_ev
+  | 0xB2 -> Some Mips_ev
+  | 0xC3 -> Some X86_ev
+  | _ -> None
+
+(** Immediate fields are big-endian on [Mips_ev], little-endian otherwise. *)
+let big_endian = function Mips_ev -> true | Arm_ev | X86_ev -> false
+
+(** Injective opcode-byte transformation applied to the canonical opcode
+    index.  Each flavor has a distinct instruction encoding. *)
+let opcode_byte arch canonical =
+  match arch with
+  | Arm_ev -> canonical
+  | Mips_ev -> (canonical + 0x40) land 0xFF
+  | X86_ev -> canonical lxor 0xA5
+
+let opcode_index arch byte =
+  match arch with
+  | Arm_ev -> byte
+  | Mips_ev -> (byte - 0x40) land 0xFF
+  | X86_ev -> byte lxor 0xA5
+
+let pp fmt arch = Fmt.string fmt (to_string arch)

@@ -1,0 +1,20 @@
+(** Architecture flavors of the EVA-32 instruction set: shared semantics,
+    different binary encodings (opcode numbering and immediate endianness),
+    standing in for the paper's x86 / ARM / MIPS targets. *)
+
+type t = Arm_ev | Mips_ev | X86_ev
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val to_byte : t -> int
+val of_byte : int -> t option
+
+(** Immediate fields are big-endian on [Mips_ev]. *)
+val big_endian : t -> bool
+
+(** Injective opcode-byte transformation of the canonical opcode index. *)
+val opcode_byte : t -> int -> int
+
+val opcode_index : t -> int -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,199 @@
+(* Binary encoder/decoder for EVA-32 instructions, parameterized by
+   architecture flavor (opcode numbering and immediate endianness). *)
+
+exception Decode_error of { addr : int; reason : string }
+
+(* Canonical opcode indices.  0 is deliberately invalid so that executing
+   zero-filled memory faults immediately. *)
+
+let alu_index = function
+  | Insn.Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Divu -> 3
+  | Remu -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shru -> 9
+  | Shrs -> 10
+  | Slt -> 11
+  | Sltu -> 12
+  | Seq -> 13
+  | Sne -> 14
+
+let alu_of_index = function
+  | 0 -> Insn.Add
+  | 1 -> Sub
+  | 2 -> Mul
+  | 3 -> Divu
+  | 4 -> Remu
+  | 5 -> And
+  | 6 -> Or
+  | 7 -> Xor
+  | 8 -> Shl
+  | 9 -> Shru
+  | 10 -> Shrs
+  | 11 -> Slt
+  | 12 -> Sltu
+  | 13 -> Seq
+  | 14 -> Sne
+  | _ -> invalid_arg "alu_of_index"
+
+let cond_index = function
+  | Insn.Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ltu -> 3
+  | Ge -> 4
+  | Geu -> 5
+
+let cond_of_index = function
+  | 0 -> Insn.Eq
+  | 1 -> Ne
+  | 2 -> Lt
+  | 3 -> Ltu
+  | 4 -> Ge
+  | 5 -> Geu
+  | _ -> invalid_arg "cond_of_index"
+
+(* Canonical opcode layout:
+   1          nop
+   2          halt
+   3          li
+   4..18      alu (reg-reg)
+   19..33     alu (reg-imm)
+   34..38     loads: lb lbu lh lhu lw
+   39..41     stores: sb sh sw
+   42..47     branches
+   48         jal
+   49         jalr
+   50         trap
+   51         amo.add
+   52         amo.swap
+   53         fence *)
+
+let canonical_of_insn (insn : Insn.t) =
+  match insn with
+  | Nop -> 1
+  | Halt -> 2
+  | Li _ -> 3
+  | Alu (op, _, _, _) -> 4 + alu_index op
+  | Alui (op, _, _, _) -> 19 + alu_index op
+  | Load (W8, true, _, _, _) -> 34
+  | Load (W8, false, _, _, _) -> 35
+  | Load (W16, true, _, _, _) -> 36
+  | Load (W16, false, _, _, _) -> 37
+  | Load (W32, _, _, _, _) -> 38
+  | Store (W8, _, _, _) -> 39
+  | Store (W16, _, _, _) -> 40
+  | Store (W32, _, _, _) -> 41
+  | Branch (c, _, _, _) -> 42 + cond_index c
+  | Jal _ -> 48
+  | Jalr _ -> 49
+  | Trap _ -> 50
+  | Amo (Amo_add, _, _, _) -> 51
+  | Amo (Amo_swap, _, _, _) -> 52
+  | Fence -> 53
+
+let max_canonical = 53
+
+let fields (insn : Insn.t) =
+  (* (rd, rs1, rs2, imm) for the fixed encoding slots. *)
+  match insn with
+  | Nop | Halt | Fence -> (0, 0, 0, 0)
+  | Li (rd, imm) -> (Reg.to_int rd, 0, 0, imm)
+  | Alu (_, rd, rs1, rs2) -> (Reg.to_int rd, Reg.to_int rs1, Reg.to_int rs2, 0)
+  | Alui (_, rd, rs1, imm) -> (Reg.to_int rd, Reg.to_int rs1, 0, imm)
+  | Load (_, _, rd, rs1, imm) -> (Reg.to_int rd, Reg.to_int rs1, 0, imm)
+  | Store (_, rs1, rs2, imm) -> (0, Reg.to_int rs1, Reg.to_int rs2, imm)
+  | Branch (_, rs1, rs2, imm) -> (0, Reg.to_int rs1, Reg.to_int rs2, imm)
+  | Jal (rd, imm) -> (Reg.to_int rd, 0, 0, imm)
+  | Jalr (rd, rs1, imm) -> (Reg.to_int rd, Reg.to_int rs1, 0, imm)
+  | Trap n -> (0, 0, 0, n)
+  | Amo (_, rd, rs1, rs2) -> (Reg.to_int rd, Reg.to_int rs1, Reg.to_int rs2, 0)
+
+let encode_into arch buf pos insn =
+  let canonical = canonical_of_insn insn in
+  let rd, rs1, rs2, imm = fields insn in
+  let imm = Word32.wrap imm in
+  Bytes.set_uint8 buf pos (Arch.opcode_byte arch canonical);
+  Bytes.set_uint8 buf (pos + 1) rd;
+  Bytes.set_uint8 buf (pos + 2) rs1;
+  Bytes.set_uint8 buf (pos + 3) rs2;
+  if Arch.big_endian arch then (
+    Bytes.set_uint8 buf (pos + 4) ((imm lsr 24) land 0xFF);
+    Bytes.set_uint8 buf (pos + 5) ((imm lsr 16) land 0xFF);
+    Bytes.set_uint8 buf (pos + 6) ((imm lsr 8) land 0xFF);
+    Bytes.set_uint8 buf (pos + 7) (imm land 0xFF))
+  else (
+    Bytes.set_uint8 buf (pos + 4) (imm land 0xFF);
+    Bytes.set_uint8 buf (pos + 5) ((imm lsr 8) land 0xFF);
+    Bytes.set_uint8 buf (pos + 6) ((imm lsr 16) land 0xFF);
+    Bytes.set_uint8 buf (pos + 7) ((imm lsr 24) land 0xFF))
+
+let encode arch insn =
+  let buf = Bytes.create Insn.size in
+  encode_into arch buf 0 insn;
+  Bytes.to_string buf
+
+let read_imm arch (get : int -> int) pos =
+  if Arch.big_endian arch then
+    (get (pos + 4) lsl 24)
+    lor (get (pos + 5) lsl 16)
+    lor (get (pos + 6) lsl 8)
+    lor get (pos + 7)
+  else
+    get (pos + 4)
+    lor (get (pos + 5) lsl 8)
+    lor (get (pos + 6) lsl 16)
+    lor (get (pos + 7) lsl 24)
+
+(** Decode the 8-byte instruction whose bytes are read through [get]
+    starting at byte offset [pos].  [addr] is used for error reporting. *)
+let decode_with arch ~addr (get : int -> int) pos =
+  let opcode = Arch.opcode_index arch (get pos) in
+  let rd () = Reg.of_int (get (pos + 1))
+  and rs1 () = Reg.of_int (get (pos + 2))
+  and rs2 () = Reg.of_int (get (pos + 3)) in
+  let imm () = read_imm arch get pos in
+  let simm () = Word32.signed (imm ()) in
+  if opcode < 1 || opcode > max_canonical then
+    raise (Decode_error { addr; reason = Printf.sprintf "bad opcode %d" opcode })
+  else
+    match opcode with
+    | 1 -> Insn.Nop
+    | 2 -> Halt
+    | 3 -> Li (rd (), imm ())
+    | n when n >= 4 && n <= 18 -> Alu (alu_of_index (n - 4), rd (), rs1 (), rs2 ())
+    | n when n >= 19 && n <= 33 -> Alui (alu_of_index (n - 19), rd (), rs1 (), simm ())
+    | 34 -> Load (W8, true, rd (), rs1 (), simm ())
+    | 35 -> Load (W8, false, rd (), rs1 (), simm ())
+    | 36 -> Load (W16, true, rd (), rs1 (), simm ())
+    | 37 -> Load (W16, false, rd (), rs1 (), simm ())
+    | 38 -> Load (W32, false, rd (), rs1 (), simm ())
+    | 39 -> Store (W8, rs1 (), rs2 (), simm ())
+    | 40 -> Store (W16, rs1 (), rs2 (), simm ())
+    | 41 -> Store (W32, rs1 (), rs2 (), simm ())
+    | n when n >= 42 && n <= 47 -> Branch (cond_of_index (n - 42), rs1 (), rs2 (), simm ())
+    | 48 -> Jal (rd (), simm ())
+    | 49 -> Jalr (rd (), rs1 (), simm ())
+    | 50 -> Trap (imm ())
+    | 51 -> Amo (Amo_add, rd (), rs1 (), rs2 ())
+    | 52 -> Amo (Amo_swap, rd (), rs1 (), rs2 ())
+    | 53 -> Fence
+    | _ ->
+        raise
+          (Decode_error { addr; reason = Printf.sprintf "bad opcode %d" opcode })
+
+let decode arch ~addr (s : string) pos =
+  decode_with arch ~addr (fun i -> Char.code s.[i]) pos
+
+(** [decode_all arch s] decodes a whole code blob; raises {!Decode_error} on
+    the first invalid instruction. *)
+let decode_all arch ~base (s : string) =
+  let n = String.length s / Insn.size in
+  List.init n (fun i ->
+      let pos = i * Insn.size in
+      (base + pos, decode arch ~addr:(base + pos) s pos))

@@ -1,0 +1,21 @@
+(** Binary encoder/decoder for EVA-32 instructions, parameterized by
+    architecture flavor. *)
+
+exception Decode_error of { addr : int; reason : string }
+
+(** Encode [insn] into [buf] at byte offset [pos] (8 bytes). *)
+val encode_into : Arch.t -> bytes -> int -> Insn.t -> unit
+
+(** Encode to a fresh 8-byte string. *)
+val encode : Arch.t -> Insn.t -> string
+
+(** Decode the instruction whose bytes are read through [get] starting at
+    byte offset [pos]; [addr] is used in error reports. *)
+val decode_with : Arch.t -> addr:int -> (int -> int) -> int -> Insn.t
+
+(** Decode from a string at byte offset [pos]. *)
+val decode : Arch.t -> addr:int -> string -> int -> Insn.t
+
+(** Decode a whole code blob into (address, instruction) pairs; raises
+    {!Decode_error} on the first invalid slot. *)
+val decode_all : Arch.t -> base:int -> string -> (int * Insn.t) list

@@ -1,0 +1,56 @@
+(* Textual disassembly of EVA-32 instructions. *)
+
+let pp_insn fmt (insn : Insn.t) =
+  let r = Reg.name in
+  match insn with
+  | Nop -> Fmt.string fmt "nop"
+  | Halt -> Fmt.string fmt "halt"
+  | Fence -> Fmt.string fmt "fence"
+  | Li (rd, imm) -> Fmt.pf fmt "li %s, %s" (r rd) (Word32.to_hex imm)
+  | Alu (op, rd, rs1, rs2) ->
+      Fmt.pf fmt "%s %s, %s, %s" (Insn.alu_name op) (r rd) (r rs1) (r rs2)
+  | Alui (op, rd, rs1, imm) ->
+      Fmt.pf fmt "%si %s, %s, %d" (Insn.alu_name op) (r rd) (r rs1) imm
+  | Load (w, signed, rd, rs1, imm) ->
+      let mnem =
+        match (w, signed) with
+        | W8, true -> "lb"
+        | W8, false -> "lbu"
+        | W16, true -> "lh"
+        | W16, false -> "lhu"
+        | W32, _ -> "lw"
+      in
+      Fmt.pf fmt "%s %s, %d(%s)" mnem (r rd) imm (r rs1)
+  | Store (w, rs1, rs2, imm) ->
+      let mnem = match w with W8 -> "sb" | W16 -> "sh" | W32 -> "sw" in
+      Fmt.pf fmt "%s %s, %d(%s)" mnem (r rs2) imm (r rs1)
+  | Branch (c, rs1, rs2, imm) ->
+      Fmt.pf fmt "%s %s, %s, %+d" (Insn.cond_name c) (r rs1) (r rs2) imm
+  | Jal (rd, imm) -> Fmt.pf fmt "jal %s, %+d" (r rd) imm
+  | Jalr (rd, rs1, imm) -> Fmt.pf fmt "jalr %s, %d(%s)" (r rd) imm (r rs1)
+  | Trap n -> Fmt.pf fmt "trap %d" n
+  | Amo (Amo_add, rd, rs1, rs2) ->
+      Fmt.pf fmt "amo.add %s, %s, (%s)" (r rd) (r rs2) (r rs1)
+  | Amo (Amo_swap, rd, rs1, rs2) ->
+      Fmt.pf fmt "amo.swap %s, %s, (%s)" (r rd) (r rs2) (r rs1)
+
+let to_string insn = Fmt.str "%a" pp_insn insn
+
+(** Disassemble a code section of an image; tolerant of embedded data
+    (undecodable slots print as [.word]). *)
+let section_listing (image : Image.t) (sec : Image.section) =
+  let buf = Buffer.create 1024 in
+  let n = String.length sec.data / Insn.size in
+  for i = 0 to n - 1 do
+    let addr = sec.base + (i * Insn.size) in
+    (match Image.symbol_at image addr with
+    | Some s when s.addr = addr -> Buffer.add_string buf (Fmt.str "%s:\n" s.name)
+    | Some _ | None -> ());
+    let line =
+      match Codec.decode image.arch ~addr sec.data (i * Insn.size) with
+      | insn -> to_string insn
+      | exception Codec.Decode_error _ -> ".word (data)"
+    in
+    Buffer.add_string buf (Fmt.str "  %s: %s\n" (Word32.to_hex addr) line)
+  done;
+  Buffer.contents buf

@@ -1,0 +1,8 @@
+(** Textual disassembly of EVA-32 instructions. *)
+
+val pp_insn : Format.formatter -> Insn.t -> unit
+val to_string : Insn.t -> string
+
+(** Disassemble a code section with symbol labels; undecodable slots print
+    as data words. *)
+val section_listing : Image.t -> Image.section -> string

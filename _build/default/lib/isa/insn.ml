@@ -1,0 +1,92 @@
+(* EVA-32 instruction set.
+
+   Every instruction occupies 8 bytes:
+     byte 0      opcode (flavor-transformed, see {!Arch.opcode_byte})
+     byte 1      rd
+     byte 2      rs1
+     byte 3      rs2
+     bytes 4..7  32-bit immediate (endianness per flavor)
+
+   Control flow: branch and jump offsets are byte offsets relative to the
+   address of the branch instruction itself. *)
+
+type width = W8 | W16 | W32
+
+let width_bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Divu
+  | Remu
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shru
+  | Shrs
+  | Slt   (* signed less-than, result 0/1 *)
+  | Sltu  (* unsigned less-than *)
+  | Seq
+  | Sne
+
+type cond = Eq | Ne | Lt | Ltu | Ge | Geu
+
+type amo_op = Amo_add | Amo_swap
+
+type t =
+  | Nop
+  | Halt
+  | Li of Reg.t * int (* rd <- imm *)
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t (* rd <- rs1 op rs2 *)
+  | Alui of alu_op * Reg.t * Reg.t * int (* rd <- rs1 op imm *)
+  | Load of width * bool * Reg.t * Reg.t * int
+      (* (width, signed, rd, rs1, imm): rd <- mem[rs1+imm] *)
+  | Store of width * Reg.t * Reg.t * int
+      (* (width, rs1, rs2, imm): mem[rs1+imm] <- rs2 *)
+  | Branch of cond * Reg.t * Reg.t * int (* if rs1 cond rs2 then pc += imm *)
+  | Jal of Reg.t * int (* rd <- pc+8; pc += imm *)
+  | Jalr of Reg.t * Reg.t * int (* rd <- pc+8; pc <- rs1+imm *)
+  | Trap of int (* hypercall, number in imm *)
+  | Amo of amo_op * Reg.t * Reg.t * Reg.t
+      (* (op, rd, rs1, rs2): rd <- mem32[rs1]; mem32[rs1] <- op old rs2 *)
+  | Fence
+
+let size = 8
+
+let alu_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Divu -> "divu"
+  | Remu -> "remu"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Shru -> "shru"
+  | Shrs -> "shrs"
+  | Slt -> "slt"
+  | Sltu -> "sltu"
+  | Seq -> "seq"
+  | Sne -> "sne"
+
+let cond_name = function
+  | Eq -> "beq"
+  | Ne -> "bne"
+  | Lt -> "blt"
+  | Ltu -> "bltu"
+  | Ge -> "bge"
+  | Geu -> "bgeu"
+
+(** Does this instruction end a basic block? *)
+let ends_block = function
+  | Branch _ | Jal _ | Jalr _ | Halt | Trap _ -> true
+  | Nop | Li _ | Alu _ | Alui _ | Load _ | Store _ | Amo _ | Fence -> false
+
+let is_memory_access = function
+  | Load _ | Store _ | Amo _ -> true
+  | Nop | Halt | Li _ | Alu _ | Alui _ | Branch _ | Jal _ | Jalr _ | Trap _
+  | Fence ->
+      false

@@ -1,0 +1,58 @@
+(** EVA-32 instruction set.  Every instruction occupies 8 bytes; branch and
+    jump offsets are byte offsets relative to the branch instruction's own
+    address. *)
+
+type width = W8 | W16 | W32
+
+val width_bytes : width -> int
+
+type alu_op =
+  | Add
+  | Sub
+  | Mul
+  | Divu
+  | Remu
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Shru
+  | Shrs
+  | Slt  (** signed less-than, result 0/1 *)
+  | Sltu  (** unsigned less-than *)
+  | Seq
+  | Sne
+
+type cond = Eq | Ne | Lt | Ltu | Ge | Geu
+
+type amo_op = Amo_add | Amo_swap
+
+type t =
+  | Nop
+  | Halt
+  | Li of Reg.t * int  (** rd <- imm *)
+  | Alu of alu_op * Reg.t * Reg.t * Reg.t  (** rd <- rs1 op rs2 *)
+  | Alui of alu_op * Reg.t * Reg.t * int  (** rd <- rs1 op imm *)
+  | Load of width * bool * Reg.t * Reg.t * int
+      (** (width, signed, rd, rs1, imm): rd <- mem\[rs1+imm\] *)
+  | Store of width * Reg.t * Reg.t * int
+      (** (width, rs1, rs2, imm): mem\[rs1+imm\] <- rs2 *)
+  | Branch of cond * Reg.t * Reg.t * int
+      (** if rs1 cond rs2 then pc += imm *)
+  | Jal of Reg.t * int  (** rd <- pc+8; pc += imm *)
+  | Jalr of Reg.t * Reg.t * int  (** rd <- pc+8; pc <- rs1+imm *)
+  | Trap of int  (** hypercall *)
+  | Amo of amo_op * Reg.t * Reg.t * Reg.t
+      (** (op, rd, rs1, rs2): rd <- mem32\[rs1\]; mem32\[rs1\] <- op old rs2 *)
+  | Fence
+
+(** Instruction size in bytes (fixed). *)
+val size : int
+
+val alu_name : alu_op -> string
+val cond_name : cond -> string
+
+(** Does this instruction end a basic block? *)
+val ends_block : t -> bool
+
+val is_memory_access : t -> bool

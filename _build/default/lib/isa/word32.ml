@@ -1,0 +1,35 @@
+(* 32-bit machine words represented as OCaml ints in [0, 2^32). *)
+
+let mask = 0xFFFF_FFFF
+
+let wrap v = v land mask
+
+(** Two's-complement signed view of a 32-bit word. *)
+let signed v =
+  let v = wrap v in
+  if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v
+
+let of_signed v = wrap v
+
+let add a b = wrap (a + b)
+let sub a b = wrap (a - b)
+let mul a b = wrap (a * b)
+
+let divu a b = if b = 0 then mask else wrap a / wrap b
+let remu a b = if b = 0 then wrap a else wrap a mod wrap b
+
+let shl a n = wrap (a lsl (n land 31))
+let shru a n = wrap a lsr (n land 31)
+let shrs a n = of_signed (signed a asr (n land 31))
+
+let lt_s a b = signed a < signed b
+let lt_u a b = wrap a < wrap b
+
+(** Sign-extend the low [bits] bits of [v] to a full word. *)
+let sext v bits =
+  let v = v land ((1 lsl bits) - 1) in
+  if v land (1 lsl (bits - 1)) <> 0 then wrap (v - (1 lsl bits)) else v
+
+let zext v bits = v land ((1 lsl bits) - 1)
+
+let to_hex v = Printf.sprintf "0x%08x" (wrap v)

@@ -1,0 +1,34 @@
+(** 32-bit machine words represented as OCaml ints in [0, 2^32). *)
+
+val mask : int
+
+(** Truncate to 32 bits. *)
+val wrap : int -> int
+
+(** Two's-complement signed view of a 32-bit word. *)
+val signed : int -> int
+
+val of_signed : int -> int
+val add : int -> int -> int
+val sub : int -> int -> int
+val mul : int -> int -> int
+
+(** Unsigned division; division by zero yields all-ones (like many cores). *)
+val divu : int -> int -> int
+
+(** Unsigned remainder; remainder by zero yields the dividend. *)
+val remu : int -> int -> int
+
+val shl : int -> int -> int
+val shru : int -> int -> int
+val shrs : int -> int -> int
+val lt_s : int -> int -> bool
+val lt_u : int -> int -> bool
+
+(** Sign-extend the low [bits] bits to a full word. *)
+val sext : int -> int -> int
+
+(** Zero-extend (keep) the low [bits] bits. *)
+val zext : int -> int -> int
+
+val to_hex : int -> string

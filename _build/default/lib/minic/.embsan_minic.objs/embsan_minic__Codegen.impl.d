@@ -1,0 +1,1 @@
+lib/minic/codegen.ml: Array Asm Ast Check Embsan_emu Embsan_isa Format Hashtbl Insn List Printf Reg String Word32

@@ -1,0 +1,1 @@
+lib/minic/driver.ml: Arch Asm Check Codegen Embsan_isa List Parser Runtime_src

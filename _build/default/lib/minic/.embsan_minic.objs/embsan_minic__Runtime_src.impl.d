@@ -1,0 +1,1 @@
+lib/minic/runtime_src.ml: Codegen Embsan_emu Embsan_isa Insn Printf Reg

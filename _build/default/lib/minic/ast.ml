@@ -1,0 +1,94 @@
+(* MiniC abstract syntax.
+
+   MiniC is a small B-like systems language: every value is a 32-bit word.
+   Relational operators compare *unsigned* (use the [slt]/[sgt] builtins for
+   signed comparison); [/], [%] and [>>] are unsigned too.  Arrays come in
+   word ([arr]) and byte ([barr]) element sizes; indexing scales by the
+   element size.  Raw memory is reached through the load/store builtins. *)
+
+type unop = Neg | Not | Bnot
+
+type binop =
+  | Mul
+  | Div
+  | Mod
+  | Add
+  | Sub
+  | Shl
+  | Shr
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq
+  | Ne
+  | Band
+  | Bxor
+  | Bor
+  | Land (* short-circuit && *)
+  | Lor (* short-circuit || *)
+
+type expr =
+  | Int of int
+  | Ident of string
+  | Index of string * expr (* a[e], scaled by a's element size *)
+  | Addr of string (* &name: address of a global/local object *)
+  | Addr_index of string * expr (* &a[e] *)
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Call of string * expr list
+
+type elem_size = Word | Byte
+
+let elem_bytes = function Word -> 4 | Byte -> 1
+
+type stmt =
+  | Expr of expr
+  | Assign of string * expr
+  | Assign_index of string * expr * expr (* a[e1] = e2 *)
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | Return of expr option
+  | Break
+  | Continue
+  | Local of string * expr option (* var x; / var x = e; *)
+  | Local_array of string * elem_size * int (* arr x[n]; / barr x[n]; *)
+
+type ginit = Zero | Word_init of int list | Str_init of string
+
+type global =
+  | Gvar of string * int (* var g; / var g = <const>; *)
+  | Garray of string * elem_size * int * ginit
+
+type func = {
+  fname : string;
+  params : string list;
+  body : stmt list;
+  no_sanitize : bool; (* declared [nosan fun]: excluded from instrumentation *)
+}
+
+type comp_unit = { cu_name : string; globals : global list; funcs : func list }
+
+(* Builtins and their arities.  [trapN] builtins require a constant first
+   argument (the hypercall number). *)
+let builtins =
+  [
+    ("load8", 1);
+    ("load16", 1);
+    ("load32", 1);
+    ("store8", 2);
+    ("store16", 2);
+    ("store32", 2);
+    ("trap0", 1);
+    ("trap1", 2);
+    ("trap2", 3);
+    ("trap3", 4);
+    ("halt", 1);
+    ("amo_add", 2);
+    ("amo_swap", 2);
+    ("slt", 2); (* signed a < b *)
+    ("sgt", 2); (* signed a > b *)
+    ("icall3", 4); (* indirect call: icall3(fp, a, b, c) *)
+  ]
+
+let is_builtin name = List.mem_assoc name builtins

@@ -1,0 +1,178 @@
+(* Semantic checks and program-level symbol environment for MiniC.
+
+   A program is a set of compilation units linked together; global and
+   function names share one namespace and must be unique program-wide. *)
+
+exception Semantic_error of string
+
+let errf fmt = Format.kasprintf (fun s -> raise (Semantic_error s)) fmt
+
+type gobj =
+  | Var of { init : int }
+  | Array of { elem : Ast.elem_size; count : int; init : Ast.ginit }
+  | Func of { arity : int; no_sanitize : bool }
+
+type env = { objects : (string, gobj) Hashtbl.t }
+
+let max_args = 4
+
+let build_env (units : Ast.comp_unit list) =
+  let objects = Hashtbl.create 64 in
+  let add name obj =
+    if Hashtbl.mem objects name then errf "duplicate global name %s" name;
+    if Ast.is_builtin name then errf "%s shadows a builtin" name;
+    Hashtbl.add objects name obj
+  in
+  List.iter
+    (fun (u : Ast.comp_unit) ->
+      List.iter
+        (fun g ->
+          match g with
+          | Ast.Gvar (name, init) -> add name (Var { init })
+          | Ast.Garray (name, elem, count, init) ->
+              if count <= 0 then errf "array %s has non-positive size" name;
+              (match init with
+              | Ast.Str_init s when String.length s + 1 > count ->
+                  errf "initializer for %s longer than array" name
+              | Ast.Word_init ws when List.length ws > count ->
+                  errf "initializer for %s longer than array" name
+              | Ast.Zero | Ast.Str_init _ | Ast.Word_init _ -> ());
+              add name (Array { elem; count; init }))
+        u.globals;
+      List.iter
+        (fun (f : Ast.func) ->
+          if List.length f.params > max_args then
+            errf "%s: more than %d parameters" f.fname max_args;
+          let seen = Hashtbl.create 8 in
+          List.iter
+            (fun p ->
+              if Hashtbl.mem seen p then errf "%s: duplicate parameter %s" f.fname p;
+              Hashtbl.add seen p ())
+            f.params;
+          add f.fname
+            (Func { arity = List.length f.params; no_sanitize = f.no_sanitize }))
+        u.funcs)
+    units;
+  { objects }
+
+let lookup env name = Hashtbl.find_opt env.objects name
+
+(* Local scope within a function: name -> is_array (with elem size). *)
+type local = Lvar | Larray of Ast.elem_size * int
+
+let collect_locals (f : Ast.func) =
+  let locals = Hashtbl.create 16 in
+  List.iter (fun p -> Hashtbl.add locals p Lvar) f.params;
+  let declare name l =
+    if Hashtbl.mem locals name then
+      errf "%s: duplicate local %s" f.fname name;
+    Hashtbl.add locals name l
+  in
+  let rec scan_stmt (s : Ast.stmt) =
+    match s with
+    | Local (name, _) -> declare name Lvar
+    | Local_array (name, elem, n) ->
+        if n <= 0 then errf "%s: array %s has non-positive size" f.fname name;
+        declare name (Larray (elem, n))
+    | If (_, a, b) ->
+        List.iter scan_stmt a;
+        List.iter scan_stmt b
+    | While (_, body) -> List.iter scan_stmt body
+    | Expr _ | Assign _ | Assign_index _ | Return _ | Break | Continue -> ()
+  in
+  List.iter scan_stmt f.body;
+  locals
+
+let check_func env (f : Ast.func) =
+  let locals = collect_locals f in
+  let rec check_expr (e : Ast.expr) =
+    match e with
+    | Int _ -> ()
+    | Ident name -> (
+        match (Hashtbl.find_opt locals name, lookup env name) with
+        | Some Lvar, _ -> ()
+        | Some (Larray _), _ ->
+            errf "%s: array %s used as a scalar (use &%s)" f.fname name name
+        | None, Some (Var _) -> ()
+        | None, Some (Array _) ->
+            errf "%s: array %s used as a scalar (use &%s)" f.fname name name
+        | None, Some (Func _) ->
+            errf "%s: function %s used as a value (use &%s)" f.fname name name
+        | None, None -> errf "%s: undefined identifier %s" f.fname name)
+    | Index (name, idx) ->
+        (match (Hashtbl.find_opt locals name, lookup env name) with
+        | Some (Larray _), _ | None, Some (Array _) -> ()
+        | Some Lvar, _ | None, Some (Var _ | Func _) ->
+            errf "%s: %s is not an array" f.fname name
+        | None, None -> errf "%s: undefined array %s" f.fname name);
+        check_expr idx
+    | Addr name -> (
+        match (Hashtbl.find_opt locals name, lookup env name) with
+        | Some _, _ | None, Some _ -> ()
+        | None, None -> errf "%s: undefined identifier &%s" f.fname name)
+    | Addr_index (name, idx) ->
+        (match (Hashtbl.find_opt locals name, lookup env name) with
+        | Some (Larray _), _ | None, Some (Array _) -> ()
+        | _ -> errf "%s: &%s[...] requires an array" f.fname name);
+        check_expr idx
+    | Unop (_, e) -> check_expr e
+    | Binop (_, a, b) ->
+        check_expr a;
+        check_expr b
+    | Call (name, args) ->
+        List.iter check_expr args;
+        let n = List.length args in
+        (match List.assoc_opt name Ast.builtins with
+        | Some arity ->
+            if n <> arity then
+              errf "%s: builtin %s expects %d argument(s), got %d" f.fname name
+                arity n;
+            if String.length name > 4 && String.sub name 0 4 = "trap" then (
+              match args with
+              | Ast.Int _ :: _ -> ()
+              | _ -> errf "%s: %s requires a constant trap number" f.fname name)
+        | None -> (
+            match lookup env name with
+            | Some (Func { arity; _ }) ->
+                if n <> arity then
+                  errf "%s: %s expects %d argument(s), got %d" f.fname name
+                    arity n
+            | Some (Var _ | Array _) -> errf "%s: %s is not a function" f.fname name
+            | None -> errf "%s: undefined function %s" f.fname name))
+  in
+  let rec check_stmt ~in_loop (s : Ast.stmt) =
+    match s with
+    | Expr e -> check_expr e
+    | Assign (name, e) ->
+        (match (Hashtbl.find_opt locals name, lookup env name) with
+        | Some Lvar, _ | None, Some (Var _) -> ()
+        | Some (Larray _), _ | None, Some (Array _) ->
+            errf "%s: cannot assign to array %s" f.fname name
+        | None, Some (Func _) -> errf "%s: cannot assign to function %s" f.fname name
+        | None, None -> errf "%s: undefined identifier %s" f.fname name);
+        check_expr e
+    | Assign_index (name, idx, e) ->
+        check_expr (Index (name, idx));
+        check_expr e
+    | If (c, a, b) ->
+        check_expr c;
+        List.iter (check_stmt ~in_loop) a;
+        List.iter (check_stmt ~in_loop) b
+    | While (c, body) ->
+        check_expr c;
+        List.iter (check_stmt ~in_loop:true) body
+    | Return (Some e) -> check_expr e
+    | Return None -> ()
+    | Break | Continue ->
+        if not in_loop then errf "%s: break/continue outside loop" f.fname
+    | Local (_, Some e) -> check_expr e
+    | Local (_, None) | Local_array _ -> ()
+  in
+  List.iter (check_stmt ~in_loop:false) f.body
+
+(** Validate a whole program; returns the symbol environment used by
+    code generation. *)
+let check_program (units : Ast.comp_unit list) =
+  let env = build_env units in
+  List.iter (fun (u : Ast.comp_unit) -> List.iter (check_func env) u.funcs) units;
+  env

@@ -1,0 +1,21 @@
+(** Semantic checks and the program-level symbol environment for MiniC.
+    A program is a set of compilation units linked together; globals and
+    functions share one namespace and must be unique program-wide. *)
+
+exception Semantic_error of string
+
+type gobj =
+  | Var of { init : int }
+  | Array of { elem : Ast.elem_size; count : int; init : Ast.ginit }
+  | Func of { arity : int; no_sanitize : bool }
+
+type env = { objects : (string, gobj) Hashtbl.t }
+
+(** Functions take at most this many parameters (register-passed). *)
+val max_args : int
+
+val lookup : env -> string -> gobj option
+
+(** Validate a whole program; returns the environment code generation
+    uses.  Raises {!Semantic_error}. *)
+val check_program : Ast.comp_unit list -> env

@@ -1,0 +1,102 @@
+(* MiniC compilation driver: parse, check, generate code, link the
+   mode-appropriate runtime units and assemble a firmware image. *)
+
+open Embsan_isa
+
+type config = {
+  arch : Arch.t;
+  mode : Codegen.mode;
+  ram_base : int;
+  ram_size : int;
+  text_base : int;
+  redzone : int;
+  kcov : bool; (* compile kcov-style coverage callouts in *)
+  kcsan_interval : int; (* native KCSAN sampling interval (accesses) *)
+  kcsan_delay : int; (* native KCSAN watchpoint delay (loop iterations) *)
+}
+
+let default_config =
+  {
+    arch = Arch.Arm_ev;
+    mode = Codegen.Plain;
+    ram_base = 0x0001_0000;
+    ram_size = 4 * 1024 * 1024;
+    text_base = 0x0001_0000;
+    redzone = 16;
+    kcov = false;
+    kcsan_interval = 40;
+    kcsan_delay = 130;
+  }
+
+(* Memory layout: the top eighth of RAM is reserved as the (guest) shadow
+   region; the stack grows down from just below it.  All modes use the same
+   layout so overhead comparisons are apples-to-apples. *)
+let shadow_base cfg = cfg.ram_base + cfg.ram_size - (cfg.ram_size / 8)
+let stack_top cfg = shadow_base cfg
+let shadow_offset cfg = shadow_base cfg - (cfg.ram_base lsr 3)
+
+type source = { src_name : string; code : string }
+
+let runtime_sources cfg =
+  let st = stack_top cfg in
+  let glue =
+    match cfg.mode with
+    | Codegen.Plain -> Runtime_src.glue_plain ~stack_top:st
+    | Trap_callout -> Runtime_src.glue_trap ~stack_top:st
+    | Inline_kasan -> Runtime_src.glue_inline_kasan ~stack_top:st
+    | Inline_kcsan -> Runtime_src.glue_inline_kcsan ~stack_top:st
+  in
+  let extra =
+    match cfg.mode with
+    | Codegen.Inline_kasan ->
+        [
+          {
+            src_name = "kasan_rt";
+            code = Runtime_src.kasan_runtime ~shadow_offset:(shadow_offset cfg);
+          };
+        ]
+    | Inline_kcsan ->
+        [
+          {
+            src_name = "kcsan_rt";
+            code =
+              Runtime_src.kcsan_runtime ~interval:cfg.kcsan_interval
+                ~delay:cfg.kcsan_delay;
+          };
+        ]
+    | Plain | Trap_callout -> []
+  in
+  { src_name = "san_glue"; code = glue } :: extra
+
+(** Parse and semantically check sources plus the mode's runtime units. *)
+let frontend cfg sources =
+  let all = sources @ runtime_sources cfg in
+  let units =
+    List.map (fun s -> Parser.parse_unit ~name:s.src_name s.code) all
+  in
+  let env = Check.check_program units in
+  (env, units)
+
+(** Compile sources into a firmware image.  The guest entry point is the
+    [kmain] function; execution starts at the generated [_start]. *)
+let compile cfg sources =
+  let env, units = frontend cfg sources in
+  let opts =
+    {
+      Codegen.mode = cfg.mode;
+      redzone = cfg.redzone;
+      shadow_offset = shadow_offset cfg;
+      kcov = cfg.kcov;
+    }
+  in
+  let asm_units = Codegen.compile_program env opts ~stack_top:(stack_top cfg) units in
+  let asm_units =
+    match Runtime_src.stubs_unit cfg.mode with
+    | Some stub -> asm_units @ [ stub ]
+    | None -> asm_units
+  in
+  Asm.assemble ~arch:cfg.arch ~text_base:cfg.text_base ~entry:"_start" asm_units
+
+(** Convenience for tests: compile a single source string. *)
+let compile_string ?(cfg = default_config) ?(name = "test") code =
+  compile cfg [ { src_name = name; code } ]

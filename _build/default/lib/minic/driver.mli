@@ -1,0 +1,41 @@
+(** MiniC compilation driver: parse, check, generate code, link the
+    mode-appropriate runtime units (sanitizer glue, in-guest runtimes,
+    stubs) and assemble a firmware image. *)
+
+type config = {
+  arch : Embsan_isa.Arch.t;
+  mode : Codegen.mode;
+  ram_base : int;
+  ram_size : int;
+  text_base : int;
+  redzone : int;
+  kcov : bool;  (** compile kcov-style coverage callouts in *)
+  kcsan_interval : int;  (** native KCSAN sampling interval (accesses) *)
+  kcsan_delay : int;  (** native KCSAN watchpoint delay (iterations) *)
+}
+
+val default_config : config
+
+(** Memory layout: the top eighth of RAM is the (guest) shadow region; the
+    stack grows down from just below it.  All modes share the layout so
+    overhead comparisons are apples-to-apples. *)
+
+val shadow_base : config -> int
+val stack_top : config -> int
+
+(** Guest shadow mapping: shadow byte of [a] lives at
+    [(a lsr 3) + shadow_offset cfg]. *)
+val shadow_offset : config -> int
+
+type source = { src_name : string; code : string }
+
+(** Parse and semantically check sources plus the mode's runtime units. *)
+val frontend : config -> source list -> Check.env * Ast.comp_unit list
+
+(** Compile sources into a firmware image.  The guest entry point is
+    [kmain]; execution starts at the generated [_start]. *)
+val compile : config -> source list -> Embsan_isa.Image.t
+
+(** Convenience for tests: compile a single source string. *)
+val compile_string :
+  ?cfg:config -> ?name:string -> string -> Embsan_isa.Image.t

@@ -1,0 +1,180 @@
+(* Hand-written lexer for MiniC. *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  | KW of string (* var arr barr fun nosan if else while return break continue *)
+  | PUNCT of string
+  | EOF
+
+type t = { src : string; file : string; mutable pos : int; mutable line : int }
+
+exception Lex_error of string
+
+let errf t fmt =
+  Format.kasprintf
+    (fun s -> raise (Lex_error (Printf.sprintf "%s:%d: %s" t.file t.line s)))
+    fmt
+
+let create ~file src = { src; file; pos = 0; line = 1 }
+
+let keywords =
+  [ "var"; "arr"; "barr"; "fun"; "nosan"; "if"; "else"; "while"; "return";
+    "break"; "continue" ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let peek t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+let peek2 t = if t.pos + 1 < String.length t.src then Some t.src.[t.pos + 1] else None
+
+let advance t =
+  (match peek t with Some '\n' -> t.line <- t.line + 1 | _ -> ());
+  t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek t with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance t;
+      skip_ws t
+  | Some '/' when peek2 t = Some '/' ->
+      let rec to_eol () =
+        match peek t with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance t;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws t
+  | Some '/' when peek2 t = Some '*' ->
+      advance t;
+      advance t;
+      let rec to_close () =
+        match (peek t, peek2 t) with
+        | Some '*', Some '/' ->
+            advance t;
+            advance t
+        | None, _ -> errf t "unterminated comment"
+        | Some _, _ ->
+            advance t;
+            to_close ()
+      in
+      to_close ();
+      skip_ws t
+  | Some _ | None -> ()
+
+let escape t = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> errf t "bad escape \\%c" c
+
+let next t : token * int =
+  skip_ws t;
+  let line = t.line in
+  match peek t with
+  | None -> (EOF, line)
+  | Some c when is_ident_start c ->
+      let start = t.pos in
+      while (match peek t with Some c -> is_ident_char c | None -> false) do
+        advance t
+      done;
+      let s = String.sub t.src start (t.pos - start) in
+      ((if List.mem s keywords then KW s else IDENT s), line)
+  | Some '0' when peek2 t = Some 'x' || peek2 t = Some 'X' ->
+      advance t;
+      advance t;
+      let start = t.pos in
+      while (match peek t with Some c -> is_hex c | None -> false) do
+        advance t
+      done;
+      if t.pos = start then errf t "empty hex literal";
+      (INT (int_of_string ("0x" ^ String.sub t.src start (t.pos - start))), line)
+  | Some c when is_digit c ->
+      let start = t.pos in
+      while (match peek t with Some c -> is_digit c | None -> false) do
+        advance t
+      done;
+      (INT (int_of_string (String.sub t.src start (t.pos - start))), line)
+  | Some '\'' ->
+      advance t;
+      let c =
+        match peek t with
+        | Some '\\' ->
+            advance t;
+            let e = match peek t with Some e -> e | None -> errf t "bad char" in
+            advance t;
+            escape t e
+        | Some c ->
+            advance t;
+            c
+        | None -> errf t "unterminated char"
+      in
+      (match peek t with
+      | Some '\'' -> advance t
+      | _ -> errf t "unterminated char literal");
+      (INT (Char.code c), line)
+  | Some '"' ->
+      advance t;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek t with
+        | Some '"' -> advance t
+        | Some '\\' ->
+            advance t;
+            (match peek t with
+            | Some e ->
+                advance t;
+                Buffer.add_char buf (escape t e)
+            | None -> errf t "unterminated string");
+            go ()
+        | Some c ->
+            advance t;
+            Buffer.add_char buf c;
+            go ()
+        | None -> errf t "unterminated string"
+      in
+      go ();
+      (STRING (Buffer.contents buf), line)
+  | Some c ->
+      let two s =
+        advance t;
+        advance t;
+        (PUNCT s, line)
+      in
+      let one s =
+        advance t;
+        (PUNCT s, line)
+      in
+      (match (c, peek2 t) with
+      | '<', Some '<' -> two "<<"
+      | '>', Some '>' -> two ">>"
+      | '<', Some '=' -> two "<="
+      | '>', Some '=' -> two ">="
+      | '=', Some '=' -> two "=="
+      | '!', Some '=' -> two "!="
+      | '&', Some '&' -> two "&&"
+      | '|', Some '|' -> two "||"
+      | ( ( '+' | '-' | '*' | '/' | '%' | '(' | ')' | '{' | '}' | '[' | ']'
+          | ';' | ',' | '=' | '<' | '>' | '!' | '&' | '|' | '^' | '~' ),
+          _ ) ->
+          one (String.make 1 c)
+      | _ -> errf t "unexpected character %C" c)
+
+(** Tokenize the whole source, returning tokens paired with line numbers. *)
+let tokenize ~file src =
+  let t = create ~file src in
+  let rec go acc =
+    match next t with
+    | (EOF, _) as tok -> List.rev (tok :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,381 @@
+(* Recursive-descent parser for MiniC. *)
+
+exception Parse_error of string
+
+type t = {
+  toks : (Lexer.token * int) array;
+  file : string;
+  mutable pos : int;
+}
+
+let errf t fmt =
+  let line = snd t.toks.(min t.pos (Array.length t.toks - 1)) in
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "%s:%d: %s" t.file line s)))
+    fmt
+
+let peek t = fst t.toks.(t.pos)
+let peek2 t =
+  if t.pos + 1 < Array.length t.toks then fst t.toks.(t.pos + 1) else Lexer.EOF
+
+let advance t = t.pos <- t.pos + 1
+
+let expect_punct t s =
+  match peek t with
+  | Lexer.PUNCT p when p = s -> advance t
+  | tok ->
+      errf t "expected '%s', got %s" s
+        (match tok with
+        | Lexer.INT n -> string_of_int n
+        | IDENT i -> i
+        | STRING _ -> "<string>"
+        | KW k -> k
+        | PUNCT p -> "'" ^ p ^ "'"
+        | EOF -> "<eof>")
+
+let expect_ident t =
+  match peek t with
+  | Lexer.IDENT s ->
+      advance t;
+      s
+  | _ -> errf t "expected identifier"
+
+let accept_punct t s =
+  match peek t with
+  | Lexer.PUNCT p when p = s ->
+      advance t;
+      true
+  | _ -> false
+
+(* --- Expressions ------------------------------------------------------------ *)
+
+let binop_of_punct = function
+  | "*" -> Some Ast.Mul
+  | "/" -> Some Ast.Div
+  | "%" -> Some Ast.Mod
+  | "+" -> Some Ast.Add
+  | "-" -> Some Ast.Sub
+  | "<<" -> Some Ast.Shl
+  | ">>" -> Some Ast.Shr
+  | "<" -> Some Ast.Lt
+  | "<=" -> Some Ast.Le
+  | ">" -> Some Ast.Gt
+  | ">=" -> Some Ast.Ge
+  | "==" -> Some Ast.Eq
+  | "!=" -> Some Ast.Ne
+  | "&" -> Some Ast.Band
+  | "^" -> Some Ast.Bxor
+  | "|" -> Some Ast.Bor
+  | "&&" -> Some Ast.Land
+  | "||" -> Some Ast.Lor
+  | _ -> None
+
+(* precedence levels, low to high *)
+let levels =
+  [
+    [ Ast.Lor ];
+    [ Ast.Land ];
+    [ Ast.Bor ];
+    [ Ast.Bxor ];
+    [ Ast.Band ];
+    [ Ast.Eq; Ast.Ne ];
+    [ Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ];
+    [ Ast.Shl; Ast.Shr ];
+    [ Ast.Add; Ast.Sub ];
+    [ Ast.Mul; Ast.Div; Ast.Mod ];
+  ]
+
+let rec parse_expr t = parse_level t levels
+
+and parse_level t = function
+  | [] -> parse_unary t
+  | ops :: rest ->
+      let lhs = ref (parse_level t rest) in
+      let continue_ = ref true in
+      while !continue_ do
+        match peek t with
+        | Lexer.PUNCT p -> (
+            match binop_of_punct p with
+            | Some op when List.mem op ops ->
+                advance t;
+                let rhs = parse_level t rest in
+                lhs := Ast.Binop (op, !lhs, rhs)
+            | Some _ | None -> continue_ := false)
+        | _ -> continue_ := false
+      done;
+      !lhs
+
+and parse_unary t =
+  match peek t with
+  | Lexer.PUNCT "-" ->
+      advance t;
+      Ast.Unop (Neg, parse_unary t)
+  | Lexer.PUNCT "!" ->
+      advance t;
+      Ast.Unop (Not, parse_unary t)
+  | Lexer.PUNCT "~" ->
+      advance t;
+      Ast.Unop (Bnot, parse_unary t)
+  | Lexer.PUNCT "&" ->
+      advance t;
+      let name = expect_ident t in
+      if accept_punct t "[" then begin
+        let idx = parse_expr t in
+        expect_punct t "]";
+        Ast.Addr_index (name, idx)
+      end
+      else Ast.Addr name
+  | _ -> parse_primary t
+
+and parse_primary t =
+  match peek t with
+  | Lexer.INT n ->
+      advance t;
+      Ast.Int n
+  | Lexer.PUNCT "(" ->
+      advance t;
+      let e = parse_expr t in
+      expect_punct t ")";
+      e
+  | Lexer.IDENT name -> (
+      advance t;
+      match peek t with
+      | Lexer.PUNCT "(" ->
+          advance t;
+          let args =
+            if accept_punct t ")" then []
+            else begin
+              let rec go acc =
+                let e = parse_expr t in
+                if accept_punct t "," then go (e :: acc)
+                else begin
+                  expect_punct t ")";
+                  List.rev (e :: acc)
+                end
+              in
+              go []
+            end
+          in
+          Ast.Call (name, args)
+      | Lexer.PUNCT "[" ->
+          advance t;
+          let idx = parse_expr t in
+          expect_punct t "]";
+          Ast.Index (name, idx)
+      | _ -> Ast.Ident name)
+  | _ -> errf t "expected expression"
+
+(* --- Constant expressions --------------------------------------------------- *)
+
+let mask32 v = v land 0xFFFF_FFFF
+
+let rec const_eval t (e : Ast.expr) =
+  match e with
+  | Int n -> mask32 n
+  | Unop (Neg, e) -> mask32 (-const_eval t e)
+  | Unop (Not, e) -> if const_eval t e = 0 then 1 else 0
+  | Unop (Bnot, e) -> mask32 (lnot (const_eval t e))
+  | Binop (op, a, b) -> (
+      let a = const_eval t a and b = const_eval t b in
+      match op with
+      | Mul -> mask32 (a * b)
+      | Div -> if b = 0 then errf t "division by zero in constant" else a / b
+      | Mod -> if b = 0 then errf t "division by zero in constant" else a mod b
+      | Add -> mask32 (a + b)
+      | Sub -> mask32 (a - b)
+      | Shl -> mask32 (a lsl (b land 31))
+      | Shr -> a lsr (b land 31)
+      | Lt -> if a < b then 1 else 0
+      | Le -> if a <= b then 1 else 0
+      | Gt -> if a > b then 1 else 0
+      | Ge -> if a >= b then 1 else 0
+      | Eq -> if a = b then 1 else 0
+      | Ne -> if a <> b then 1 else 0
+      | Band -> a land b
+      | Bxor -> a lxor b
+      | Bor -> a lor b
+      | Land -> if a <> 0 && b <> 0 then 1 else 0
+      | Lor -> if a <> 0 || b <> 0 then 1 else 0)
+  | Ident _ | Index _ | Addr _ | Addr_index _ | Call _ ->
+      errf t "expected a constant expression"
+
+let parse_const t = const_eval t (parse_expr t)
+
+(* --- Statements -------------------------------------------------------------- *)
+
+let rec parse_stmt t : Ast.stmt =
+  match peek t with
+  | Lexer.KW "var" ->
+      advance t;
+      let name = expect_ident t in
+      let init = if accept_punct t "=" then Some (parse_expr t) else None in
+      expect_punct t ";";
+      Local (name, init)
+  | Lexer.KW (("arr" | "barr") as kw) ->
+      advance t;
+      let es = if kw = "arr" then Ast.Word else Ast.Byte in
+      let name = expect_ident t in
+      expect_punct t "[";
+      let n = parse_const t in
+      expect_punct t "]";
+      expect_punct t ";";
+      Local_array (name, es, n)
+  | Lexer.KW "if" ->
+      advance t;
+      expect_punct t "(";
+      let cond = parse_expr t in
+      expect_punct t ")";
+      let then_ = parse_block t in
+      let else_ =
+        match peek t with
+        | Lexer.KW "else" -> (
+            advance t;
+            match peek t with
+            | Lexer.KW "if" -> [ parse_stmt t ]
+            | _ -> parse_block t)
+        | _ -> []
+      in
+      If (cond, then_, else_)
+  | Lexer.KW "while" ->
+      advance t;
+      expect_punct t "(";
+      let cond = parse_expr t in
+      expect_punct t ")";
+      let body = parse_block t in
+      While (cond, body)
+  | Lexer.KW "return" ->
+      advance t;
+      if accept_punct t ";" then Return None
+      else begin
+        let e = parse_expr t in
+        expect_punct t ";";
+        Return (Some e)
+      end
+  | Lexer.KW "break" ->
+      advance t;
+      expect_punct t ";";
+      Break
+  | Lexer.KW "continue" ->
+      advance t;
+      expect_punct t ";";
+      Continue
+  | Lexer.IDENT name when peek2 t = Lexer.PUNCT "=" ->
+      advance t;
+      advance t;
+      let e = parse_expr t in
+      expect_punct t ";";
+      Assign (name, e)
+  | Lexer.IDENT name when peek2 t = Lexer.PUNCT "[" -> (
+      (* could be a[i] = e; or an expression statement like f(a[i]);
+         here IDENT "[" can only start an index: parse and decide *)
+      advance t;
+      advance t;
+      let idx = parse_expr t in
+      expect_punct t "]";
+      if accept_punct t "=" then begin
+        let e = parse_expr t in
+        expect_punct t ";";
+        Assign_index (name, idx, e)
+      end
+      else begin
+        (* it was an expression statement beginning with an index *)
+        expect_punct t ";";
+        Expr (Index (name, idx))
+      end)
+  | _ ->
+      let e = parse_expr t in
+      expect_punct t ";";
+      Expr e
+
+and parse_block t =
+  expect_punct t "{";
+  let rec go acc =
+    if accept_punct t "}" then List.rev acc else go (parse_stmt t :: acc)
+  in
+  go []
+
+(* --- Top level ----------------------------------------------------------------- *)
+
+let parse_global_init t es n =
+  if accept_punct t "=" then
+    match peek t with
+    | Lexer.STRING s ->
+        advance t;
+        if es <> Ast.Byte then errf t "string initializer requires barr";
+        (Ast.Str_init s, if n = 0 then String.length s + 1 else n)
+    | Lexer.PUNCT "{" ->
+        advance t;
+        let rec go acc =
+          let v = parse_const t in
+          if accept_punct t "," then go (v :: acc)
+          else begin
+            expect_punct t "}";
+            List.rev (v :: acc)
+          end
+        in
+        let vs = go [] in
+        (Ast.Word_init vs, if n = 0 then List.length vs else n)
+    | _ -> errf t "expected string or { ... } initializer"
+  else (Ast.Zero, n)
+
+let parse_top t : [ `Global of Ast.global | `Func of Ast.func | `Eof ] =
+  match peek t with
+  | Lexer.EOF -> `Eof
+  | Lexer.KW "var" ->
+      advance t;
+      let name = expect_ident t in
+      let init = if accept_punct t "=" then parse_const t else 0 in
+      expect_punct t ";";
+      `Global (Gvar (name, init))
+  | Lexer.KW (("arr" | "barr") as kw) ->
+      advance t;
+      let es = if kw = "arr" then Ast.Word else Ast.Byte in
+      let name = expect_ident t in
+      expect_punct t "[";
+      let n = if accept_punct t "]" then 0 else begin
+          let n = parse_const t in
+          expect_punct t "]";
+          n
+        end
+      in
+      let init, n = parse_global_init t es n in
+      if n <= 0 then errf t "array %s has no size" name;
+      expect_punct t ";";
+      `Global (Garray (name, es, n, init))
+  | Lexer.KW "nosan" | Lexer.KW "fun" ->
+      let no_sanitize = peek t = Lexer.KW "nosan" in
+      if no_sanitize then advance t;
+      (match peek t with
+      | Lexer.KW "fun" -> advance t
+      | _ -> errf t "expected 'fun' after 'nosan'");
+      let fname = expect_ident t in
+      expect_punct t "(";
+      let params =
+        if accept_punct t ")" then []
+        else begin
+          let rec go acc =
+            let p = expect_ident t in
+            if accept_punct t "," then go (p :: acc)
+            else begin
+              expect_punct t ")";
+              List.rev (p :: acc)
+            end
+          in
+          go []
+        end
+      in
+      let body = parse_block t in
+      `Func { fname; params; body; no_sanitize }
+  | _ -> errf t "expected a top-level declaration"
+
+(** Parse a full compilation unit from source text. *)
+let parse_unit ~name src : Ast.comp_unit =
+  let toks = Array.of_list (Lexer.tokenize ~file:name src) in
+  let t = { toks; file = name; pos = 0 } in
+  let rec go globals funcs =
+    match parse_top t with
+    | `Eof -> { Ast.cu_name = name; globals = List.rev globals; funcs = List.rev funcs }
+    | `Global g -> go (g :: globals) funcs
+    | `Func f -> go globals (f :: funcs)
+  in
+  go [] []

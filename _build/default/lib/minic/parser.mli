@@ -1,0 +1,7 @@
+(** Recursive-descent parser for MiniC. *)
+
+exception Parse_error of string
+
+(** Parse a full compilation unit from source text; [name] is used in
+    error locations.  Raises {!Parse_error} or {!Lexer.Lex_error}. *)
+val parse_unit : name:string -> string -> Ast.comp_unit

@@ -1,0 +1,250 @@
+(* Guest-side runtime sources linked by the driver according to the
+   instrumentation mode.
+
+   - The *glue* unit provides the [san_alloc]/[san_free]/[san_poison]/
+     [san_unpoison] hook functions that guest kernels call around their
+     allocators, plus platform constants.  Its body depends on the mode:
+     empty for plain firmware, trap callouts for EmbSan-C, calls into the
+     in-guest runtime for the native sanitizer baselines.
+   - The *KASAN runtime* is the native in-guest shadow-memory
+     implementation (the paper's reference baseline).
+   - The *KCSAN runtime* is the native in-guest watchpoint-based data race
+     detector baseline. *)
+
+module Hypercall = Embsan_emu.Hypercall
+module Asm = Embsan_isa.Asm
+
+(* KASAN shadow byte encoding (subset of the kernel's):
+   0x00 addressable, 0x01..0x07 partially addressable,
+   0xF1 heap redzone / unallocated heap, 0xF3 stack redzone,
+   0xF9 global redzone, 0xFB freed. *)
+let shadow_heap = 0xF1
+let shadow_stack = 0xF3
+let shadow_global = 0xF9
+let shadow_freed = 0xFB
+
+let platform_constants ~stack_top =
+  Printf.sprintf "var __stack_top = 0x%x;\n" stack_top
+
+let glue_plain ~stack_top =
+  platform_constants ~stack_top
+  ^ {|
+// Plain firmware: the hooks exist as call sites (like any kernel's
+// kasan_* stubs when KASAN is compiled out) but do nothing.  Under
+// EmbSan-D the host intercepts the allocator functions themselves.
+nosan fun san_alloc(p, size) { return 0; }
+nosan fun san_free(p, size) { return 0; }
+nosan fun san_poison(p, size) { return 0; }
+nosan fun san_unpoison(p, size) { return 0; }
+|}
+
+let glue_trap ~stack_top =
+  platform_constants ~stack_top
+  ^ Printf.sprintf
+      {|
+// EmbSan-C: every hook is a single trapping instruction into the dummy
+// sanitizer library (S3.2, firmware category 1).
+nosan fun san_alloc(p, size) { return trap2(%d, p, size); }
+nosan fun san_free(p, size) { return trap2(%d, p, size); }
+nosan fun san_poison(p, size) { return trap2(%d, p, size); }
+nosan fun san_unpoison(p, size) { return trap2(%d, p, size); }
+|}
+      Hypercall.san_alloc Hypercall.san_free Hypercall.san_poison_region
+      Hypercall.san_stack_unpoison
+
+let glue_inline_kasan ~stack_top =
+  platform_constants ~stack_top
+  ^ {|
+nosan fun san_alloc(p, size) { return __kasan_alloc(p, size); }
+nosan fun san_free(p, size) { return __kasan_free(p, size); }
+nosan fun san_poison(p, size) { return __kasan_poison_heap(p, size); }
+nosan fun san_unpoison(p, size) { return __kasan_unpoison(p, size); }
+|}
+
+let glue_inline_kcsan ~stack_top =
+  platform_constants ~stack_top
+  ^ {|
+nosan fun san_alloc(p, size) { return 0; }
+nosan fun san_free(p, size) { return 0; }
+nosan fun san_poison(p, size) { return 0; }
+nosan fun san_unpoison(p, size) { return 0; }
+|}
+
+(* --- Native KASAN runtime -------------------------------------------------- *)
+
+let kasan_runtime ~shadow_offset =
+  Printf.sprintf
+    {|
+// In-guest KASAN runtime (native baseline).  Compiled without
+// instrumentation, like the kernel's mm/kasan/.  Shadow byte for address a
+// lives at (a >> 3) + %d.
+
+nosan fun __kasan_shadow(a) { return (a >> 3) + 0x%x; }
+
+nosan fun __kasan_poison_val(a, size, v) {
+  // clamp to the shadowed range: corrupted allocator metadata must not
+  // walk the poisoner off the end of the shadow region
+  if (a >= __stack_top) { return 0; }
+  if (a + size > __stack_top) { size = __stack_top - a; }
+  var sh = __kasan_shadow(a);
+  var n = (size + 7) >> 3;
+  var i = 0;
+  while (i < n) { store8(sh + i, v); i = i + 1; }
+  return 0;
+}
+
+nosan fun __kasan_poison(a, size) {
+  return __kasan_poison_val(a, size, 0x%x);   // stack redzone
+}
+
+nosan fun __kasan_poison_heap(a, size) {
+  return __kasan_poison_val(a, size, 0x%x);   // heap redzone / unallocated
+}
+
+nosan fun __kasan_unpoison(a, size) {
+  var sh = __kasan_shadow(a);
+  var n = size >> 3;
+  var i = 0;
+  while (i < n) { store8(sh + i, 0); i = i + 1; }
+  if (size & 7) { store8(sh + n, size & 7); }
+  return 0;
+}
+
+nosan fun __kasan_alloc(p, size) {
+  return __kasan_unpoison(p, size);
+}
+
+nosan fun __kasan_free(p, size) {
+  if (load8(__kasan_shadow(p)) == 0xFB) {
+    trap2(%d, p, 0x200);                      // double-free
+    return 0;
+  }
+  return __kasan_poison_val(p, size, 0x%x);   // freed
+}
+
+nosan fun __kasan_register_global(a, size) {
+  __kasan_poison_val(a - 16, 16, 0x%x);       // left redzone
+  var end = a + size;
+  var rz_start = (end + 7) & ~7;
+  __kasan_poison_val(rz_start, 16 + rz_start - end, 0x%x);
+  // partial granule at the object tail
+  if (size & 7) { store8(__kasan_shadow(a) + (size >> 3), size & 7); }
+  return 0;
+}
+
+// Slow path invoked (through the register-preserving stub) when the inline
+// fast path sees a non-zero shadow byte.  szrw = size | is_write << 8.
+nosan fun __kasan_check_slow(a, szrw, pc) {
+  var size = szrw & 0xFF;
+  var last = a + size - 1;
+  var sh = load8(__kasan_shadow(last));
+  if (sh == 0) { return 0; }
+  if (sh < 8) {
+    if ((last & 7) < sh) { return 0; }
+  }
+  trap3(%d, a, szrw, pc);
+  return 0;
+}
+|}
+    shadow_offset shadow_offset shadow_stack shadow_heap Hypercall.kasan_report
+    shadow_freed shadow_global shadow_global Hypercall.kasan_report
+
+(* --- Native KCSAN runtime ---------------------------------------------------- *)
+
+let kcsan_runtime ~interval ~delay =
+  Printf.sprintf
+    {|
+// In-guest KCSAN runtime (native baseline): a single soft watchpoint slot,
+// counter-based sampling with jittered re-arm, and a delay window during
+// which concurrent conflicting accesses from other harts are detected.
+// The common case never reaches this file: the compiler inlines the
+// watchpoint granule compare and the countdown; this slow path runs on a
+// watchpoint hit or when the counter expires.
+
+var __kcsan_skip = %d;
+var __kcsan_rng = 0x2545F491;
+var __kcsan_watch_addr = 0;
+var __kcsan_watch_info = 0;
+var __kcsan_consumed = 0;
+
+nosan fun __kcsan_check(a, szrw, pc) {
+  // conflict check against the active watchpoint
+  var w = __kcsan_watch_addr;
+  if (w != 0) {
+    if ((w >> 3) == (a >> 3)) {
+      if (((szrw | __kcsan_watch_info) & 0x100) != 0) {
+        __kcsan_consumed = 1;
+      }
+      return 0;
+    }
+  }
+  // counter expired: jittered re-arm (fixed strides alias with loop periods)
+  var x = __kcsan_rng;
+  x = x ^ (x << 13);
+  x = x ^ (x >> 17);
+  x = x ^ (x << 5);
+  __kcsan_rng = x;
+  __kcsan_skip = 1 + (%d / 2) + ((x >> 4) %% %d);
+  // device memory is volatile; never watch it (ioremap ranges are skipped)
+  if ((a >> 28) == 0xF) { return 0; }
+  if (__kcsan_watch_addr != 0) { return 0; }
+  // arm the watchpoint and stall this hart for the delay window
+  __kcsan_watch_addr = a;
+  __kcsan_watch_info = szrw;
+  __kcsan_consumed = 0;
+  var before = load32(a & ~3);
+  var i = 0;
+  while (i < %d) { i = i + 1; }
+  var after = load32(a & ~3);
+  var hit = __kcsan_consumed;
+  __kcsan_watch_addr = 0;
+  if (hit != 0) { trap3(%d, a, szrw, pc); return 0; }
+  if (before != after) { trap3(%d, a, szrw, pc); }
+  return 0;
+}
+|}
+    interval interval interval delay Hypercall.kcsan_report
+    Hypercall.kcsan_report
+
+(* --- Register-preserving assembly stubs ---------------------------------------- *)
+
+let save_restore_stub ~stub ~target =
+  let open Embsan_isa in
+  let open Asm in
+  [
+    Label stub;
+    Ins (Insn.Alui (Add, Reg.sp, Reg.sp, -32));
+    store W32 Reg.sp Reg.ra 28;
+    store W32 Reg.sp Reg.t0 24;
+    store W32 Reg.sp Reg.t1 20;
+    store W32 Reg.sp Reg.t2 16;
+    store W32 Reg.sp Reg.t3 12;
+    store W32 Reg.sp Reg.t4 8;
+    call target;
+    load W32 Reg.ra Reg.sp 28;
+    load W32 Reg.t0 Reg.sp 24;
+    load W32 Reg.t1 Reg.sp 20;
+    load W32 Reg.t2 Reg.sp 16;
+    load W32 Reg.t3 Reg.sp 12;
+    load W32 Reg.t4 Reg.sp 8;
+    Ins (Insn.Alui (Add, Reg.sp, Reg.sp, 32));
+    ret;
+  ]
+
+let stubs_unit mode : Asm.unit_ option =
+  match (mode : Codegen.mode) with
+  | Inline_kasan ->
+      Some
+        {
+          Asm.unit_name = "kasan_stubs";
+          text = save_restore_stub ~stub:"__kasan_stub" ~target:"__kasan_check_slow";
+          data = [];
+        }
+  | Inline_kcsan ->
+      Some
+        {
+          Asm.unit_name = "kcsan_stubs";
+          text = save_restore_stub ~stub:"__kcsan_stub" ~target:"__kcsan_check";
+          data = [];
+        }
+  | Plain | Trap_callout -> None

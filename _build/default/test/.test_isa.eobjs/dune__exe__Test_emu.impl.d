@@ -1,0 +1,1 @@
+test/test_emu.ml: Alcotest Arch Array Asm Char Cost_model Coverage Cpu Devices Embsan_emu Embsan_isa Fault Hypercall Image List Machine Probe Reg Services Trace

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Campaign Corpus Defs Embsan_core Embsan_fuzz Embsan_guest Firmware_db List Option Prog QCheck2 QCheck_alcotest Replay Rng

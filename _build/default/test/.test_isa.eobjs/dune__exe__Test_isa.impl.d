@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Arch Asm Char Codec Disasm Embsan_isa Gen Image Insn List Option QCheck2 QCheck_alcotest Reg String Test Word32

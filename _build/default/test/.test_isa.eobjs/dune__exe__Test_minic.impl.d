@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Arch Char Check Codegen Cpu Driver Embsan_emu Embsan_isa Embsan_minic Image List Machine Parser Reg

@@ -1,0 +1,603 @@
+(* Tests for the EmbSan core: distiller merge rules, DSL round-trip, shadow
+   semantics, host KASAN/KCSAN runtimes, prober modes and end-to-end
+   detection through the full prepare/attach flow. *)
+
+open Embsan_isa
+open Embsan_emu
+open Embsan_core
+open Embsan_minic
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- Distiller ------------------------------------------------------------------ *)
+
+let distiller_union () =
+  let spec = Distiller.distill [ Api_spec.kasan (); Api_spec.kcsan () ] in
+  Alcotest.(check (list string)) "sanitizers" [ "kasan"; "kcsan" ] spec.sanitizers;
+  (* union of interception points: load appears once *)
+  let loads =
+    List.filter (fun i -> i.Dsl.i_point = Api_spec.P_load) spec.intercepts
+  in
+  Alcotest.(check int) "one load intercept" 1 (List.length loads);
+  let load = List.hd loads in
+  (* union of arguments, canonical order *)
+  Alcotest.(check (list string))
+    "merged args" [ "addr"; "size"; "pc"; "hart" ] load.i_args;
+  (* both sanitizers attached with their own argument annotations *)
+  Alcotest.(check (list string))
+    "handlers"
+    [ "kasan.check_access"; "kcsan.access" ]
+    (List.map (fun h -> h.Dsl.h_san ^ "." ^ h.Dsl.h_op) load.i_handlers);
+  let kasan_h = List.hd load.i_handlers in
+  Alcotest.(check (list string)) "kasan segment" [ "addr"; "size" ] kasan_h.h_args;
+  (* store merges value from kcsan *)
+  let store =
+    List.find (fun i -> i.Dsl.i_point = Api_spec.P_store) spec.intercepts
+  in
+  Alcotest.(check (list string))
+    "store args" [ "addr"; "size"; "value"; "pc"; "hart" ] store.i_args;
+  (* kasan-only points survive *)
+  Alcotest.(check bool) "func_alloc present" true
+    (Dsl.wants spec Api_spec.P_func_alloc "kasan");
+  Alcotest.(check bool) "kcsan not on func_alloc" false
+    (Dsl.wants spec Api_spec.P_func_alloc "kcsan")
+
+let distiller_single () =
+  let spec = Distiller.distill [ Api_spec.kcsan () ] in
+  Alcotest.(check bool) "no alloc point" true
+    (Dsl.find_intercept spec Api_spec.P_func_alloc = None);
+  Alcotest.(check bool) "load wanted" true (Dsl.wants spec Api_spec.P_load "kcsan")
+
+let header_parser_rejects () =
+  (match Api_spec.parse_header "check load(a) => x;" with
+  | _ -> Alcotest.fail "expected error (no sanitizer decl)"
+  | exception Api_spec.Spec_error _ -> ());
+  match Api_spec.parse_header "sanitizer s;\nfrobnicate load(a) => x;" with
+  | _ -> Alcotest.fail "expected error (bad role)"
+  | exception Api_spec.Spec_error _ -> ()
+
+(* --- DSL ------------------------------------------------------------------------ *)
+
+let dsl_roundtrip () =
+  let spec =
+    {
+      Dsl.sanitizers = [ "kasan"; "kcsan" ];
+      arch = Some Arch.Mips_ev;
+      intercepts =
+        (Distiller.distill [ Api_spec.kasan (); Api_spec.kcsan () ]).intercepts;
+      functions =
+        [
+          { f_name = "kmalloc"; f_addr = 0x12345; f_size = 0x100; f_kind = `Alloc 0 };
+          { f_name = "kfree"; f_addr = 0x23456; f_size = 0x80; f_kind = `Free 0 };
+        ];
+      exempts = [ { e_name = "slab_scan"; e_addr = 0x34567; e_size = 0x40 } ];
+      init =
+        [
+          Region { name = "heap"; addr = 0x20000; size = 0x8000 };
+          Poison { addr = 0x20000; size = 0x8000; code = "heap" };
+          Unpoison { addr = 0x20100; size = 64 };
+          Alloc { ptr = 0x20100; size = 64 };
+          Note "recorded by dry run";
+        ];
+    }
+  in
+  let text = Dsl.to_string spec in
+  let back = Dsl.parse text in
+  Alcotest.(check string) "round trip" text (Dsl.to_string back);
+  Alcotest.(check int) "intercepts" (List.length spec.intercepts)
+    (List.length back.intercepts);
+  Alcotest.(check int) "init" (List.length spec.init) (List.length back.init);
+  Alcotest.(check bool) "arch" true (back.arch = Some Arch.Mips_ev)
+
+let dsl_parse_errors () =
+  (match Dsl.parse "gibberish here;" with
+  | _ -> Alcotest.fail "expected error"
+  | exception Dsl.Dsl_error _ -> ());
+  match Dsl.parse "sanitizers kasan;\nintercept load addr;" with
+  | _ -> Alcotest.fail "expected error (no ->)"
+  | exception Dsl.Dsl_error _ -> ()
+
+(* --- Shadow ----------------------------------------------------------------------- *)
+
+let base = 0x1_0000
+let mk_shadow () = Shadow.create ~ram_base:base ~ram_size:0x1_0000
+
+let shadow_basics () =
+  let s = mk_shadow () in
+  Alcotest.(check bool) "fresh valid" true
+    (Shadow.check s ~addr:(base + 100) ~size:4 = Shadow.Valid);
+  Shadow.poison s ~addr:(base + 64) ~size:32 Shadow.Heap_redzone;
+  (match Shadow.check s ~addr:(base + 64) ~size:1 with
+  | Shadow.Invalid Shadow.Heap_redzone -> ()
+  | _ -> Alcotest.fail "expected heap redzone");
+  Shadow.unpoison s ~addr:(base + 64) ~size:32;
+  Alcotest.(check bool) "unpoisoned" true
+    (Shadow.check s ~addr:(base + 64) ~size:4 = Shadow.Valid);
+  (* outside RAM: not the shadow's business *)
+  Alcotest.(check bool) "mmio valid" true
+    (Shadow.check s ~addr:0xF000_0000 ~size:4 = Shadow.Valid)
+
+let shadow_partial_granule () =
+  let s = mk_shadow () in
+  Shadow.poison s ~addr:(base + 0) ~size:64 Shadow.Heap_redzone;
+  (* allocate 13 bytes: one full granule + 5-byte partial *)
+  Shadow.unpoison s ~addr:(base + 0) ~size:13;
+  Alcotest.(check bool) "byte 12 ok" true
+    (Shadow.check s ~addr:(base + 12) ~size:1 = Shadow.Valid);
+  (match Shadow.check s ~addr:(base + 13) ~size:1 with
+  | Shadow.Invalid (Shadow.Partial 5) -> ()
+  | Shadow.Invalid c -> Alcotest.failf "wrong code %s" (Shadow.code_name c)
+  | Shadow.Valid -> Alcotest.fail "byte 13 must be invalid");
+  (* 4-byte access straddling the partial boundary *)
+  (match Shadow.check s ~addr:(base + 10) ~size:4 with
+  | Shadow.Invalid _ -> ()
+  | Shadow.Valid -> Alcotest.fail "straddle must fail")
+
+let shadow_cross_granule_start () =
+  let s = mk_shadow () in
+  (* first granule poisoned, second clean: access starting in the first *)
+  Shadow.poison s ~addr:base ~size:8 Shadow.Freed;
+  Shadow.unpoison s ~addr:(base + 8) ~size:8;
+  match Shadow.check s ~addr:(base + 6) ~size:4 with
+  | Shadow.Invalid Shadow.Freed -> ()
+  | _ -> Alcotest.fail "start-granule poison must be caught"
+
+let shadow_qcheck =
+  let open QCheck2 in
+  let gen =
+    Gen.(
+      quad (int_range 0 2040) (int_range 1 64) (int_range 0 2040) (int_range 1 64))
+  in
+  Test.make ~name:"poison/unpoison then check agrees with byte model" ~count:300
+    gen (fun (a1, s1, a2, s2) ->
+      (* model: byte array; poison region1, unpoison region2 *)
+      let s = mk_shadow () in
+      Shadow.poison s ~addr:(base + a1) ~size:s1 Shadow.Heap_redzone;
+      Shadow.unpoison s ~addr:(base + (a2 / 8 * 8)) ~size:s2;
+      (* single-byte checks must never crash and be monotone with granules *)
+      let ok = ref true in
+      for off = 0 to 2100 do
+        match Shadow.check s ~addr:(base + off) ~size:1 with
+        | Shadow.Valid | Shadow.Invalid _ -> ()
+        | exception _ -> ok := false
+      done;
+      !ok)
+
+(* --- Host KASAN -------------------------------------------------------------------- *)
+
+let mk_kasan () =
+  let sink = Report.create_sink () in
+  let shadow = mk_shadow () in
+  let k = Kasan.create ~shadow ~sink ~symbolize:(fun _ -> None) () in
+  (k, sink)
+
+let kinds sink =
+  List.map (fun (r : Report.t) -> r.kind) (Report.unique_reports sink)
+
+let kasan_heap_lifecycle () =
+  let k, sink = mk_kasan () in
+  (* poison heap, allocate, access, free, use-after-free, double free *)
+  Kasan.on_poison k ~addr:(base + 0x100) ~size:0x100 Shadow.Heap_redzone;
+  Kasan.on_alloc k ~ptr:(base + 0x120) ~size:24 ~pc:0x1111;
+  Kasan.on_access k ~addr:(base + 0x120) ~size:4 ~is_write:false ~pc:1 ~hart:0;
+  Kasan.on_access k ~addr:(base + 0x137) ~size:1 ~is_write:false ~pc:2 ~hart:0;
+  Alcotest.(check int) "clean so far" 0 (Report.count sink);
+  (* one past the end *)
+  Kasan.on_access k ~addr:(base + 0x138) ~size:1 ~is_write:true ~pc:3 ~hart:0;
+  Alcotest.(check (list bool)) "oob" [ true ]
+    (List.map (fun k -> k = Report.Oob_access) (kinds sink));
+  Kasan.on_free k ~ptr:(base + 0x120) ~pc:4 ~hart:0;
+  Kasan.on_access k ~addr:(base + 0x124) ~size:4 ~is_write:false ~pc:5 ~hart:0;
+  Alcotest.(check bool) "uaf" true (List.mem Report.Use_after_free (kinds sink));
+  Kasan.on_free k ~ptr:(base + 0x120) ~pc:6 ~hart:0;
+  Alcotest.(check bool) "double free" true
+    (List.mem Report.Double_free (kinds sink));
+  Kasan.on_free k ~ptr:(base + 0xF00) ~pc:7 ~hart:0;
+  Alcotest.(check bool) "invalid free" true
+    (List.mem Report.Invalid_free (kinds sink))
+
+let kasan_null_deref () =
+  let k, sink = mk_kasan () in
+  Kasan.on_access k ~addr:8 ~size:4 ~is_write:false ~pc:1 ~hart:0;
+  Alcotest.(check bool) "null" true (List.mem Report.Null_deref (kinds sink))
+
+let kasan_globals_redzone () =
+  let k, sink = mk_kasan () in
+  let g = base + 0x200 in
+  Kasan.on_register_global k ~addr:g ~size:20;
+  Kasan.on_access k ~addr:(g + 19) ~size:1 ~is_write:false ~pc:1 ~hart:0;
+  Alcotest.(check int) "in-bounds tail ok" 0 (Report.count sink);
+  Kasan.on_access k ~addr:(g + 20) ~size:1 ~is_write:false ~pc:2 ~hart:0;
+  Alcotest.(check int) "partial-granule oob" 1 (Report.count sink);
+  Kasan.on_access k ~addr:(g - 4) ~size:4 ~is_write:true ~pc:3 ~hart:0;
+  Alcotest.(check int) "left redzone" 2 (Report.count sink)
+
+let kasan_dedup () =
+  let k, sink = mk_kasan () in
+  Kasan.on_poison k ~addr:base ~size:64 Shadow.Heap_redzone;
+  for _ = 1 to 5 do
+    Kasan.on_access k ~addr:(base + 4) ~size:4 ~is_write:false ~pc:0xAB ~hart:0
+  done;
+  Alcotest.(check int) "one unique report" 1 (Report.count sink);
+  let key = Report.dedup_key (List.hd (Report.unique_reports sink)) in
+  Alcotest.(check int) "five hits" 5 (Report.hits sink key)
+
+(* --- End-to-end: EmbSan on real firmware ------------------------------------------- *)
+
+(* A miniature kernel with a bump allocator, symbol-conformant entry points
+   and a mailbox syscall loop with injected bugs. *)
+let tiny_kernel_src =
+  {|
+barr heap_pool[4096];
+var heap_next = 0;
+
+fun kmalloc(size) {
+  var p = &heap_pool + heap_next;
+  heap_next = heap_next + ((size + 7) & ~7);
+  san_alloc(p, size);
+  return p;
+}
+
+fun kfree(p) {
+  san_free(p, 0);
+  return 0;
+}
+
+fun sys_oob(n) {
+  var p = kmalloc(16);
+  store8(p + n, 0x41);      // n > 15: out of bounds
+  kfree(p);
+  return 0;
+}
+
+fun sys_uaf(n) {
+  var p = kmalloc(24);
+  kfree(p);
+  if (n) { return load8(p + 2); }
+  return 0;
+}
+
+fun sys_df(n) {
+  var p = kmalloc(8);
+  kfree(p);
+  if (n) { kfree(p); }
+  return 0;
+}
+
+// BUG: session objects are allocated per request and never released
+fun sys_leak(n) {
+  var s = kmalloc(24);
+  if (s == 0) { return 0 - 12; }
+  store32(s, n);
+  return 0;
+}
+
+fun sys_spin(n) {
+  var i = 0;
+  while (i < n) { i = i + 1; }
+  return i;
+}
+
+fun kmain() {
+  san_poison(&heap_pool, 4096);
+  store32(0xF0000228, 1);   // ready doorbell
+  while (1) {
+    if (load32(0xF0000200)) {
+      var nr = load32(0xF0000204);
+      var a = load32(0xF0000208);
+      var ret = 0;
+      if (nr == 1) { ret = sys_oob(a); }
+      if (nr == 2) { ret = sys_uaf(a); }
+      if (nr == 3) { ret = sys_df(a); }
+      if (nr == 4) { ret = sys_leak(a); }
+      if (nr == 5) { ret = sys_spin(a); }
+      store32(0xF0000220, ret);
+      store32(0xF0000224, 1);
+    }
+  }
+}
+|}
+
+let build_firmware mode =
+  Driver.compile_string
+    ~cfg:{ Driver.default_config with mode; arch = Arch.Arm_ev }
+    ~name:"tiny_kernel" tiny_kernel_src
+
+let exercise session ~nr ~arg =
+  let m = Embsan.make_machine session in
+  let rt = Embsan.attach session m in
+  (match Machine.run_until_ready m ~max_insns:5_000_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "boot failed: %a" Machine.pp_stop s);
+  Devices.mailbox_push m.mailbox ~nr ~args:[| arg |];
+  (match Machine.run_until_mailbox_idle m ~max_insns:5_000_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "syscall crashed the machine: %a" Machine.pp_stop s);
+  Embsan.reports rt
+
+let embsan_c_detects () =
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kasan_only
+      ~firmware:(Embsan.Instrumented (build_firmware Codegen.Trap_callout))
+      ()
+  in
+  let check name nr arg kind loc =
+    match exercise session ~nr ~arg with
+    | [ r ] ->
+        Alcotest.(check string) (name ^ " kind") (Report.kind_name kind)
+          (Report.kind_name r.kind);
+        Alcotest.(check (option string)) (name ^ " location") (Some loc) r.location
+    | l -> Alcotest.failf "%s: expected 1 report, got %d" name (List.length l)
+  in
+  check "oob" 1 20 Report.Oob_access "sys_oob";
+  check "uaf" 2 1 Report.Use_after_free "sys_uaf";
+  (* C-mode double-free reports locate at the glue callout *)
+  check "df" 3 1 Report.Double_free "sys_df";
+  (* benign argument: no report *)
+  Alcotest.(check int) "benign uaf arg" 0 (List.length (exercise session ~nr:2 ~arg:0))
+
+let embsan_d_detects () =
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kasan_only
+      ~firmware:(Embsan.Source (build_firmware Codegen.Plain, Prober.no_hints))
+      ()
+  in
+  Alcotest.(check bool) "kmalloc intercepted" true
+    (List.exists
+       (fun f -> f.Dsl.f_name = "kmalloc")
+       session.s_spec.Dsl.functions);
+  let kinds_of nr arg =
+    List.map (fun (r : Report.t) -> r.Report.kind) (exercise session ~nr ~arg)
+  in
+  Alcotest.(check bool) "oob detected" true (List.mem Report.Oob_access (kinds_of 1 20));
+  Alcotest.(check bool) "uaf detected" true
+    (List.mem Report.Use_after_free (kinds_of 2 1));
+  Alcotest.(check bool) "df detected" true (List.mem Report.Double_free (kinds_of 3 1));
+  Alcotest.(check int) "clean run clean" 0 (List.length (exercise session ~nr:2 ~arg:0))
+
+let embsan_spec_text () =
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.all_sanitizers
+      ~firmware:(Embsan.Source (build_firmware Codegen.Plain, Prober.no_hints))
+      ()
+  in
+  let text = Embsan.spec_text session in
+  (* the spec must round-trip through the DSL *)
+  let back = Dsl.parse text in
+  Alcotest.(check string) "dsl roundtrip" text (Dsl.to_string back);
+  Alcotest.(check bool) "mentions kmalloc" true (contains text "kmalloc");
+  Alcotest.(check bool) "poisons heap" true (contains text "heap")
+
+let embsan_binary_mode () =
+  (* closed-source firmware: strip symbols, infer allocators dynamically.
+     Make boot perform a few allocations so the heuristic has signal. *)
+  let src =
+    {|
+barr heap_pool[4096];
+var heap_next = 0;
+fun kmalloc(size) {
+  var p = &heap_pool + heap_next;
+  heap_next = heap_next + ((size + 7) & ~7);
+  san_alloc(p, size);
+  return p;
+}
+fun kfree(p) { san_free(p, 0); return 0; }
+var bootbuf1 = 0;
+var bootbuf2 = 0;
+fun sys_oob(n) {
+  var p = kmalloc(16);
+  store8(p + n, 0x41);
+  kfree(p);
+  return 0;
+}
+fun kmain() {
+  bootbuf1 = kmalloc(32);
+  bootbuf2 = kmalloc(48);
+  var tmp = kmalloc(16);
+  kfree(tmp);
+  store32(0xF0000228, 1);
+  while (1) {
+    if (load32(0xF0000200)) {
+      var nr = load32(0xF0000204);
+      var a = load32(0xF0000208);
+      var ret = 0;
+      if (nr == 1) { ret = sys_oob(a); }
+      store32(0xF0000220, ret);
+      store32(0xF0000224, 1);
+    }
+  }
+}
+|}
+  in
+  let img =
+    Driver.compile_string
+      ~cfg:{ Driver.default_config with mode = Codegen.Plain }
+      ~name:"closed" src
+  in
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kasan_only
+      ~firmware:(Embsan.Binary (img, Prober.no_hints))
+      ()
+  in
+  Alcotest.(check bool) "image stripped" true (Image.is_stripped session.s_image);
+  Alcotest.(check bool) "alloc inferred" true
+    (List.exists
+       (fun f -> match f.Dsl.f_kind with `Alloc _ -> true | `Free _ -> false)
+       session.s_spec.Dsl.functions);
+  let reports = exercise session ~nr:1 ~arg:24 in
+  Alcotest.(check bool) "oob detected on stripped binary" true
+    (List.exists (fun (r : Report.t) -> r.kind = Report.Oob_access) reports);
+  (* stripped: no symbolized location *)
+  List.iter
+    (fun (r : Report.t) ->
+      Alcotest.(check (option string)) "no symbols" None r.location)
+    reports
+
+(* KCSAN end-to-end: two harts racing on a shared counter. *)
+let embsan_kcsan_race () =
+  let src =
+    {|
+var shared = 0;
+var stop_flag = 0;
+
+fun racer() {
+  while (stop_flag == 0) {
+    shared = shared + 1;
+  }
+  while (1) { }
+}
+
+fun kmain() {
+  trap3(10, 1, &racer, __stack_top - 0x10000);
+  store32(0xF0000228, 1);
+  while (1) {
+    if (load32(0xF0000200)) {
+      var nr = load32(0xF0000204);
+      var ret = 0;
+      if (nr == 1) {
+        var i = 0;
+        while (i < 3000) { shared = shared + 1; i = i + 1; }
+        ret = shared;
+      }
+      store32(0xF0000220, ret);
+      store32(0xF0000224, 1);
+    }
+  }
+}
+|}
+  in
+  let img =
+    Driver.compile_string
+      ~cfg:{ Driver.default_config with mode = Codegen.Plain }
+      ~name:"racy" src
+  in
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kcsan_only
+      ~firmware:(Embsan.Source (img, Prober.no_hints))
+      ()
+  in
+  let m = Embsan.make_machine session in
+  let rt = Embsan.attach ~kcsan_interval:60 ~kcsan_stall:800 session m in
+  (match Machine.run_until_ready m ~max_insns:5_000_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "boot failed: %a" Machine.pp_stop s);
+  Devices.mailbox_push m.mailbox ~nr:1 ~args:[||];
+  (match Machine.run_until_mailbox_idle m ~max_insns:20_000_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "run stopped: %a" Machine.pp_stop s);
+  let races =
+    List.filter (fun (r : Report.t) -> r.kind = Report.Data_race) (Embsan.reports rt)
+  in
+  Alcotest.(check bool) "data race detected" true (races <> [])
+
+(* Prober mode 1 records the boot-time sanitizer actions. *)
+let prober_instrumented_records () =
+  let img = build_firmware Codegen.Trap_callout in
+  let p = Prober.probe_instrumented img in
+  Alcotest.(check bool) "ready reached" true (p.p_ready_insns > 0);
+  (* heap_pool poison recorded *)
+  Alcotest.(check bool) "heap poison recorded" true
+    (List.exists
+       (function Dsl.Poison { code = "heap"; size; _ } -> size = 4096 | _ -> false)
+       p.p_init);
+  (* global registrations recorded *)
+  Alcotest.(check bool) "global region recorded" true
+    (List.exists (function Dsl.Region _ -> true | _ -> false) p.p_init)
+
+let prober_requires_symbols () =
+  let img = Image.strip (build_firmware Codegen.Plain) in
+  match Prober.probe_symbols img with
+  | _ -> Alcotest.fail "expected probe error on stripped image"
+  | exception Prober.Probe_error _ -> ()
+
+(* S5 adaptability: the kmemleak functionality plugs into the same
+   Distiller/DSL/Runtime pipeline and works in both modes. *)
+let embsan_kmemleak_third_sanitizer () =
+  List.iter
+    (fun firmware ->
+      let session =
+        Embsan.prepare
+          ~sanitizers:(Embsan.with_kmemleak Embsan.kasan_only)
+          ~firmware ()
+      in
+      Alcotest.(check bool) "kmemleak in spec" true
+        (List.mem "kmemleak" session.s_spec.Dsl.sanitizers);
+      (* func_alloc args merged: kasan's (ptr,size) u kmemleak's (ptr,size,pc) *)
+      (match Dsl.find_intercept session.s_spec Api_spec.P_func_alloc with
+      | Some i -> Alcotest.(check (list string)) "merged alloc args"
+          [ "pc"; "ptr"; "size" ]
+          (List.sort compare i.i_args)
+      | None -> Alcotest.fail "no func_alloc intercept");
+      let m = Embsan.make_machine session in
+      let rt = Embsan.attach session m in
+      (match Machine.run_until_ready m ~max_insns:5_000_000 with
+      | None -> ()
+      | Some s -> Alcotest.failf "boot failed: %a" Machine.pp_stop s);
+      let syscall nr arg =
+        Devices.mailbox_push m.mailbox ~nr ~args:[| arg |];
+        ignore (Machine.run_until_mailbox_idle m ~max_insns:5_000_000)
+      in
+      (* leak six session objects, then age them past the grace window *)
+      for i = 1 to 6 do syscall 4 i done;
+      syscall 5 30_000;
+      Alcotest.(check int) "no report before scan" 0 (Report.count rt.sink);
+      let fresh = Runtime.scan_leaks rt in
+      Alcotest.(check int) "one leak site" 1 fresh;
+      match Embsan.reports rt with
+      | [ r ] ->
+          Alcotest.(check string) "kind" "memory-leak" (Report.kind_name r.kind);
+          Alcotest.(check (option string)) "location" (Some "sys_leak") r.location
+      | l -> Alcotest.failf "expected 1 report, got %d" (List.length l))
+    [
+      Embsan.Instrumented (build_firmware Codegen.Trap_callout);
+      Embsan.Source (build_firmware Codegen.Plain, Prober.no_hints);
+    ]
+
+let () =
+  Alcotest.run "embsan_core"
+    [
+      ( "distiller",
+        [
+          Alcotest.test_case "union merge rules" `Quick distiller_union;
+          Alcotest.test_case "single sanitizer" `Quick distiller_single;
+          Alcotest.test_case "header parse errors" `Quick header_parser_rejects;
+        ] );
+      ( "dsl",
+        [
+          Alcotest.test_case "round trip" `Quick dsl_roundtrip;
+          Alcotest.test_case "parse errors" `Quick dsl_parse_errors;
+        ] );
+      ( "shadow",
+        [
+          Alcotest.test_case "poison/unpoison/check" `Quick shadow_basics;
+          Alcotest.test_case "partial granule" `Quick shadow_partial_granule;
+          Alcotest.test_case "cross-granule start" `Quick shadow_cross_granule_start;
+          QCheck_alcotest.to_alcotest shadow_qcheck;
+        ] );
+      ( "kasan",
+        [
+          Alcotest.test_case "heap lifecycle" `Quick kasan_heap_lifecycle;
+          Alcotest.test_case "null deref" `Quick kasan_null_deref;
+          Alcotest.test_case "global redzones" `Quick kasan_globals_redzone;
+          Alcotest.test_case "dedup" `Quick kasan_dedup;
+        ] );
+      ( "prober",
+        [
+          Alcotest.test_case "mode 1 records init" `Quick prober_instrumented_records;
+          Alcotest.test_case "mode 2 needs symbols" `Quick prober_requires_symbols;
+        ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "EmbSan-C detects heap bugs" `Quick embsan_c_detects;
+          Alcotest.test_case "EmbSan-D detects heap bugs" `Quick embsan_d_detects;
+          Alcotest.test_case "spec text round-trips" `Quick embsan_spec_text;
+          Alcotest.test_case "binary mode on stripped firmware" `Quick
+            embsan_binary_mode;
+          Alcotest.test_case "KCSAN catches a data race" `Quick embsan_kcsan_race;
+          Alcotest.test_case "kmemleak as a third sanitizer (S5)" `Quick
+            embsan_kmemleak_third_sanitizer;
+        ] );
+    ]

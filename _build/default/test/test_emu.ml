@@ -1,0 +1,575 @@
+(* Tests for the emulator: execution semantics, devices, probes, multi-hart
+   scheduling, stalls and coverage. *)
+
+open Embsan_isa
+open Embsan_emu
+
+let assemble_and_load ?(arch = Arch.Arm_ev) ?(harts = 2) units =
+  let img = Asm.assemble ~arch ~text_base:0x1_0000 ~entry:"main" units in
+  let m = Machine.create ~harts ~arch () in
+  Machine.load_image m img;
+  Machine.boot m;
+  (m, img)
+
+let unit_ text data = { Asm.unit_name = "t"; text; data }
+
+let check_stop = Alcotest.testable Machine.pp_stop ( = )
+
+let run_halt_code () =
+  let open Asm in
+  let m, _ = assemble_and_load [ unit_ [ Label "main"; li Reg.a0 42; halt ] [] ] in
+  Alcotest.check check_stop "halt 42" (Machine.Halted 42) (Machine.run m ~max_insns:100)
+
+let arithmetic_program () =
+  (* compute 10! iteratively, store to a global, halt with low byte *)
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 1 (* acc *);
+      li Reg.t1 1 (* i *);
+      li Reg.t2 11;
+      Label "loop";
+      Ins (Alu (Mul, Reg.t0, Reg.t0, Reg.t1));
+      addi Reg.t1 Reg.t1 1;
+      bltu Reg.t1 Reg.t2 "loop";
+      la Reg.t3 "result";
+      store W32 Reg.t3 Reg.t0 0;
+      mv Reg.a0 Reg.t0;
+      halt;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [ Label "result"; Words [ 0 ] ] ] in
+  (match Machine.run m ~max_insns:1000 with
+  | Machine.Halted _ -> ()
+  | s -> Alcotest.failf "unexpected stop %a" Machine.pp_stop s);
+  let result_addr = Image.symbol_addr_exn img "result" in
+  Alcotest.(check int) "10! stored" 3628800
+    (Machine.read_mem m ~addr:result_addr ~width:4)
+
+let uart_console () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 Devices.uart_base;
+      li Reg.t1 (Char.code 'h');
+      store W8 Reg.t0 Reg.t1 0;
+      li Reg.t1 (Char.code 'i');
+      store W8 Reg.t0 Reg.t1 0;
+      halt;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check string) "console" "hi" (Machine.console_output m)
+
+let power_device_halts () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 Devices.power_base;
+      li Reg.t1 7;
+      store W32 Reg.t0 Reg.t1 0;
+      halt;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  Alcotest.check check_stop "power code" (Machine.Halted 7) (Machine.run m ~max_insns:100)
+
+let null_deref_faults () =
+  let open Asm in
+  let text = [ Label "main"; li Reg.t0 0; load W32 Reg.t1 Reg.t0 4; halt ] in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  match Machine.run m ~max_insns:100 with
+  | Machine.Fault (acc, reason) ->
+      Alcotest.(check int) "addr" 4 acc.addr;
+      Alcotest.(check string) "reason" "null pointer dereference" reason
+  | s -> Alcotest.failf "expected fault, got %a" Machine.pp_stop s
+
+let oob_ram_faults () =
+  let open Asm in
+  let text = [ Label "main"; li Reg.t0 0x7FFF_0000; store W32 Reg.t0 Reg.t0 0; halt ] in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  match Machine.run m ~max_insns:100 with
+  | Machine.Fault (acc, _) -> Alcotest.(check bool) "is write" true acc.is_write
+  | s -> Alcotest.failf "expected fault, got %a" Machine.pp_stop s
+
+let unhandled_trap_stops () =
+  let open Asm in
+  let m, _ = assemble_and_load [ unit_ [ Label "main"; trap 99; halt ] [] ] in
+  match Machine.run m ~max_insns:100 with
+  | Machine.Unhandled_trap { num = 99; _ } -> ()
+  | s -> Alcotest.failf "expected unhandled trap, got %a" Machine.pp_stop s
+
+let trap_handler_dispatch () =
+  let open Asm in
+  let m, _ =
+    assemble_and_load
+      [ unit_ [ Label "main"; li Reg.a0 5; trap 3; mv Reg.a0 Reg.a0; halt ] [] ]
+  in
+  let seen = ref 0 in
+  Machine.set_trap_handler m 3 (fun _m cpu ->
+      seen := Cpu.get cpu Reg.a0;
+      Cpu.set cpu Reg.a0 99);
+  Alcotest.check check_stop "halts with handler retval" (Machine.Halted 99)
+    (Machine.run m ~max_insns:100);
+  Alcotest.(check int) "handler saw arg" 5 !seen
+
+let mem_probe_events () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      la Reg.t0 "buf";
+      li Reg.t1 0xAB;
+      store W8 Reg.t0 Reg.t1 2;
+      load W32 Reg.t2 Reg.t0 0;
+      halt;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [ Label "buf"; Words [ 0; 0 ] ] ] in
+  let events = ref [] in
+  Probe.on_mem m.probes (fun ev -> events := ev :: !events);
+  ignore (Machine.run m ~max_insns:100);
+  let buf = Image.symbol_addr_exn img "buf" in
+  match List.rev !events with
+  | [ st; ld ] ->
+      Alcotest.(check bool) "store first" true st.is_write;
+      Alcotest.(check int) "store addr" (buf + 2) st.addr;
+      Alcotest.(check int) "store size" 1 st.size;
+      Alcotest.(check int) "store value" 0xAB st.value;
+      Alcotest.(check bool) "load" false ld.is_write;
+      Alcotest.(check int) "load addr" buf ld.addr;
+      Alcotest.(check int) "load size" 4 ld.size
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
+
+let probe_subscription_flushes_cache () =
+  (* run once with no probes (blocks get cached without callbacks), then
+     subscribe and re-run: events must appear, proving retranslation *)
+  let open Asm in
+  let text =
+    [ Label "main"; la Reg.t0 "buf"; load W32 Reg.t1 Reg.t0 0; halt ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [ Label "buf"; Words [ 1 ] ] ] in
+  ignore (Machine.run m ~max_insns:100);
+  let count = ref 0 in
+  Probe.on_mem m.probes (fun _ -> incr count);
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check int) "event after re-subscription" 1 !count
+
+let call_ret_probes () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.a0 5;
+      call "callee";
+      halt;
+      Label "callee";
+      addi Reg.a0 Reg.a0 1;
+      ret;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [] ] in
+  let calls = ref [] and rets = ref [] in
+  Probe.on_call m.probes (fun ev -> calls := ev :: !calls);
+  Probe.on_ret m.probes (fun ev -> rets := ev :: !rets);
+  ignore (Machine.run m ~max_insns:100);
+  let callee = Image.symbol_addr_exn img "callee" in
+  (match !calls with
+  | [ c ] -> Alcotest.(check int) "call target" callee c.c_target
+  | _ -> Alcotest.fail "expected one call event");
+  match !rets with
+  | [ r ] -> Alcotest.(check int) "retval" 6 r.r_retval
+  | _ -> Alcotest.fail "expected one ret event"
+
+let multi_hart_interleaving () =
+  (* hart0 spins incrementing a counter; hart1 halts the machine after it
+     observes the counter above a threshold -> proves both harts progress *)
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      la Reg.t0 "counter";
+      Label "spin";
+      load W32 Reg.t1 Reg.t0 0;
+      addi Reg.t1 Reg.t1 1;
+      store W32 Reg.t0 Reg.t1 0;
+      j "spin";
+      Label "watcher";
+      la Reg.t0 "counter";
+      Label "watch_loop";
+      load W32 Reg.t1 Reg.t0 0;
+      li Reg.t2 50;
+      bltu Reg.t1 Reg.t2 "watch_loop";
+      li Reg.a0 1;
+      halt;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [ Label "counter"; Words [ 0 ] ] ] in
+  Machine.start_hart m 1 ~pc:(Image.symbol_addr_exn img "watcher")
+    ~sp:(Machine.ram_base m + Machine.ram_size m - 4096);
+  Alcotest.check check_stop "watcher halts" (Machine.Halted 1)
+    (Machine.run m ~max_insns:100_000)
+
+let amo_atomicity () =
+  (* two harts each amo.add 1000 times; final value must be exactly 2000 *)
+  let open Asm in
+  let worker label =
+    [
+      Asm.Label label;
+      la Reg.t0 "counter";
+      li Reg.t1 0;
+      li Reg.t2 1000;
+      li Reg.t3 1;
+      Label (label ^ "_loop");
+      Ins (Amo (Amo_add, Reg.t4, Reg.t0, Reg.t3));
+      addi Reg.t1 Reg.t1 1;
+      bltu Reg.t1 Reg.t2 (label ^ "_loop");
+      la Reg.s0 "done_flags";
+      Ins (Amo (Amo_add, Reg.t4, Reg.s0, Reg.t3));
+      Label (label ^ "_wait");
+      load W32 Reg.t4 Reg.s0 0;
+      li Reg.s1 2;
+      bltu Reg.t4 Reg.s1 (label ^ "_wait");
+      la Reg.t0 "counter";
+      load W32 Reg.a0 Reg.t0 0;
+      halt;
+    ]
+  in
+  let text = (Asm.Label "main" :: Asm.j "w0" :: worker "w0") @ worker "w1" in
+  let m, img =
+    assemble_and_load
+      [ unit_ text [ Label "counter"; Words [ 0 ]; Label "done_flags"; Words [ 0 ] ] ]
+  in
+  Machine.start_hart m 1 ~pc:(Image.symbol_addr_exn img "w1")
+    ~sp:(Machine.ram_base m + Machine.ram_size m - 4096);
+  Alcotest.check check_stop "sum exact" (Machine.Halted 2000)
+    (Machine.run m ~max_insns:1_000_000)
+
+let stall_and_retry () =
+  (* a probe stalls the first store of hart0; verify hart1 runs during the
+     stall window and the store still completes afterwards *)
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      la Reg.t0 "cell";
+      li Reg.t1 123;
+      store W32 Reg.t0 Reg.t1 0;
+      halt;
+      Label "side";
+      la Reg.t0 "side_cell";
+      li Reg.t1 1;
+      store W32 Reg.t0 Reg.t1 0;
+      Label "side_spin";
+      j "side_spin";
+    ]
+  in
+  let m, img =
+    assemble_and_load
+      [ unit_ text [ Label "cell"; Words [ 0 ]; Label "side_cell"; Words [ 0 ] ] ]
+  in
+  Machine.start_hart m 1 ~pc:(Image.symbol_addr_exn img "side")
+    ~sp:(Machine.ram_base m + Machine.ram_size m - 4096);
+  let cell = Image.symbol_addr_exn img "cell" in
+  let side_cell = Image.symbol_addr_exn img "side_cell" in
+  let stalled = ref false in
+  let side_value_during_stall = ref (-1) in
+  Probe.on_mem m.probes (fun ev ->
+      if ev.addr = cell && ev.is_write && not !stalled then begin
+        stalled := true;
+        m.harts.(0).stall_until <- m.total_insns + 200;
+        raise (Fault.Retry_at ev.pc)
+      end
+      else if ev.addr = cell && ev.is_write then
+        side_value_during_stall := Machine.read_mem m ~addr:side_cell ~width:4);
+  ignore (Machine.run m ~max_insns:10_000);
+  Alcotest.(check bool) "stall happened" true !stalled;
+  Alcotest.(check int) "hart1 progressed during stall" 1 !side_value_during_stall;
+  Alcotest.(check int) "store completed" 123 (Machine.read_mem m ~addr:cell ~width:4)
+
+let cost_model_counts () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 0 (* alu *);
+      la Reg.t1 "buf" (* alu (li) *);
+      load W32 Reg.t2 Reg.t1 0 (* mem *);
+      halt (* alu *);
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [ Label "buf"; Words [ 0 ] ] ] in
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check int) "insns" 4 m.total_insns;
+  Alcotest.(check int) "cost"
+    ((3 * Cost_model.alu_insn) + Cost_model.mem_insn)
+    m.cost;
+  Machine.add_external_cost m 500;
+  Alcotest.(check int) "total cost" (m.cost + 500) (Machine.total_cost m)
+
+let mailbox_protocol () =
+  let open Asm in
+  (* guest: signal ready; then loop: wait for request, return nr + arg0 + 1 *)
+  let mb = Devices.mailbox_base in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 mb;
+      li Reg.t1 1;
+      store W32 Reg.t0 Reg.t1 0x28 (* READY *);
+      Label "serve";
+      load W32 Reg.t1 Reg.t0 0x00;
+      beqz Reg.t1 "serve";
+      load W32 Reg.t2 Reg.t0 0x04 (* NR *);
+      load W32 Reg.t3 Reg.t0 0x08 (* ARG0 *);
+      Ins (Alu (Add, Reg.t2, Reg.t2, Reg.t3));
+      addi Reg.t2 Reg.t2 1;
+      store W32 Reg.t0 Reg.t2 0x20 (* RET *);
+      li Reg.t1 1;
+      store W32 Reg.t0 Reg.t1 0x24 (* COMPLETE *);
+      j "serve";
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  (match Machine.run_until_ready m ~max_insns:10_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "boot stopped: %a" Machine.pp_stop s);
+  Alcotest.(check bool) "ready" true (Devices.mailbox_ready m.mailbox);
+  Devices.mailbox_push m.mailbox ~nr:10 ~args:[| 5 |];
+  Devices.mailbox_push m.mailbox ~nr:20 ~args:[| 7 |];
+  (match Machine.run_until_mailbox_idle m ~max_insns:100_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "serve stopped: %a" Machine.pp_stop s);
+  match Devices.mailbox_completions m.mailbox with
+  | [ a; b ] ->
+      Alcotest.(check int) "first ret" 16 a.ret;
+      Alcotest.(check int) "second ret" 28 b.ret
+  | l -> Alcotest.failf "expected 2 completions, got %d" (List.length l)
+
+let coverage_tcg () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 0;
+      li Reg.t1 5;
+      Label "loop";
+      addi Reg.t0 Reg.t0 1;
+      bltu Reg.t0 Reg.t1 "loop";
+      halt;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  let cov = Coverage.create ~harts:2 in
+  Coverage.attach_tcg cov m;
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check bool) "blocks seen" true (cov.blocks_seen > 3);
+  Alcotest.(check bool) "edges recorded" true (Coverage.edge_count cov > 0);
+  let sig1 = Coverage.signature cov in
+  Coverage.reset_edges cov;
+  Alcotest.(check int) "reset" 0 (Coverage.edge_count cov);
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check bool) "deterministic" true (Coverage.signature cov = sig1)
+
+let coverage_kcov () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.a0 0x1234;
+      trap Coverage.kcov_trap;
+      li Reg.a0 0x5678;
+      trap Coverage.kcov_trap;
+      halt;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  let cov = Coverage.create ~harts:2 in
+  Coverage.attach_kcov cov m;
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check int) "two kcov records" 2 cov.blocks_seen
+
+let deadlock_detected () =
+  let open Asm in
+  let m, _ = assemble_and_load [ unit_ [ Label "main"; Ins Nop; halt ] [] ] in
+  (* park hart 0 before it runs *)
+  m.harts.(0).status <- Cpu.Parked;
+  Alcotest.check check_stop "deadlock" Machine.Deadlock (Machine.run m ~max_insns:100)
+
+let budget_exhausted () =
+  let open Asm in
+  let m, _ = assemble_and_load [ unit_ [ Label "main"; Label "spin"; j "spin" ] [] ] in
+  Alcotest.check check_stop "budget" Machine.Budget_exhausted
+    (Machine.run m ~max_insns:100)
+
+let hypercall_abi () =
+  (* check <-> decode_check are inverses over the callout range *)
+  List.iter
+    (fun (is_write, size) ->
+      let n = Hypercall.check ~is_write ~size in
+      Alcotest.(check (option (pair bool int)))
+        (Hypercall.name n)
+        (Some (is_write, size))
+        (Hypercall.decode_check n))
+    [ (false, 1); (false, 2); (false, 4); (true, 1); (true, 2); (true, 4) ];
+  Alcotest.(check (option (pair bool int))) "non-check" None
+    (Hypercall.decode_check Hypercall.san_alloc);
+  Alcotest.(check string) "named" "san_free" (Hypercall.name Hypercall.san_free)
+
+let services_putc_and_exit () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.a0 (Char.code 'o');
+      trap Hypercall.putc;
+      li Reg.a0 (Char.code 'k');
+      trap Hypercall.putc;
+      li Reg.a0 3;
+      trap Hypercall.exit_;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  Services.install m;
+  Alcotest.check check_stop "exit code" (Machine.Halted 3)
+    (Machine.run m ~max_insns:1000);
+  Alcotest.(check string) "console" "ok" (Machine.console_output m)
+
+let hart_start_service () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.a0 1;
+      la Reg.a1 "side";
+      li Reg.a2 0x300000;
+      trap Hypercall.hart_start;
+      Label "wait";
+      la Reg.t0 "flag";
+      load W32 Reg.t1 Reg.t0 0;
+      beqz Reg.t1 "wait";
+      li Reg.a0 1;
+      halt;
+      Label "side";
+      trap Hypercall.current_hart;
+      la Reg.t0 "flag";
+      store W32 Reg.t0 Reg.a0 0;
+      Label "spin";
+      j "spin";
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [ Label "flag"; Words [ 0 ] ] ] in
+  Services.install m;
+  Alcotest.check check_stop "completes" (Machine.Halted 1)
+    (Machine.run m ~max_insns:100_000)
+
+let trace_ring () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.a0 7;
+      call "callee";
+      halt;
+      Label "callee";
+      addi Reg.a0 Reg.a0 1;
+      ret;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [] ] in
+  let tr = Trace.attach ~capacity:8 m in
+  ignore (Machine.run m ~max_insns:1000);
+  let evs = Trace.events tr in
+  let callee = Image.symbol_addr_exn img "callee" in
+  Alcotest.(check bool) "has call event" true
+    (List.exists
+       (function Trace.Call { ct_target; ct_args; _ } ->
+           ct_target = callee && ct_args.(0) = 7
+         | _ -> false)
+       evs);
+  Alcotest.(check bool) "has return event" true
+    (List.exists
+       (function Trace.Return { rt_retval; _ } -> rt_retval = 8 | _ -> false)
+       evs)
+
+let trace_ring_eviction () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 0;
+      li Reg.t1 20;
+      Label "loop";
+      addi Reg.t0 Reg.t0 1;
+      bltu Reg.t0 Reg.t1 "loop";
+      halt;
+    ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [] ] in
+  let tr = Trace.attach ~capacity:4 m in
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check int) "ring keeps capacity" 4 (List.length (Trace.events tr));
+  Alcotest.(check bool) "total exceeds ring" true (Trace.total tr > 4)
+
+let () =
+  Alcotest.run "embsan_emu"
+    [
+      ( "exec",
+        [
+          Alcotest.test_case "halt code" `Quick run_halt_code;
+          Alcotest.test_case "factorial" `Quick arithmetic_program;
+          Alcotest.test_case "budget" `Quick budget_exhausted;
+          Alcotest.test_case "deadlock" `Quick deadlock_detected;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "uart console" `Quick uart_console;
+          Alcotest.test_case "power halts" `Quick power_device_halts;
+          Alcotest.test_case "mailbox protocol" `Quick mailbox_protocol;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "null deref" `Quick null_deref_faults;
+          Alcotest.test_case "out-of-ram" `Quick oob_ram_faults;
+          Alcotest.test_case "unhandled trap" `Quick unhandled_trap_stops;
+          Alcotest.test_case "trap handler" `Quick trap_handler_dispatch;
+        ] );
+      ( "probes",
+        [
+          Alcotest.test_case "mem events" `Quick mem_probe_events;
+          Alcotest.test_case "subscription flushes TCG" `Quick
+            probe_subscription_flushes_cache;
+          Alcotest.test_case "call/ret events" `Quick call_ret_probes;
+        ] );
+      ( "smp",
+        [
+          Alcotest.test_case "interleaving" `Quick multi_hart_interleaving;
+          Alcotest.test_case "amo atomicity" `Quick amo_atomicity;
+          Alcotest.test_case "stall and retry" `Quick stall_and_retry;
+        ] );
+      ( "accounting",
+        [ Alcotest.test_case "cost model" `Quick cost_model_counts ] );
+      ( "services",
+        [
+          Alcotest.test_case "hypercall ABI" `Quick hypercall_abi;
+          Alcotest.test_case "putc and exit" `Quick services_putc_and_exit;
+          Alcotest.test_case "hart_start / current_hart" `Quick
+            hart_start_service;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "call/ret events" `Quick trace_ring;
+          Alcotest.test_case "ring eviction" `Quick trace_ring_eviction;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "tcg blocks" `Quick coverage_tcg;
+          Alcotest.test_case "kcov hypercall" `Quick coverage_kcov;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* Tests for the fuzzing library: PRNG determinism, program generation and
+   mutation invariants (property-based), corpus triage, and campaign
+   determinism / effectiveness on a small firmware. *)
+
+open Embsan_guest
+open Embsan_fuzz
+module Embsan = Embsan_core.Embsan
+
+let descs =
+  [
+    { Defs.sc_nr = 1; sc_name = "a"; sc_args = [ Defs.Flag [ 0; 1; 2 ] ] };
+    { Defs.sc_nr = 2; sc_name = "b"; sc_args = [ Defs.Range (0, 15); Defs.Len ] };
+    { Defs.sc_nr = 7; sc_name = "c"; sc_args = [ Defs.Any32; Defs.Any32; Defs.Len ] };
+  ]
+
+(* --- PRNG ----------------------------------------------------------------------- *)
+
+let rng_deterministic () =
+  let a = Rng.create ~seed:5 and b = Rng.create ~seed:5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.next a) (Rng.next b)
+  done;
+  let c = Rng.create ~seed:6 in
+  Alcotest.(check bool) "different seed differs" true
+    (List.init 10 (fun _ -> Rng.next a) <> List.init 10 (fun _ -> Rng.next c))
+
+let rng_ranges =
+  QCheck2.Test.make ~name:"Rng.range stays in bounds" ~count:200
+    QCheck2.Gen.(triple int (int_range 0 100) (int_range 0 100))
+    (fun (seed, lo, d) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.range rng lo (lo + d) in
+      v >= lo && v <= lo + d)
+
+(* --- program generation / mutation ----------------------------------------------- *)
+
+let prog_gen_valid =
+  QCheck2.Test.make ~name:"generated programs use declared syscalls" ~count:100
+    QCheck2.Gen.int (fun seed ->
+      let rng = Rng.create ~seed in
+      let p = Prog.gen rng descs in
+      List.length p >= 1
+      && List.length p <= Prog.max_len
+      && List.for_all
+           (fun (c : Prog.call) ->
+             List.exists (fun d -> d.Defs.sc_nr = c.nr) descs
+             && Array.length c.args = 3)
+           p)
+
+let mutate_preserves_validity =
+  QCheck2.Test.make ~name:"mutation keeps programs well-formed" ~count:200
+    QCheck2.Gen.(pair int int)
+    (fun (seed1, seed2) ->
+      let rng = Rng.create ~seed:seed1 in
+      let p = Prog.gen rng descs in
+      let rng2 = Rng.create ~seed:seed2 in
+      let other = Prog.gen rng2 descs in
+      let q =
+        Prog.mutate rng2 descs ~corpus_pick:(fun () -> Some other) p
+      in
+      List.length q >= 1
+      && List.length q <= Prog.max_len
+      && List.for_all (fun (c : Prog.call) -> Array.length c.args = 3) q)
+
+let flag_domain_respected () =
+  let rng = Rng.create ~seed:9 in
+  for _ = 1 to 200 do
+    let v = Prog.gen_arg rng (Defs.Flag [ 3; 5; 9 ]) in
+    Alcotest.(check bool) "flag value" true (List.mem v [ 3; 5; 9 ])
+  done
+
+(* --- corpus ---------------------------------------------------------------------- *)
+
+let corpus_triage () =
+  let c = Corpus.create () in
+  let p1 = [ { Prog.nr = 1; args = [| 0; 0; 0 |] } ] in
+  let p2 = [ { Prog.nr = 2; args = [| 1; 2; 3 |] } ] in
+  Alcotest.(check bool) "new coverage admits" true
+    (Corpus.consider c p1 [ (10, 1); (11, 1) ]);
+  Alcotest.(check bool) "duplicate coverage rejected" false
+    (Corpus.consider c p1 [ (10, 1) ]);
+  Alcotest.(check bool) "new bucket admits" true
+    (Corpus.consider c p2 [ (10, 2) ]);
+  Alcotest.(check int) "size" 2 (Corpus.size c);
+  Alcotest.(check int) "coverage pairs" 3 (Corpus.coverage c);
+  Alcotest.(check int) "programs retained" 2 (List.length (Corpus.programs c))
+
+(* --- campaigns ------------------------------------------------------------------- *)
+
+let small_fw () = Option.get (Firmware_db.find "OpenHarmony-stm32f407")
+
+let campaign_finds_bugs () =
+  let fw = small_fw () in
+  let cfg = { (Campaign.default_config fw) with max_execs = 1500; seed = 3 } in
+  let r = Campaign.run cfg in
+  Alcotest.(check int) "both bugs found" 2 (List.length r.r_found);
+  List.iter
+    (fun (f : Campaign.found) ->
+      Alcotest.(check bool) (f.f_bug.b_id ^ " confirmed") true f.f_confirmed)
+    r.r_found
+
+let campaign_deterministic () =
+  let fw = small_fw () in
+  let run () =
+    let cfg = { (Campaign.default_config fw) with max_execs = 400; seed = 11 } in
+    let r = Campaign.run cfg in
+    ( List.sort compare
+        (List.map (fun (f : Campaign.found) -> (f.f_bug.b_id, f.f_exec)) r.r_found),
+      r.r_coverage )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "same findings and coverage" true (a = b)
+
+let campaign_seed_variation () =
+  let fw = small_fw () in
+  let execs seed =
+    let cfg = { (Campaign.default_config fw) with max_execs = 1200; seed } in
+    let r = Campaign.run cfg in
+    List.sort compare (List.map (fun (f : Campaign.found) -> f.f_exec) r.r_found)
+  in
+  (* different seeds find the bugs at different times but still find them *)
+  Alcotest.(check bool) "seed 1 finds" true (execs 1 <> []);
+  Alcotest.(check bool) "seed 2 finds" true (execs 2 <> [])
+
+let tardis_mode_needs_no_guest_support () =
+  (* the Tardis coverage path must work on the closed-source image *)
+  let fw = Option.get (Firmware_db.find "TP-Link WDR-7660") in
+  let cfg =
+    { (Campaign.default_config fw) with max_execs = 800; seed = 5 }
+  in
+  let r = Campaign.run cfg in
+  Alcotest.(check bool) "coverage collected" true (r.r_coverage > 10);
+  Alcotest.(check bool) "found something" true (r.r_found <> [])
+
+let clean_corpus_filters_triggers () =
+  let fw = small_fw () in
+  let cfg =
+    {
+      (Campaign.default_config fw) with
+      max_execs = 1200;
+      seed = 3;
+      stop_when_all_found = false;
+    }
+  in
+  let r = Campaign.run cfg in
+  let clean = Campaign.clean_corpus fw r.r_corpus_progs in
+  Alcotest.(check bool) "corpus nonempty" true (clean <> []);
+  (* replaying the clean corpus produces no reports *)
+  let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+  let o = Replay.replay inst (List.concat_map Prog.to_reproducer clean) in
+  Alcotest.(check (list string)) "no reports" []
+    (List.map Embsan_core.Report.title o.o_reports)
+
+let () =
+  Alcotest.run "embsan_fuzz"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick rng_deterministic;
+          QCheck_alcotest.to_alcotest rng_ranges;
+        ] );
+      ( "prog",
+        [
+          QCheck_alcotest.to_alcotest prog_gen_valid;
+          QCheck_alcotest.to_alcotest mutate_preserves_validity;
+          Alcotest.test_case "flag domains" `Quick flag_domain_respected;
+        ] );
+      ("corpus", [ Alcotest.test_case "triage" `Quick corpus_triage ]);
+      ( "campaign",
+        [
+          Alcotest.test_case "finds and confirms bugs" `Slow campaign_finds_bugs;
+          Alcotest.test_case "deterministic" `Slow campaign_deterministic;
+          Alcotest.test_case "seed variation" `Slow campaign_seed_variation;
+          Alcotest.test_case "Tardis mode on closed firmware" `Slow
+            tardis_mode_needs_no_guest_support;
+          Alcotest.test_case "clean corpus" `Slow clean_corpus_filters_triggers;
+        ] );
+    ]

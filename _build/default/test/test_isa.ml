@@ -1,0 +1,326 @@
+(* Tests for the EVA-32 ISA: codec round-trips across the three architecture
+   flavors, assembler layout and label resolution, image serialization. *)
+
+open Embsan_isa
+
+module Astring_lite = struct
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec go i =
+      i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1))
+    in
+    go 0
+end
+
+let sample_insns : Insn.t list =
+  [
+    Nop;
+    Halt;
+    Fence;
+    Li (Reg.a0, 0xDEADBEEF);
+    Li (Reg.t4, 0);
+    Alu (Add, Reg.a0, Reg.a1, Reg.a2);
+    Alu (Sltu, Reg.t0, Reg.s3, Reg.zero);
+    Alui (Xor, Reg.s0, Reg.s1, -5);
+    Alui (Shl, Reg.t1, Reg.t2, 31);
+    Load (W8, true, Reg.a0, Reg.sp, -4);
+    Load (W8, false, Reg.a1, Reg.sp, 0);
+    Load (W16, true, Reg.a2, Reg.t0, 2);
+    Load (W16, false, Reg.a3, Reg.t1, 0x7FFF);
+    Load (W32, false, Reg.t3, Reg.s2, 1024);
+    Store (W8, Reg.sp, Reg.a0, -1);
+    Store (W16, Reg.t0, Reg.a1, 2);
+    Store (W32, Reg.s0, Reg.ra, 0);
+    Branch (Eq, Reg.a0, Reg.a1, 64);
+    Branch (Ne, Reg.a0, Reg.zero, -64);
+    Branch (Lt, Reg.t0, Reg.t1, 8);
+    Branch (Ltu, Reg.t0, Reg.t1, 8);
+    Branch (Ge, Reg.t0, Reg.t1, -8);
+    Branch (Geu, Reg.t0, Reg.t1, 16);
+    Jal (Reg.ra, 256);
+    Jal (Reg.zero, -256);
+    Jalr (Reg.zero, Reg.ra, 0);
+    Jalr (Reg.ra, Reg.t0, 12);
+    Trap 42;
+    Amo (Amo_add, Reg.a0, Reg.t0, Reg.a1);
+    Amo (Amo_swap, Reg.a0, Reg.t0, Reg.a1);
+  ]
+
+let roundtrip_arch arch () =
+  List.iter
+    (fun insn ->
+      let encoded = Codec.encode arch insn in
+      Alcotest.(check int) "size" Insn.size (String.length encoded);
+      let decoded = Codec.decode arch ~addr:0 encoded 0 in
+      Alcotest.(check string)
+        (Disasm.to_string insn)
+        (Disasm.to_string insn) (Disasm.to_string decoded))
+    sample_insns
+
+let encodings_differ () =
+  let insn = Insn.Li (Reg.a0, 0x11223344) in
+  let e_arm = Codec.encode Arch.Arm_ev insn in
+  let e_mips = Codec.encode Arch.Mips_ev insn in
+  let e_x86 = Codec.encode Arch.X86_ev insn in
+  Alcotest.(check bool) "arm<>mips" true (e_arm <> e_mips);
+  Alcotest.(check bool) "arm<>x86" true (e_arm <> e_x86);
+  (* mips immediates are big-endian *)
+  Alcotest.(check int) "mips imm msb first" 0x11 (Char.code e_mips.[4]);
+  Alcotest.(check int) "arm imm lsb first" 0x44 (Char.code e_arm.[4])
+
+let zero_opcode_invalid () =
+  List.iter
+    (fun arch ->
+      match Codec.decode arch ~addr:0 (String.make 8 '\000') 0 with
+      | _ -> Alcotest.fail "expected decode error"
+      | exception Codec.Decode_error _ -> ())
+    Arch.all
+
+let word32_tests () =
+  Alcotest.(check int) "wrap" 0 (Word32.wrap 0x1_0000_0000);
+  Alcotest.(check int) "signed" (-1) (Word32.signed 0xFFFF_FFFF);
+  Alcotest.(check int) "sub underflow" 0xFFFF_FFFF (Word32.sub 0 1);
+  Alcotest.(check int) "sext8" 0xFFFF_FF80 (Word32.sext 0x80 8);
+  Alcotest.(check int) "zext8" 0x80 (Word32.zext 0xF80 8);
+  Alcotest.(check int) "divu by zero" 0xFFFF_FFFF (Word32.divu 5 0);
+  Alcotest.(check int) "remu by zero" 5 (Word32.remu 5 0);
+  Alcotest.(check bool) "lt_s" true (Word32.lt_s 0xFFFF_FFFF 0);
+  Alcotest.(check bool) "lt_u" false (Word32.lt_u 0xFFFF_FFFF 0);
+  Alcotest.(check int) "shrs" 0xFFFF_FFFF (Word32.shrs 0x8000_0000 31)
+
+let qcheck_roundtrip =
+  let open QCheck2 in
+  let gen_reg = Gen.map Reg.of_int (Gen.int_range 0 15) in
+  let gen_imm = Gen.map Word32.wrap (Gen.int_range 0 0xFFFFFFF) in
+  let gen_simm = Gen.int_range (-1000000) 1000000 in
+  let gen_insn =
+    Gen.oneof
+      [
+        Gen.map2 (fun r i -> Insn.Li (r, i)) gen_reg gen_imm;
+        Gen.map3 (fun a b c -> Insn.Alu (Add, a, b, c)) gen_reg gen_reg gen_reg;
+        Gen.map3 (fun a b i -> Insn.Alui (Sub, a, b, i)) gen_reg gen_reg gen_simm;
+        Gen.map3
+          (fun a b i -> Insn.Load (W32, false, a, b, i))
+          gen_reg gen_reg gen_simm;
+        Gen.map3 (fun a b i -> Insn.Store (W16, a, b, i)) gen_reg gen_reg gen_simm;
+        Gen.map3 (fun a b i -> Insn.Branch (Ltu, a, b, i * 8)) gen_reg gen_reg
+          (Gen.int_range (-1000) 1000);
+        Gen.map (fun n -> Insn.Trap (n land 0xFFFF)) Gen.nat;
+      ]
+  in
+  Test.make ~name:"codec round-trip (random insns, all arches)" ~count:500
+    (Gen.pair (Gen.oneofl Arch.all) gen_insn) (fun (arch, insn) ->
+      let d = Codec.decode arch ~addr:0 (Codec.encode arch insn) 0 in
+      Disasm.to_string d = Disasm.to_string insn)
+
+(* --- Assembler ------------------------------------------------------------- *)
+
+let asm_simple_image () =
+  let open Asm in
+  let u =
+    {
+      unit_name = "u";
+      text =
+        [
+          Label "start";
+          li Reg.a0 7;
+          call "double";
+          j "end";
+          Label "double";
+          Ins (Alu (Add, Reg.a0, Reg.a0, Reg.a0));
+          ret;
+          Label "end";
+          halt;
+        ];
+      data = [ Label "message"; Bytes "hi\000"; Align 4; Label "counter"; Words [ 99 ] ];
+    }
+  in
+  let img = assemble ~arch:Arch.Arm_ev ~text_base:0x2_0000 ~entry:"start" [ u ] in
+  Alcotest.(check int) "entry" 0x2_0000 img.entry;
+  let start = Image.symbol_addr_exn img "start" in
+  let double = Image.symbol_addr_exn img "double" in
+  Alcotest.(check int) "start" 0x2_0000 start;
+  Alcotest.(check int) "double" (0x2_0000 + 24) double;
+  let counter = Image.find_symbol img "counter" |> Option.get in
+  Alcotest.(check bool) "counter in data" true (counter.addr > double);
+  (* check the call instruction encodes the right relative offset *)
+  let text = Option.get (Image.section img "text") in
+  match Codec.decode img.arch ~addr:(start + 8) text.data 8 with
+  | Jal (rd, off) ->
+      Alcotest.(check string) "rd=ra" "ra" (Reg.name rd);
+      Alcotest.(check int) "offset" (double - (start + 8)) off
+  | other -> Alcotest.failf "expected jal, got %s" (Disasm.to_string other)
+
+let asm_duplicate_label () =
+  let open Asm in
+  let u = { unit_name = "u"; text = [ Label "x"; Label "x" ]; data = [] } in
+  match assemble ~arch:Arch.Arm_ev ~text_base:0 ~entry:"x" [ u ] with
+  | _ -> Alcotest.fail "expected duplicate label error"
+  | exception Asm_error _ -> ()
+
+let asm_undefined_label () =
+  let open Asm in
+  let u = { unit_name = "u"; text = [ Label "go"; j "nowhere" ]; data = [] } in
+  match assemble ~arch:Arch.Arm_ev ~text_base:0 ~entry:"go" [ u ] with
+  | _ -> Alcotest.fail "expected undefined label error"
+  | exception Asm_error _ -> ()
+
+let asm_multi_unit_layout () =
+  let open Asm in
+  let u1 = { unit_name = "a"; text = [ Label "f1"; ret ]; data = [ Label "d1"; Words [ 1 ] ] } in
+  let u2 = { unit_name = "b"; text = [ Label "f2"; ret ]; data = [ Label "d2"; Words [ 2 ] ] } in
+  let img = assemble ~arch:Arch.Mips_ev ~text_base:0x1_0000 ~entry:"f1" [ u1; u2 ] in
+  let f1 = Image.symbol_addr_exn img "f1"
+  and f2 = Image.symbol_addr_exn img "f2"
+  and d1 = Image.symbol_addr_exn img "d1"
+  and d2 = Image.symbol_addr_exn img "d2" in
+  Alcotest.(check bool) "text order" true (f1 < f2);
+  Alcotest.(check bool) "data after text" true (d1 > f2);
+  Alcotest.(check bool) "data order" true (d1 < d2)
+
+let asm_align () =
+  let open Asm in
+  let u =
+    { unit_name = "u"; text = [ Label "e"; halt ]; data = [ Bytes "abc"; Align 8; Label "al"; Words [ 5 ] ] }
+  in
+  let img = assemble ~arch:Arch.X86_ev ~text_base:0x1000 ~entry:"e" [ u ] in
+  let al = Image.symbol_addr_exn img "al" in
+  Alcotest.(check int) "aligned" 0 (al mod 8)
+
+(* --- Image ------------------------------------------------------------------ *)
+
+let image_roundtrip () =
+  let open Asm in
+  let u =
+    {
+      unit_name = "u";
+      text = [ Label "main"; li Reg.a0 1; halt ];
+      data = [ Label "glob"; Words [ 0xCAFE ] ];
+    }
+  in
+  let img = assemble ~arch:Arch.Mips_ev ~text_base:0x4_0000 ~entry:"main" [ u ] in
+  let blob = Image.serialize img in
+  let img2 = Image.parse blob in
+  Alcotest.(check int) "entry" img.entry img2.entry;
+  Alcotest.(check int) "nsyms" (List.length img.symbols) (List.length img2.symbols);
+  Alcotest.(check int) "glob addr" (Image.symbol_addr_exn img "glob")
+    (Image.symbol_addr_exn img2 "glob");
+  let t1 = Option.get (Image.section img "text")
+  and t2 = Option.get (Image.section img2 "text") in
+  Alcotest.(check string) "text bytes" t1.data t2.data
+
+let image_strip () =
+  let open Asm in
+  let u = { unit_name = "u"; text = [ Label "main"; halt ]; data = [] } in
+  let img = assemble ~arch:Arch.Arm_ev ~text_base:0x1000 ~entry:"main" [ u ] in
+  let stripped = Image.strip img in
+  Alcotest.(check bool) "stripped" true (Image.is_stripped stripped);
+  Alcotest.(check bool) "original kept" false (Image.is_stripped img);
+  (* round-trips preserve strippedness *)
+  let back = Image.parse (Image.serialize stripped) in
+  Alcotest.(check bool) "roundtrip stripped" true (Image.is_stripped back)
+
+let image_symbol_at () =
+  let open Asm in
+  let u =
+    { unit_name = "u"; text = [ Label "f"; Ins Nop; Ins Nop; Label "g"; halt ]; data = [] }
+  in
+  let img = assemble ~arch:Arch.Arm_ev ~text_base:0 ~entry:"f" [ u ] in
+  let sym_at a = Option.map (fun (s : Image.symbol) -> s.name) (Image.symbol_at img a) in
+  Alcotest.(check (option string)) "at f" (Some "f") (sym_at 0);
+  Alcotest.(check (option string)) "inside f" (Some "f") (sym_at 8);
+  Alcotest.(check (option string)) "at g" (Some "g") (sym_at 16);
+  Alcotest.(check (option string)) "beyond" None (sym_at 4096)
+
+let bad_image_rejected () =
+  (match Image.parse "XXXX" with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception Image.Parse_error _ -> ());
+  match Image.parse "EVAF" with
+  | _ -> Alcotest.fail "expected parse error on truncation"
+  | exception Image.Parse_error _ -> ()
+
+(* --- Disassembler ------------------------------------------------------------ *)
+
+let disasm_strings () =
+  let checks =
+    [
+      (Insn.Li (Reg.a0, 0xBEEF), "li a0, 0x0000beef");
+      (Insn.Alu (Add, Reg.t0, Reg.t1, Reg.t2), "add t0, t1, t2");
+      (Insn.Load (W8, false, Reg.a1, Reg.sp, -4), "lbu a1, -4(sp)");
+      (Insn.Store (W16, Reg.s0, Reg.a2, 8), "sh a2, 8(s0)");
+      (Insn.Branch (Ltu, Reg.t0, Reg.t1, -16), "bltu t0, t1, -16");
+      (Insn.Jalr (Reg.zero, Reg.ra, 0), "jalr zero, 0(ra)");
+      (Insn.Trap 21, "trap 21");
+      (Insn.Amo (Amo_add, Reg.a0, Reg.t0, Reg.a1), "amo.add a0, a1, (t0)");
+    ]
+  in
+  List.iter
+    (fun (insn, expect) ->
+      Alcotest.(check string) expect expect (Disasm.to_string insn))
+    checks
+
+let disasm_listing_symbols () =
+  let open Asm in
+  let u =
+    {
+      unit_name = "u";
+      text = [ Label "main"; li Reg.a0 1; Label "stop"; halt ];
+      data = [];
+    }
+  in
+  let img = assemble ~arch:Arch.X86_ev ~text_base:0x1000 ~entry:"main" [ u ] in
+  let listing =
+    Disasm.section_listing img (Option.get (Image.section img "text"))
+  in
+  Alcotest.(check bool) "main label shown" true
+    (String.length listing > 0
+    && Astring_lite.contains listing "main:"
+    && Astring_lite.contains listing "stop:"
+    && Astring_lite.contains listing "halt")
+
+let word32_qcheck =
+  let open QCheck2 in
+  Test.make ~name:"sext o zext of low bits is identity on signed view"
+    ~count:300
+    Gen.(pair (int_range 0 0xFFFF) (int_range 9 31))
+    (fun (v, bits) ->
+      let s = Word32.sext v bits in
+      Word32.zext s bits = Word32.zext v bits)
+
+let () =
+  Alcotest.run "embsan_isa"
+    [
+      ( "word32",
+        [ Alcotest.test_case "arithmetic/extension" `Quick word32_tests ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip arm-ev" `Quick (roundtrip_arch Arch.Arm_ev);
+          Alcotest.test_case "roundtrip mips-ev" `Quick (roundtrip_arch Arch.Mips_ev);
+          Alcotest.test_case "roundtrip x86-ev" `Quick (roundtrip_arch Arch.X86_ev);
+          Alcotest.test_case "flavors differ" `Quick encodings_differ;
+          Alcotest.test_case "zero opcode invalid" `Quick zero_opcode_invalid;
+          QCheck_alcotest.to_alcotest qcheck_roundtrip;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "simple image" `Quick asm_simple_image;
+          Alcotest.test_case "duplicate label" `Quick asm_duplicate_label;
+          Alcotest.test_case "undefined label" `Quick asm_undefined_label;
+          Alcotest.test_case "multi-unit layout" `Quick asm_multi_unit_layout;
+          Alcotest.test_case "align directive" `Quick asm_align;
+        ] );
+      ( "disasm",
+        [
+          Alcotest.test_case "mnemonics" `Quick disasm_strings;
+          Alcotest.test_case "listing with symbols" `Quick disasm_listing_symbols;
+          QCheck_alcotest.to_alcotest word32_qcheck;
+        ] );
+      ( "image",
+        [
+          Alcotest.test_case "serialize/parse roundtrip" `Quick image_roundtrip;
+          Alcotest.test_case "strip" `Quick image_strip;
+          Alcotest.test_case "symbol_at" `Quick image_symbol_at;
+          Alcotest.test_case "bad image rejected" `Quick bad_image_rejected;
+        ] );
+    ]
