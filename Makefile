@@ -1,0 +1,20 @@
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Fast end-to-end smoke of the bench pipeline: wall-clock micro-benchmarks
+# plus the execution-engine throughput bench (writes BENCH_emu.json).
+bench-smoke: build
+	./_build/default/bench/main.exe bechamel --execs 200
+	./_build/default/bench/main.exe emu
+
+check: build test bench-smoke
+
+clean:
+	dune clean

@@ -1,0 +1,157 @@
+(* Measured-throughput bench for the execution engine.
+
+   Unlike the modeled-cycle overhead bench (overhead.ml / Figure 2), this
+   measures real host wall-clock throughput (guest insns/sec) of the
+   emulator's run loop in four configurations:
+
+     baseline       the pre-overhaul per-instruction interpreter
+                    (Machine.Baseline, kept as the semantics reference)
+     fast           the chained, allocation-free, batch-accounted engine
+     kasan_probed   fast engine with the EmbSan-D KASAN runtime attached
+     kcsan_probed   fast engine with the EmbSan-D KCSAN runtime attached
+
+   The uninstrumented numbers come from a synthetic hot loop (stores,
+   loads, calls, AMO, branches - every fast-path template); the probed
+   numbers replay benign syscall sequences on a real firmware so the
+   probe traffic is the runtime's own.  Results are written to
+   BENCH_emu.json; see README.md for the schema. *)
+
+open Embsan_isa
+open Embsan_emu
+module Embsan = Embsan_core.Embsan
+module Replay = Embsan_guest.Replay
+module Firmware_db = Embsan_guest.Firmware_db
+
+let hot_loop_insns = 4_000_000
+let probed_insns = 400_000
+
+(* A hot loop exercising every translation template: W8/W16/W32 memory
+   traffic, a call/ret pair, an AMO, ALU ops and a two-block inner loop. *)
+let hot_image ~arch =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      la Reg.t0 "buf";
+      li Reg.t1 0;
+      Label "outer";
+      li Reg.t2 0;
+      li Reg.t3 64;
+      Label "inner";
+      store W32 Reg.t0 Reg.t2 0;
+      load W32 Reg.t4 Reg.t0 0;
+      store W16 Reg.t0 Reg.t4 4;
+      load W16 Reg.t4 Reg.t0 4;
+      store W8 Reg.t0 Reg.t4 6;
+      load W8 ~signed:true Reg.s0 Reg.t0 6;
+      call "leaf";
+      Ins (Amo (Amo_add, Reg.s1, Reg.t0, Reg.t2));
+      addi Reg.t2 Reg.t2 1;
+      bltu Reg.t2 Reg.t3 "inner";
+      addi Reg.t1 Reg.t1 1;
+      j "outer";
+      Label "leaf";
+      Ins (Alu (Mul, Reg.s2, Reg.t2, Reg.t2));
+      addi Reg.s2 Reg.s2 3;
+      ret;
+    ]
+  in
+  let data = [ Label "buf"; Words [ 0; 0; 0; 0 ] ] in
+  Asm.assemble ~arch ~text_base:0x1_0000 ~entry:"main"
+    [ { unit_name = "hot"; text; data } ]
+
+type sample = { insns : int; secs : float; rate : float }
+
+let rate_of ~insns ~secs = float_of_int insns /. secs
+
+let run_engine engine =
+  let arch = Arch.Arm_ev in
+  let m = Machine.create ~harts:1 ~arch () in
+  Machine.load_image m (hot_image ~arch);
+  Machine.set_engine m engine;
+  Machine.boot m;
+  (* warm the translation cache so translation time is excluded *)
+  ignore (Machine.run m ~max_insns:10_000);
+  let i0 = m.Machine.total_insns in
+  let t0 = Unix.gettimeofday () in
+  (match Machine.run m ~max_insns:hot_loop_insns with
+  | Machine.Budget_exhausted -> ()
+  | s -> Fmt.failwith "emu bench: unexpected stop %a" Machine.pp_stop s);
+  let secs = Unix.gettimeofday () -. t0 in
+  let insns = m.Machine.total_insns - i0 in
+  ({ insns; secs; rate = rate_of ~insns ~secs }, m.Machine.stats)
+
+(* Throughput with a live EmbSan-D runtime: boot the syzbot firmware,
+   replay its benign syscall sequences until the insn budget is spent. *)
+let run_probed sanitizers =
+  let fw = Firmware_db.syzbot_suite_fw in
+  match Replay.boot fw (Replay.Embsan_mode (sanitizers, `D)) with
+  | exception Replay.Boot_failed msg ->
+      Fmt.epr "emu bench: probed boot failed (%s), skipping@." msg;
+      None
+  | inst ->
+      let calls =
+        List.concat_map
+          (fun (b : Embsan_guest.Defs.bug) -> b.b_benign)
+          fw.fw_bugs
+      in
+      if calls = [] then None
+      else begin
+        let m = inst.Replay.machine in
+        let i0 = m.Machine.total_insns in
+        let t0 = Unix.gettimeofday () in
+        while m.Machine.total_insns - i0 < probed_insns do
+          ignore (Replay.replay inst calls)
+        done;
+        let secs = Unix.gettimeofday () -. t0 in
+        let insns = m.Machine.total_insns - i0 in
+        Some { insns; secs; rate = rate_of ~insns ~secs }
+      end
+
+let sample_json s =
+  Printf.sprintf
+    {|{ "guest_insns": %d, "wall_secs": %.6f, "insns_per_sec": %.0f }|}
+    s.insns s.secs s.rate
+
+let opt_json = function Some s -> sample_json s | None -> "null"
+
+let run () =
+  Fmt.pr "@.Execution-engine throughput (host wall clock)@.";
+  let baseline, _ = run_engine Machine.Baseline in
+  let fast, stats = run_engine Machine.Fast in
+  let kasan = run_probed Embsan.kasan_only in
+  let kcsan = run_probed Embsan.kcsan_only in
+  let speedup = fast.rate /. baseline.rate in
+  let row name (s : sample) note =
+    Fmt.pr "  %-14s %10.2f M insns/sec   %s@." name (s.rate /. 1e6) note
+  in
+  row "baseline" baseline "(pre-overhaul interpreter)";
+  row "fast" fast (Fmt.str "(%.2fx baseline)" speedup);
+  Option.iter (fun s -> row "kasan-probed" s "(EmbSan-D KASAN attached)") kasan;
+  Option.iter (fun s -> row "kcsan-probed" s "(EmbSan-D KCSAN attached)") kcsan;
+  Fmt.pr "  engine: %a@." Engine_stats.pp stats;
+  let json =
+    Printf.sprintf
+      {|{
+  "schema": "embsan-emu-bench/1",
+  "workload": {
+    "uninstrumented": "synthetic hot loop (stores, loads, call/ret, AMO, branches), %d insns, cache warmed",
+    "probed": "benign syscall replay on %s, >= %d insns"
+  },
+  "baseline": %s,
+  "fast": %s,
+  "speedup_fast_vs_baseline": %.2f,
+  "kasan_probed": %s,
+  "kcsan_probed": %s,
+  "engine_stats": %s
+}
+|}
+      hot_loop_insns Firmware_db.syzbot_suite_fw.fw_name probed_insns
+      (sample_json baseline) (sample_json fast) speedup (opt_json kasan)
+      (opt_json kcsan)
+      (Engine_stats.to_json stats)
+  in
+  let oc = open_out "BENCH_emu.json" in
+  output_string oc json;
+  close_out oc;
+  Fmt.pr "  wrote BENCH_emu.json@."

@@ -10,6 +10,7 @@
      fig2      runtime overhead comparison
      ablation  design-choice ablations (DESIGN.md)
      bechamel  wall-clock micro-benchmarks
+     emu       execution-engine throughput (writes BENCH_emu.json)
      all       everything above (default)
 
    Options: --execs N (campaign budget, default 4000), --seed N. *)
@@ -43,7 +44,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "table3"; "table4"; "replay"; "fig2";
-            "ablation"; "bechamel"; "all" ])
+            "ablation"; "bechamel"; "emu"; "all" ])
       args
   in
   let cmds = if cmds = [] then [ "all" ] else cmds in
@@ -63,4 +64,5 @@ let () =
   if want "fig2" then ignore (Overhead.run ~max_execs ());
   if want "ablation" then Ablation.run ();
   if want "bechamel" then Bechamel_suite.run ();
+  if want "emu" then Emu_bench.run ();
   Fmt.pr "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

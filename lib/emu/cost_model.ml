@@ -41,3 +41,10 @@ let generic_trap_dispatch = 215
 
 let insn_cost (insn : Embsan_isa.Insn.t) =
   if Embsan_isa.Insn.is_memory_access insn then mem_insn else alu_insn
+
+(** Total modeled cost of a translated block's instructions.  The engine
+    charges this once per block entry (batched accounting) instead of
+    ticking per executed instruction, and corrects with the per-op prefix
+    sums on exceptional exits. *)
+let block_cost insns =
+  List.fold_left (fun acc (_, i) -> acc + insn_cost i) 0 insns

@@ -1,0 +1,48 @@
+(* Execution-engine counters: translation-cache behaviour and block
+   chaining effectiveness.  One instance lives in each {!Machine.t}; the
+   bench pipeline serializes them into BENCH_emu.json so engine
+   regressions show up as a trajectory, not an anecdote. *)
+
+type t = {
+  mutable translations : int;  (* blocks translated (misses + stale) *)
+  mutable cache_hits : int;  (* hashtable lookups that found a live block *)
+  mutable cache_misses : int;  (* lookups that had to (re)translate *)
+  mutable chained : int;  (* control transfers served by a chain link *)
+  mutable flushes : int;  (* flush_tcg calls (incl. load_image) *)
+}
+
+let create () =
+  { translations = 0; cache_hits = 0; cache_misses = 0; chained = 0; flushes = 0 }
+
+let reset t =
+  t.translations <- 0;
+  t.cache_hits <- 0;
+  t.cache_misses <- 0;
+  t.chained <- 0;
+  t.flushes <- 0
+
+(** Fraction of non-chained block lookups served from the cache. *)
+let hit_rate t =
+  let total = t.cache_hits + t.cache_misses in
+  if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
+
+(** Fraction of all block-to-block transfers that skipped the hashtable. *)
+let chain_rate t =
+  let total = t.cache_hits + t.cache_misses + t.chained in
+  if total = 0 then 0.0 else float_of_int t.chained /. float_of_int total
+
+let pp fmt t =
+  Fmt.pf fmt
+    "translations=%d cache_hits=%d cache_misses=%d chained=%d flushes=%d \
+     hit_rate=%.3f chain_rate=%.3f"
+    t.translations t.cache_hits t.cache_misses t.chained t.flushes (hit_rate t)
+    (chain_rate t)
+
+(** Render as a JSON object (used by the bench pipeline). *)
+let to_json t =
+  Printf.sprintf
+    "{\"translations\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
+     \"chained_transfers\": %d, \"flushes\": %d, \"hit_rate\": %.4f, \
+     \"chain_rate\": %.4f}"
+    t.translations t.cache_hits t.cache_misses t.chained t.flushes (hit_rate t)
+    (chain_rate t)

@@ -1,0 +1,24 @@
+(** Execution-engine counters: translation-cache behaviour and block
+    chaining effectiveness (serialized into BENCH_emu.json). *)
+
+type t = {
+  mutable translations : int;  (** blocks translated (misses + stale) *)
+  mutable cache_hits : int;  (** lookups that found a live block *)
+  mutable cache_misses : int;  (** lookups that had to (re)translate *)
+  mutable chained : int;  (** transfers served by a chain link *)
+  mutable flushes : int;  (** flush_tcg calls (incl. load_image) *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** Fraction of non-chained block lookups served from the cache. *)
+val hit_rate : t -> float
+
+(** Fraction of all block-to-block transfers that skipped the hashtable. *)
+val chain_rate : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+(** Render as a JSON object (used by the bench pipeline). *)
+val to_json : t -> string

@@ -1,6 +1,12 @@
 (** Full-system machine: RAM, MMIO bus, harts, hypercall table, and a
     TCG-like execution engine that translates basic blocks into closure
-    arrays with instrumentation probes baked in at translation time. *)
+    arrays with instrumentation probes baked in at translation time.
+
+    The fast engine chains translated blocks (epoch/generation-tagged
+    successor links), specializes allocation-free RAM load/store templates
+    at translation time, and batches retired-insn/cost accounting per
+    block; see DESIGN.md "Execution engine" for the invariants probes may
+    rely on. *)
 
 type stop =
   | Halted of int
@@ -14,16 +20,25 @@ val pp_stop : Format.formatter -> stop -> unit
 
 type block
 
+(** [Fast] is the chained, allocation-free, batch-accounted engine;
+    [Baseline] is the pre-overhaul per-instruction interpreter kept as the
+    semantics reference and bench baseline.  Both retire identical
+    architectural state. *)
+type engine = Fast | Baseline
+
 type t = {
   arch : Embsan_isa.Arch.t;
   ram : Ram.t;
-  mutable devices : Device.t list;
+  mutable devices : Device.t array;  (** sorted by base, non-overlapping *)
   uart : Devices.uart;
   mailbox : Devices.mailbox;
   harts : Cpu.t array;
   probes : Probe.t;
   block_cache : (int, block) Hashtbl.t;
   trap_handlers : (int, handler) Hashtbl.t;
+  stats : Engine_stats.t;
+  mutable engine : engine;
+  mutable tcg_gen : int;  (** bumped by flush_tcg; invalidates chain links *)
   mutable total_insns : int;
   mutable cost : int;  (** modeled guest cycles ({!Cost_model} weights) *)
   mutable external_cost : int;  (** host-side sanitizer cost units *)
@@ -49,9 +64,13 @@ val create :
 
 val add_device : t -> Device.t -> unit
 
-(** Flush the translation cache (probe changes do this implicitly via the
-    probe epoch). *)
+(** Flush the translation cache and invalidate all chained successor links
+    (probe changes do this implicitly via the probe epoch). *)
 val flush_tcg : t -> unit
+
+(** Switch execution engines; flushes the translation cache when the mode
+    actually changes (blocks of the two engines are not interchangeable). *)
+val set_engine : t -> engine -> unit
 
 val set_trap_handler : t -> int -> handler -> unit
 val remove_trap_handler : t -> int -> unit

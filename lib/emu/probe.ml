@@ -3,7 +3,14 @@
    This is the mechanism EmbSan's Common Sanitizer Runtime relies on
    (S3.3): callbacks are *inserted at translation time* into the ops of a
    basic block, so subscribing or unsubscribing bumps [epoch] and flushes
-   the translation cache. *)
+   the translation cache (the machine also drops chained-successor links
+   through the same epoch check).
+
+   Subscribers are stored in arrays, appended in registration order.
+   Registration is rare and cold; dispatch is the hot path, so [fire_*]
+   special-cases the common one-sanitizer case into a direct closure call
+   and the no-subscriber case is compiled out of the templates entirely
+   (the machine consults [has_*] at translation time). *)
 
 type mem_event = {
   hart : int;
@@ -22,41 +29,84 @@ type ret_event = { r_hart : int; r_pc : int; r_target : int; r_retval : int }
 type block_event = { b_hart : int; b_pc : int }
 
 type t = {
-  mutable mem : (mem_event -> unit) list;
-  mutable calls : (call_event -> unit) list;
-  mutable rets : (ret_event -> unit) list;
-  mutable blocks : (block_event -> unit) list;
+  mutable mem : (mem_event -> unit) array;
+  mutable calls : (call_event -> unit) array;
+  mutable rets : (ret_event -> unit) array;
+  mutable blocks : (block_event -> unit) array;
   mutable epoch : int;
 }
 
-let create () = { mem = []; calls = []; rets = []; blocks = []; epoch = 0 }
+let create () =
+  { mem = [||]; calls = [||]; rets = [||]; blocks = [||]; epoch = 0 }
 
 let bump t = t.epoch <- t.epoch + 1
 
+(* Append preserving registration (fire) order.  O(n) copy, but n is the
+   number of *subscribers* (a handful), not events, and registration is
+   once per attach -- unlike the old [l @ [f]] list representation this
+   keeps dispatch allocation-free and cache-friendly. *)
+let append a f = Array.append a [| f |]
+
 let on_mem t f =
-  t.mem <- t.mem @ [ f ];
+  t.mem <- append t.mem f;
   bump t
 
 let on_call t f =
-  t.calls <- t.calls @ [ f ];
+  t.calls <- append t.calls f;
   bump t
 
 let on_ret t f =
-  t.rets <- t.rets @ [ f ];
+  t.rets <- append t.rets f;
   bump t
 
 let on_block t f =
-  t.blocks <- t.blocks @ [ f ];
+  t.blocks <- append t.blocks f;
   bump t
 
 let clear t =
-  t.mem <- [];
-  t.calls <- [];
-  t.rets <- [];
-  t.blocks <- [];
+  t.mem <- [||];
+  t.calls <- [||];
+  t.rets <- [||];
+  t.blocks <- [||];
   bump t
 
-let fire_mem t ev = List.iter (fun f -> f ev) t.mem
-let fire_call t ev = List.iter (fun f -> f ev) t.calls
-let fire_ret t ev = List.iter (fun f -> f ev) t.rets
-let fire_block t ev = List.iter (fun f -> f ev) t.blocks
+let has_mem t = Array.length t.mem > 0
+let has_calls t = Array.length t.calls > 0
+let has_rets t = Array.length t.rets > 0
+let has_blocks t = Array.length t.blocks > 0
+
+(* Dedicated single-subscriber fast path: one sanitizer attached is the
+   overwhelmingly common configuration, and a direct closure call beats a
+   generic iteration. *)
+
+let fire_mem t ev =
+  let a = t.mem in
+  if Array.length a = 1 then (Array.unsafe_get a 0) ev
+  else
+    for i = 0 to Array.length a - 1 do
+      (Array.unsafe_get a i) ev
+    done
+
+let fire_call t ev =
+  let a = t.calls in
+  if Array.length a = 1 then (Array.unsafe_get a 0) ev
+  else
+    for i = 0 to Array.length a - 1 do
+      (Array.unsafe_get a i) ev
+    done
+
+let fire_ret t ev =
+  let a = t.rets in
+  if Array.length a = 1 then (Array.unsafe_get a 0) ev
+  else
+    for i = 0 to Array.length a - 1 do
+      (Array.unsafe_get a i) ev
+    done
+
+let fire_block t ev =
+  let a = t.blocks in
+  if Array.length a = 1 then (Array.unsafe_get a 0) ev
+  else
+    for i = 0 to Array.length a - 1 do
+      (Array.unsafe_get a i) ev
+    done

@@ -1,7 +1,12 @@
 (** Instrumentation probes inserted into translated code templates
     (EmbSan's core mechanism, paper section 3.3).  Subscribing bumps
-    [epoch], which invalidates cached translations so callbacks are baked
-    into freshly generated code. *)
+    [epoch], which invalidates cached translations *and* chained-successor
+    links so callbacks are baked into freshly generated code.
+
+    Subscribers live in arrays in registration order; [fire_*] has a
+    dedicated single-subscriber fast path (the common one-sanitizer case)
+    and the no-subscriber case is specialized out of the templates at
+    translation time via [has_*]. *)
 
 type mem_event = {
   hart : int;
@@ -18,19 +23,31 @@ type ret_event = { r_hart : int; r_pc : int; r_target : int; r_retval : int }
 type block_event = { b_hart : int; b_pc : int }
 
 type t = {
-  mutable mem : (mem_event -> unit) list;
-  mutable calls : (call_event -> unit) list;
-  mutable rets : (ret_event -> unit) list;
-  mutable blocks : (block_event -> unit) list;
+  mutable mem : (mem_event -> unit) array;
+  mutable calls : (call_event -> unit) array;
+  mutable rets : (ret_event -> unit) array;
+  mutable blocks : (block_event -> unit) array;
   mutable epoch : int;
 }
 
 val create : unit -> t
+
+(** [on_*] append a subscriber (fire order = registration order) and bump
+    the epoch. *)
+
 val on_mem : t -> (mem_event -> unit) -> unit
 val on_call : t -> (call_event -> unit) -> unit
 val on_ret : t -> (ret_event -> unit) -> unit
 val on_block : t -> (block_event -> unit) -> unit
+
+(** Unsubscribe everything (bumps the epoch like a subscription does). *)
 val clear : t -> unit
+
+val has_mem : t -> bool
+val has_calls : t -> bool
+val has_rets : t -> bool
+val has_blocks : t -> bool
+
 val fire_mem : t -> mem_event -> unit
 val fire_call : t -> call_event -> unit
 val fire_ret : t -> ret_event -> unit

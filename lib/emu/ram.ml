@@ -29,20 +29,32 @@ let read8 t addr = Char.code (Bytes.unsafe_get t.bytes (addr - t.base))
 let write8 t addr v =
   Bytes.unsafe_set t.bytes (addr - t.base) (Char.unsafe_chr (v land 0xFF))
 
+(* Width-specialized accessors.  The translator's allocation-free fast
+   path selects one of these at translation time, so the per-access code
+   has neither a width dispatch nor a {!Fault.access} record.  Callers
+   must have checked {!contains} first. *)
+
+let read16 t addr = Bytes.get_uint16_le t.bytes (addr - t.base)
+
+let read32 t addr =
+  Int32.to_int (Bytes.get_int32_le t.bytes (addr - t.base)) land 0xFFFF_FFFF
+
+let write16 t addr v = Bytes.set_uint16_le t.bytes (addr - t.base) (v land 0xFFFF)
+
+let write32 t addr v = Bytes.set_int32_le t.bytes (addr - t.base) (Int32.of_int v)
+
 let read t addr width =
-  let off = addr - t.base in
   match width with
-  | 1 -> Bytes.get_uint8 t.bytes off
-  | 2 -> Bytes.get_uint16_le t.bytes off
-  | 4 -> Int32.to_int (Bytes.get_int32_le t.bytes off) land 0xFFFF_FFFF
+  | 1 -> read8 t addr
+  | 2 -> read16 t addr
+  | 4 -> read32 t addr
   | _ -> invalid_arg "Ram.read"
 
 let write t addr width v =
-  let off = addr - t.base in
   match width with
-  | 1 -> Bytes.set_uint8 t.bytes off (v land 0xFF)
-  | 2 -> Bytes.set_uint16_le t.bytes off (v land 0xFFFF)
-  | 4 -> Bytes.set_int32_le t.bytes off (Int32.of_int v)
+  | 1 -> Bytes.set_uint8 t.bytes (addr - t.base) (v land 0xFF)
+  | 2 -> write16 t addr v
+  | 4 -> write32 t addr v
   | _ -> invalid_arg "Ram.write"
 
 let blit_string t ~addr s =

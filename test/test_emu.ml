@@ -517,6 +517,248 @@ let trace_ring_eviction () =
   Alcotest.(check int) "ring keeps capacity" 4 (List.length (Trace.events tr));
   Alcotest.(check bool) "total exceeds ring" true (Trace.total tr > 4)
 
+(* --- Execution-engine overhaul tests ------------------------------------- *)
+
+(* Architectural fingerprint of a machine: per-hart registers/pc/retired
+   insns, global counters, and a RAM digest. *)
+let fingerprint m =
+  let hart (c : Cpu.t) =
+    Printf.sprintf "hart%d pc=%d insns=%d regs=%s" c.id c.pc c.insns
+      (String.concat "," (Array.to_list (Array.map string_of_int c.regs)))
+  in
+  let ram =
+    Digest.to_hex
+      (Digest.string
+         (Machine.read_string m ~addr:(Machine.ram_base m)
+            ~len:(Machine.ram_size m)))
+  in
+  Printf.sprintf "%s | total=%d cost=%d ram=%s"
+    (String.concat " | " (Array.to_list (Array.map hart m.Machine.harts)))
+    m.total_insns m.cost ram
+
+let probe_registration_order () =
+  let open Asm in
+  let text =
+    [ Label "main"; la Reg.t0 "buf"; store W32 Reg.t0 Reg.t0 0; halt ]
+  in
+  let make () = assemble_and_load [ unit_ text [ Label "buf"; Words [ 0 ] ] ] in
+  (* mem probes fire in registration order, including through the
+     multi-subscriber dispatch path *)
+  let m, _ = make () in
+  let order = ref [] in
+  List.iter
+    (fun tag -> Probe.on_mem m.probes (fun _ -> order := tag :: !order))
+    [ 1; 2; 3 ];
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check (list int)) "mem fire order" [ 1; 2; 3 ] (List.rev !order);
+  (* same for block probes (single store program runs 1 block) *)
+  let m, _ = make () in
+  let order = ref [] in
+  List.iter
+    (fun tag -> Probe.on_block m.probes (fun _ -> order := tag :: !order))
+    [ 1; 2; 3; 4 ];
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check (list int))
+    "block fire order" [ 1; 2; 3; 4 ]
+    (List.filteri (fun i _ -> i < 4) (List.rev !order))
+
+(* Loop program used by the engine tests: 10 iterations of load+store. *)
+let loop_text =
+  let open Asm in
+  [
+    Label "main";
+    la Reg.t0 "buf";
+    li Reg.t1 0;
+    li Reg.t2 10;
+    Label "loop";
+    load W32 Reg.t3 Reg.t0 0;
+    addi Reg.t3 Reg.t3 1;
+    store W32 Reg.t0 Reg.t3 0;
+    addi Reg.t1 Reg.t1 1;
+    bltu Reg.t1 Reg.t2 "loop";
+    load W32 Reg.a0 Reg.t0 0;
+    halt;
+  ]
+
+let chain_invalidation_on_epoch_bump () =
+  (* run once with no probes so chained successor links form between the
+     loop blocks; then subscribe a counting mem probe (epoch bump, no
+     explicit flush) and re-run: every access must be observed, proving
+     neither the block cache nor any stale chained link bypassed
+     retranslation *)
+  let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check bool) "chains formed" true (m.stats.chained > 0);
+  let count = ref 0 in
+  Probe.on_mem m.probes (fun _ -> incr count);
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:1000);
+  (* 10 iterations x (load + store) + final load = 21 accesses *)
+  Alcotest.(check int) "all accesses observed after epoch bump" 21 !count
+
+let chain_invalidation_on_flush () =
+  (* cache a halt block (and chains to it), then patch its Li immediate in
+     RAM: without a flush the stale translation must still be running
+     (that is what a code cache means); after flush_tcg the patched code
+     must take effect, proving both the hashtable and chain links died *)
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t1 0;
+      li Reg.t2 3;
+      Label "loop";
+      addi Reg.t1 Reg.t1 1;
+      bltu Reg.t1 Reg.t2 "loop";
+      li Reg.a0 11;
+      halt;
+    ]
+  in
+  let m, img = assemble_and_load [ unit_ text [] ] in
+  Alcotest.check check_stop "first run" (Machine.Halted 11)
+    (Machine.run m ~max_insns:1000);
+  let flushes0 = m.stats.flushes in
+  (* patch the "li a0, 11" immediate (bytes 4..7, little-endian on Arm_ev) *)
+  let li_addr = Image.symbol_addr_exn img "main" + (4 * Insn.size) in
+  Machine.write_mem m ~addr:(li_addr + 4) ~width:4 ~value:22;
+  Machine.boot m;
+  Alcotest.check check_stop "stale translation without flush"
+    (Machine.Halted 11)
+    (Machine.run m ~max_insns:1000);
+  Machine.flush_tcg m;
+  Alcotest.(check int) "flush counted" (flushes0 + 1) m.stats.flushes;
+  Machine.boot m;
+  Alcotest.check check_stop "patched code after flush" (Machine.Halted 22)
+    (Machine.run m ~max_insns:1000)
+
+let engine_stats_counters () =
+  let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check bool) "translated some blocks" true (m.stats.translations > 0);
+  Alcotest.(check bool) "loop chained" true (m.stats.chained > 0);
+  Alcotest.(check bool) "chain rate positive" true
+    (Engine_stats.chain_rate m.stats > 0.0);
+  let translations0 = m.stats.translations in
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check int) "second run fully cached/chained" translations0
+    m.stats.translations
+
+(* A deterministic two-hart workload mixing AMO, calls/rets, loads/stores
+   and branches; both harts increment a shared counter 200 times and halt
+   with its final value once both are done. *)
+let differential_worker label =
+  let open Asm in
+  [
+    Asm.Label label;
+    la Reg.t0 "counter";
+    li Reg.t1 0;
+    li Reg.t2 200;
+    li Reg.t3 1;
+    Label (label ^ "_loop");
+    Ins (Amo (Amo_add, Reg.t4, Reg.t0, Reg.t3));
+    mv Reg.a0 Reg.t4;
+    call "mix";
+    addi Reg.t1 Reg.t1 1;
+    bltu Reg.t1 Reg.t2 (label ^ "_loop");
+    Label (label ^ "_wait");
+    load W32 Reg.t4 Reg.t0 0;
+    li Reg.s0 400;
+    bltu Reg.t4 Reg.s0 (label ^ "_wait");
+    load W32 Reg.a0 Reg.t0 0;
+    halt;
+  ]
+
+let differential_text =
+  let open Asm in
+  (Asm.Label "main" :: Asm.j "w0" :: differential_worker "w0")
+  @ differential_worker "w1"
+  @ [
+      Label "mix";
+      la Reg.s1 "scratch";
+      store W32 Reg.s1 Reg.a0 0;
+      load W16 Reg.a0 Reg.s1 0;
+      store W8 Reg.s1 Reg.a0 4;
+      load W8 ~signed:true Reg.a0 Reg.s1 4;
+      addi Reg.a0 Reg.a0 3;
+      ret;
+    ]
+
+let differential_data =
+  [ Asm.Label "counter"; Asm.Words [ 0 ]; Asm.Label "scratch"; Asm.Words [ 0; 0 ] ]
+
+let run_differential ~probed =
+  let m, img = assemble_and_load [ unit_ differential_text differential_data ] in
+  Machine.start_hart m 1 ~pc:(Image.symbol_addr_exn img "w1")
+    ~sp:(Machine.ram_base m + Machine.ram_size m - 4096);
+  if probed then begin
+    Probe.on_mem m.probes (fun _ -> ());
+    Probe.on_call m.probes (fun _ -> ());
+    Probe.on_ret m.probes (fun _ -> ());
+    Probe.on_block m.probes (fun _ -> ())
+  end;
+  let stop = Machine.run m ~max_insns:1_000_000 in
+  (stop, fingerprint m)
+
+let differential_probe_semantics () =
+  (* probed (slow path, events constructed and dispatched) and unprobed
+     (allocation-free fast path) execution must be architecturally
+     identical: same stop, registers, pcs, RAM, retired-insn counts and
+     modeled cost *)
+  let stop_off, fp_off = run_differential ~probed:false in
+  let stop_on, fp_on = run_differential ~probed:true in
+  Alcotest.check check_stop "same stop reason" stop_off stop_on;
+  Alcotest.(check string) "identical architectural state" fp_off fp_on;
+  match stop_off with
+  | Machine.Halted 400 -> ()
+  | s -> Alcotest.failf "expected halted(400), got %a" Machine.pp_stop s
+
+let fast_baseline_equivalence () =
+  (* the chained/batched fast engine and the per-instruction baseline
+     interpreter must retire identical architectural state, including the
+     exact total_insns/cost at an exceptional (halt) exit and MMIO side
+     effects *)
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 Devices.uart_base;
+      li Reg.t1 (Char.code 'x');
+      store W8 Reg.t0 Reg.t1 0;
+      la Reg.t0 "buf";
+      li Reg.t1 0;
+      li Reg.t2 25;
+      Label "loop";
+      Ins (Alu (Mul, Reg.t3, Reg.t1, Reg.t1));
+      store W32 Reg.t0 Reg.t3 0;
+      load W16 Reg.t4 Reg.t0 0;
+      call "mix";
+      Ins (Amo (Amo_add, Reg.s2, Reg.t0, Reg.t4));
+      addi Reg.t1 Reg.t1 1;
+      bltu Reg.t1 Reg.t2 "loop";
+      trap 7;
+      load W32 Reg.a0 Reg.t0 0;
+      halt;
+      Label "mix";
+      addi Reg.t4 Reg.t4 13;
+      ret;
+    ]
+  in
+  let data = [ Label "buf"; Words [ 0; 0 ] ] in
+  let run_engine engine =
+    let m, _ = assemble_and_load ~harts:1 [ unit_ text data ] in
+    Machine.set_engine m engine;
+    Machine.set_trap_handler m 7 (fun _m cpu ->
+        Cpu.set cpu Reg.s1 (Cpu.get cpu Reg.t1));
+    let stop = Machine.run m ~max_insns:100_000 in
+    (stop, fingerprint m, Machine.console_output m)
+  in
+  let stop_f, fp_f, con_f = run_engine Machine.Fast in
+  let stop_b, fp_b, con_b = run_engine Machine.Baseline in
+  Alcotest.check check_stop "same stop" stop_b stop_f;
+  Alcotest.(check string) "same console" con_b con_f;
+  Alcotest.(check string) "identical architectural state" fp_b fp_f
+
 let () =
   Alcotest.run "embsan_emu"
     [
@@ -546,6 +788,20 @@ let () =
           Alcotest.test_case "subscription flushes TCG" `Quick
             probe_subscription_flushes_cache;
           Alcotest.test_case "call/ret events" `Quick call_ret_probes;
+          Alcotest.test_case "registration order" `Quick
+            probe_registration_order;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "chain invalidation on epoch bump" `Quick
+            chain_invalidation_on_epoch_bump;
+          Alcotest.test_case "chain invalidation on flush" `Quick
+            chain_invalidation_on_flush;
+          Alcotest.test_case "stats counters" `Quick engine_stats_counters;
+          Alcotest.test_case "probed/unprobed differential" `Quick
+            differential_probe_semantics;
+          Alcotest.test_case "fast/baseline equivalence" `Quick
+            fast_baseline_equivalence;
         ] );
       ( "smp",
         [
