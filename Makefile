@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check clean
+.PHONY: all build test bench-smoke check check-diff clean
 
 all: build
 
@@ -14,7 +14,15 @@ bench-smoke: build
 	./_build/default/bench/main.exe bechamel --execs 200
 	./_build/default/bench/main.exe emu
 
-check: build test bench-smoke
+# Bounded differential-oracle run over the dual execution engines (fixed
+# seed, small exec budget): fast-vs-baseline, probe transparency,
+# flush-anytime and chain-epoch invalidation on random programs per arch
+# flavor.  Exits non-zero on any divergence.  `embsan_cli check` with the
+# default --execs 1000 is the full campaign.
+check-diff: build
+	./_build/default/bin/embsan_cli.exe check --seed 1 --execs 250
+
+check: build test bench-smoke check-diff
 
 clean:
 	dune clean

@@ -175,6 +175,65 @@ let trace_cmd =
        ~doc:"Execute one syscall and print the block/call/return trace")
     Term.(const run $ fw_arg $ nr $ args $ mem)
 
+(* --- check ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let execs =
+    Arg.(
+      value & opt int 1000
+      & info [ "execs" ] ~doc:"Random programs per architecture flavor.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let sync =
+    Arg.(
+      value & opt int 512
+      & info [ "sync" ]
+          ~doc:"Retired instructions between state comparisons.")
+  in
+  let max_insns =
+    Arg.(
+      value & opt int 4096
+      & info [ "max-insns" ] ~doc:"Instruction budget per program run.")
+  in
+  let arch =
+    Arg.(
+      value & opt (some string) None
+      & info [ "arch" ] ~docv:"ARCH"
+          ~doc:"Check only this flavor (arm-ev, mips-ev or x86-ev).")
+  in
+  let run execs seed sync max_insns arch =
+    let archs =
+      match arch with
+      | None -> Embsan_isa.Arch.all
+      | Some s -> (
+          match Embsan_isa.Arch.of_string s with
+          | Some a -> [ a ]
+          | None ->
+              Fmt.epr "unknown arch %S@." s;
+              exit 2)
+    in
+    let config =
+      {
+        Embsan_check.Harness.default_config with
+        execs;
+        seed;
+        sync;
+        max_insns;
+        archs;
+      }
+    in
+    let s = Embsan_check.Harness.run config in
+    Fmt.pr "%a@." Embsan_check.Harness.pp_summary s;
+    if s.s_divergences <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Differential-oracle check of the dual execution engines \
+          (fast-vs-baseline, probe transparency, flush-anytime, chain-epoch \
+          invalidation); exits 1 on any divergence")
+    Term.(const run $ execs $ seed $ sync $ max_insns $ arch)
+
 (* --- disasm ----------------------------------------------------------------- *)
 
 let disasm_cmd =
@@ -194,4 +253,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "embsan" ~doc)
-          [ list_cmd; probe_cmd; run_cmd; repro_cmd; fuzz_cmd; trace_cmd; disasm_cmd ]))
+          [
+            list_cmd;
+            probe_cmd;
+            run_cmd;
+            repro_cmd;
+            fuzz_cmd;
+            trace_cmd;
+            check_cmd;
+            disasm_cmd;
+          ]))

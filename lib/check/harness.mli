@@ -1,0 +1,27 @@
+(** Campaign driver for the differential oracles: seeded program
+    generation per arch flavor, every program through every oracle, with a
+    stop histogram and the first few divergences collected.  Deterministic
+    given [config]. *)
+
+type config = {
+  seed : int;
+  execs : int;  (** programs per arch flavor *)
+  sync : int;  (** retired instructions between state comparisons *)
+  max_insns : int;  (** instruction budget per run *)
+  archs : Embsan_isa.Arch.t list;
+  max_divergences : int;  (** stop collecting after this many *)
+}
+
+(** seed 1, 1000 execs, sync 512, 4096 insns, all arch flavors. *)
+val default_config : config
+
+type summary = {
+  s_programs : int;
+  s_runs : int;  (** oracle pair-runs (two machine executions each) *)
+  s_stops : (string * int) list;  (** reference-run stop histogram *)
+  s_divergences : Oracle.divergence list;
+}
+
+val stop_class : Embsan_emu.Machine.stop -> string
+val run : config -> summary
+val pp_summary : Format.formatter -> summary -> unit

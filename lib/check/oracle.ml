@@ -1,0 +1,148 @@
+(* Metamorphic oracles over the dual execution engines.
+
+   Every oracle runs one generated program on a pair of machines that must
+   be architecturally indistinguishable, in lockstep chunks of [cfg.sync]
+   retired instructions, comparing {!Snapshot}s at every sync point:
+
+   - fast-vs-baseline: same program on [Machine.Fast] and
+     [Machine.Baseline].  Single-hart only -- the engines' scheduling
+     granularity (16 chained blocks vs 1 block per hart turn) differs by
+     design, so multi-hart interleavings are not comparable;
+   - probe-transparency: the fast engine with no-op probes on all four
+     probe kinds vs no probes.  Probes force the record-allocating
+     templates and the probe-epoch block tags, none of which may leak into
+     guest state (paper section 3.3's transparency claim);
+   - flush-anytime: random [flush_tcg] between sync points must be
+     invisible;
+   - chain-epoch-invalidation: alternately subscribing and clearing
+     probes between sync points bumps the probe epoch mid-run, so cached
+     blocks and chain links die while the guest is in flight.
+
+   Chunked [Machine.run] is a sound sync mechanism because both engines
+   stop at the first block boundary past the deadline and block
+   boundaries depend only on guest code, never on engine or probe
+   state. *)
+
+open Embsan_isa
+open Embsan_emu
+module Rng = Embsan_fuzz.Rng
+
+type divergence = {
+  d_oracle : string;
+  d_arch : Arch.t;
+  d_seed : int;
+  d_sync : int;
+  d_diff : string list;
+  d_listing : string;
+}
+
+let pp_divergence fmt d =
+  Fmt.pf fmt "@[<v>divergence in oracle %S (arch %s, seed %d, sync point %d)%a@ program:@ %a@]"
+    d.d_oracle (Arch.to_string d.d_arch) d.d_seed d.d_sync
+    Fmt.(list ~sep:(any "") (any "@ - " ++ string))
+    d.d_diff Fmt.lines d.d_listing
+
+type cfg = { sync : int; max_insns : int }
+
+let default_cfg = { sync = 512; max_insns = 4096 }
+
+(* Both machines of a pair are created identically: same RAM window as the
+   generator assumed, same device RNG seed, and a deterministic handler
+   for the one hypercall number generated programs may use. *)
+let machine_of ?(harts = 1) (p : Progen.t) =
+  let m =
+    Machine.create ~harts ~ram_base:p.p_ram_base ~ram_size:p.p_ram_size
+      ~seed:(p.p_seed lor 1) ~arch:p.p_arch ()
+  in
+  Machine.load_image m p.p_image;
+  Machine.boot m;
+  Machine.set_trap_handler m Progen.handled_trap (fun _ cpu ->
+      Cpu.set cpu Reg.a0 (Cpu.get cpu Reg.a0 lxor 0x5A5A));
+  m
+
+let no_op_probes (m : Machine.t) =
+  Probe.on_mem m.probes (fun _ -> ());
+  Probe.on_call m.probes (fun _ -> ());
+  Probe.on_ret m.probes (fun _ -> ());
+  Probe.on_block m.probes (fun _ -> ())
+
+(* Run [ma] (reference) and [mb] (variant) in lockstep; [between] perturbs
+   [mb] between sync points (metamorphic knob).  Returns the first
+   divergence, plus the reference machine's final stop for statistics. *)
+let lockstep ~name ~cfg (p : Progen.t) ma mb ~between =
+  let diverged sync_idx diff =
+    let diff =
+      (* a digest mismatch alone doesn't localize anything; name the words *)
+      if List.exists (fun l -> l = "ram: contents differ (digest)") diff then
+        diff @ Snapshot.ram_delta ma mb
+      else diff
+    in
+    {
+      d_oracle = name;
+      d_arch = p.p_arch;
+      d_seed = p.p_seed;
+      d_sync = sync_idx;
+      d_diff = diff;
+      d_listing = Progen.listing p;
+    }
+  in
+  let rec go sync_idx remaining =
+    let chunk = min cfg.sync remaining in
+    let sa = Machine.run ma ~max_insns:chunk in
+    let sb = Machine.run mb ~max_insns:chunk in
+    let terminal s = s <> Machine.Budget_exhausted in
+    let finished = terminal sa || terminal sb || remaining - chunk <= 0 in
+    let stop_of s = if terminal s || finished then Some s else None in
+    let snap_a = Snapshot.capture ?stop:(stop_of sa) ma in
+    let snap_b = Snapshot.capture ?stop:(stop_of sb) mb in
+    match Snapshot.diff snap_a snap_b with
+    | [] ->
+        if finished then (None, sa)
+        else begin
+          between mb;
+          go (sync_idx + 1) (remaining - chunk)
+        end
+    | diff -> (Some (diverged sync_idx diff), sa)
+  in
+  go 0 cfg.max_insns
+
+let fast_vs_baseline ~cfg (p : Progen.t) =
+  let ma = machine_of p in
+  let mb = machine_of p in
+  Machine.set_engine mb Machine.Baseline;
+  lockstep ~name:"fast-vs-baseline" ~cfg p ma mb ~between:(fun _ -> ())
+
+let probe_transparency ~cfg (p : Progen.t) =
+  let ma = machine_of p in
+  let mb = machine_of p in
+  no_op_probes mb;
+  lockstep ~name:"probe-transparency" ~cfg p ma mb ~between:(fun _ -> ())
+
+let flush_anytime ~cfg (p : Progen.t) =
+  let rng = Rng.create ~seed:(p.p_seed + 0x9E37) in
+  let ma = machine_of p in
+  let mb = machine_of p in
+  lockstep ~name:"flush-anytime" ~cfg p ma mb ~between:(fun mb ->
+      if Rng.chance rng ~percent:60 then Machine.flush_tcg mb)
+
+let epoch_invalidation ~cfg (p : Progen.t) =
+  let ma = machine_of p in
+  let mb = machine_of p in
+  let attached = ref false in
+  lockstep ~name:"chain-epoch-invalidation" ~cfg p ma mb ~between:(fun mb ->
+      if !attached then begin
+        Probe.clear mb.probes;
+        attached := false
+      end
+      else begin
+        no_op_probes mb;
+        attached := true
+      end)
+
+let all =
+  [
+    ("fast-vs-baseline", fast_vs_baseline);
+    ("probe-transparency", probe_transparency);
+    ("flush-anytime", flush_anytime);
+    ("chain-epoch-invalidation", epoch_invalidation);
+  ]

@@ -1,0 +1,49 @@
+(** Metamorphic oracles over the dual execution engines: each runs one
+    generated program on a pair of machines that must stay architecturally
+    indistinguishable, compared at configurable sync points, reporting a
+    minimized state diff on first divergence. *)
+
+type divergence = {
+  d_oracle : string;
+  d_arch : Embsan_isa.Arch.t;
+  d_seed : int;  (** generator seed — regenerates the exact program *)
+  d_sync : int;  (** index of the first diverging sync point *)
+  d_diff : string list;  (** minimized field-by-field state diff *)
+  d_listing : string;  (** disassembly of the offending program *)
+}
+
+val pp_divergence : Format.formatter -> divergence -> unit
+
+type cfg = {
+  sync : int;  (** retired instructions between state comparisons *)
+  max_insns : int;  (** total instruction budget per run *)
+}
+
+val default_cfg : cfg
+
+(** Build the standard oracle machine for a generated program (shared by
+    {!module:Harness} and the directed tests). *)
+val machine_of : ?harts:int -> Progen.t -> Embsan_emu.Machine.t
+
+(** Attach inert subscribers to all four probe kinds. *)
+val no_op_probes : Embsan_emu.Machine.t -> unit
+
+(** Each oracle returns the first divergence (if any) and the reference
+    machine's final stop. *)
+
+val fast_vs_baseline :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
+val probe_transparency :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
+val flush_anytime :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
+val epoch_invalidation :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
+(** All oracles, with their report names. *)
+val all :
+  (string * (cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop))
+  list

@@ -1,0 +1,240 @@
+(* Seeded random program generator for the differential oracles.
+
+   Programs are decodable by construction (built as [Insn.t] values and
+   encoded with the arch flavor's codec, never as raw bytes) and biased
+   toward the places the two engines' fast/slow paths split: loads and
+   stores around the RAM limit, device space and the null page, tight
+   branch loops (block chaining), calls/returns (probe dispatch), AMOs and
+   hypercalls.
+
+   One hard restriction keeps the oracles sound: stores never target the
+   code region.  Self-modifying code without an explicit [flush_tcg] is
+   out of contract for the engine (DESIGN.md), so a random store into the
+   instruction stream would be a false-positive divergence, not a bug.
+   Store base registers are therefore drawn only from the pointer
+   registers seeded in the prologue (data / boundary / device / null-page
+   pointers, all disjoint from the code region), and ALU results are never
+   written to those pointer registers. *)
+
+open Embsan_isa
+module Rng = Embsan_fuzz.Rng
+
+(* Small RAM makes limit-straddling accesses reachable with byte-sized
+   immediates and keeps RAM digests cheap. *)
+let ram_base = 0x0001_0000
+let ram_size = 0x8000
+
+(* Hypercall number the oracles install a deterministic handler for;
+   anything else traps to an [Unhandled_trap] stop. *)
+let handled_trap = 7
+
+type t = {
+  p_arch : Arch.t;
+  p_seed : int;
+  p_ram_base : int;
+  p_ram_size : int;
+  p_image : Image.t;
+  p_insns : (int * Insn.t) list;
+}
+
+(* Body instructions whose control-flow targets are program indices until
+   the whole program length is known. *)
+type spec =
+  | I of Insn.t
+  | B of Insn.cond * Reg.t * Reg.t * int (* target index *)
+  | J of Reg.t * int (* jal, target index *)
+
+(* Pointer registers, seeded once in the prologue and never clobbered. *)
+let data_ptr = Reg.t0
+let bound_ptr = Reg.t1
+let dev_ptr = Reg.t2
+let wild_ptr = Reg.t3
+let code_ptr = Reg.t4
+
+(* Destination pool for ALU results and loads: value registers only. *)
+let rd_pool =
+  [| Reg.zero; Reg.a0; Reg.a1; Reg.a2; Reg.a3; Reg.s0; Reg.s1; Reg.s2; Reg.s3 |]
+
+let rs_pool =
+  [| Reg.zero; Reg.a0; Reg.a1; Reg.a2; Reg.a3; Reg.s0; Reg.s1; Reg.s2; Reg.s3; Reg.ra |]
+
+let alu_ops =
+  [|
+    Insn.Add; Sub; Mul; Divu; Remu; And; Or; Xor; Shl; Shru; Shrs; Slt; Sltu;
+    Seq; Sne;
+  |]
+
+let conds = [| Insn.Eq; Ne; Lt; Ltu; Ge; Geu |]
+let widths = [| Insn.W8; W16; W32 |]
+
+let entry = ram_base
+let limit = ram_base + ram_size
+let data_base = ram_base + (ram_size / 2)
+
+let device_bases =
+  (* power is rare on purpose: a write there halts the program *)
+  [
+    (Embsan_emu.Devices.uart_base, 30);
+    (Embsan_emu.Devices.timer_base, 25);
+    (Embsan_emu.Devices.rng_base, 20);
+    (Embsan_emu.Devices.mailbox_base, 20);
+    (Embsan_emu.Devices.power_base, 5);
+  ]
+
+let weighted rng choices =
+  let total = List.fold_left (fun a (_, w) -> a + w) 0 choices in
+  let roll = Rng.below rng total in
+  let rec go acc = function
+    | [ (c, _) ] -> c
+    | (c, w) :: rest -> if roll < acc + w then c else go (acc + w) rest
+    | [] -> assert false
+  in
+  go 0 choices
+
+(* Immediate for a value computation: small, interesting, or wild. *)
+let value_imm rng =
+  if Rng.chance rng ~percent:40 then Rng.range rng (-64) 64
+  else if Rng.chance rng ~percent:50 then Rng.interesting rng
+  else Rng.below rng 0x1_0000
+
+let load_store_base rng ~store =
+  if store then
+    weighted rng
+      [ (data_ptr, 55); (bound_ptr, 25); (dev_ptr, 15); (wild_ptr, 5) ]
+  else
+    weighted rng
+      [
+        (data_ptr, 40);
+        (bound_ptr, 20);
+        (dev_ptr, 20);
+        (wild_ptr, 10);
+        (code_ptr, 10);
+      ]
+
+(* Offsets are sized per region so data-pointer stores can never reach the
+   code region while boundary-pointer accesses regularly straddle the RAM
+   limit. *)
+let mem_imm rng base =
+  if Reg.equal base bound_ptr then Rng.range rng (-16) 16
+  else if Reg.equal base dev_ptr then 4 * Rng.below rng 12
+  else Rng.range rng (-16) 64
+
+let body_insn rng ~len =
+  let roll = Rng.below rng 100 in
+  if roll < 22 then
+    (* three-register ALU *)
+    I
+      (Alu
+         ( Rng.pick_arr rng alu_ops,
+           Rng.pick_arr rng rd_pool,
+           Rng.pick_arr rng rs_pool,
+           Rng.pick_arr rng rs_pool ))
+  else if roll < 36 then
+    I
+      (Alui
+         ( Rng.pick_arr rng alu_ops,
+           Rng.pick_arr rng rd_pool,
+           Rng.pick_arr rng rs_pool,
+           value_imm rng ))
+  else if roll < 42 then
+    I (Li (Rng.pick_arr rng rd_pool, value_imm rng))
+  else if roll < 56 then
+    let base = load_store_base rng ~store:false in
+    I
+      (Load
+         ( Rng.pick_arr rng widths,
+           Rng.chance rng ~percent:50,
+           Rng.pick_arr rng rd_pool,
+           base,
+           mem_imm rng base ))
+  else if roll < 70 then
+    let base = load_store_base rng ~store:true in
+    I
+      (Store
+         (Rng.pick_arr rng widths, base, Rng.pick_arr rng rs_pool, mem_imm rng base))
+  else if roll < 82 then
+    B
+      ( Rng.pick_arr rng conds,
+        Rng.pick_arr rng rs_pool,
+        Rng.pick_arr rng rs_pool,
+        Rng.below rng len )
+  else if roll < 88 then
+    let rd = if Rng.chance rng ~percent:70 then Reg.ra else Reg.zero in
+    J (rd, Rng.below rng len)
+  else if roll < 91 then
+    let rs1 = if Rng.chance rng ~percent:80 then code_ptr else Reg.ra in
+    I (Jalr ((if Rng.chance rng ~percent:60 then Reg.ra else Reg.zero), rs1, 0))
+  else if roll < 94 then
+    I (Trap (if Rng.chance rng ~percent:70 then handled_trap else 99))
+  else if roll < 97 then
+    let base = weighted rng [ (data_ptr, 80); (bound_ptr, 20) ] in
+    I
+      (Amo
+         ( (if Rng.chance rng ~percent:50 then Insn.Amo_add else Amo_swap),
+           Rng.pick_arr rng rd_pool,
+           base,
+           Rng.pick_arr rng rs_pool ))
+  else if roll < 99 then I (if Rng.chance rng ~percent:50 then Nop else Fence)
+  else I Halt
+
+let generate ~arch ~seed =
+  let rng = Rng.create ~seed in
+  let n_body = Rng.range rng 10 36 in
+  let n_prologue = 9 in
+  let len = n_prologue + n_body + 1 in
+  let prologue =
+    [
+      I (Li (data_ptr, data_base));
+      I (Li (bound_ptr, limit - Rng.pick rng [ 0; 1; 2; 4; 8 ]));
+      I (Li (dev_ptr, weighted rng device_bases));
+      I
+        (Li
+           ( wild_ptr,
+             Rng.pick rng [ 0; 4; 0xFF8; 0x8000; 0xFFFF_FFF0; limit + 0x1000 ]
+           ));
+      I (Li (code_ptr, entry + (Insn.size * Rng.below rng len)));
+      I (Li (Reg.a0, value_imm rng));
+      I (Li (Reg.a1, value_imm rng));
+      I (Li (Reg.s0, value_imm rng));
+      I (Li (Reg.s1, value_imm rng));
+    ]
+  in
+  assert (List.length prologue = n_prologue);
+  let body = List.init n_body (fun _ -> body_insn rng ~len) in
+  let specs = prologue @ body @ [ I Halt ] in
+  let insns =
+    List.mapi
+      (fun i spec ->
+        let pc = entry + (i * Insn.size) in
+        match spec with
+        | I insn -> (pc, insn)
+        | B (c, r1, r2, tgt) -> (pc, Insn.Branch (c, r1, r2, (tgt - i) * Insn.size))
+        | J (rd, tgt) -> (pc, Insn.Jal (rd, (tgt - i) * Insn.size)))
+      specs
+  in
+  let buf = Buffer.create (List.length insns * Insn.size) in
+  List.iter (fun (_, insn) -> Buffer.add_string buf (Codec.encode arch insn)) insns;
+  let data = Buffer.contents buf in
+  let image : Image.t =
+    {
+      arch;
+      entry;
+      sections = [ { sec_name = ".text"; base = entry; data } ];
+      symbols =
+        [ { name = "main"; addr = entry; size = String.length data; kind = Func } ];
+    }
+  in
+  {
+    p_arch = arch;
+    p_seed = seed;
+    p_ram_base = ram_base;
+    p_ram_size = ram_size;
+    p_image = image;
+    p_insns = insns;
+  }
+
+let listing t =
+  String.concat "\n"
+    (List.map
+       (fun (pc, insn) -> Printf.sprintf "  %08x  %s" pc (Disasm.to_string insn))
+       t.p_insns)

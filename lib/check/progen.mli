@@ -1,0 +1,30 @@
+(** Seeded random EVA-32 program generator for the differential oracles:
+    decodable-by-construction instruction streams biased toward loads,
+    stores and branches around the RAM boundaries, device space and the
+    null page.  Stores never target the code region (self-modifying code
+    without an explicit [flush_tcg] is out of contract, so it would be a
+    false-positive divergence). *)
+
+(** RAM geometry every generated program assumes (the oracles create their
+    machines with exactly this window). *)
+val ram_base : int
+
+val ram_size : int
+
+(** Hypercall number the oracles install a deterministic handler for. *)
+val handled_trap : int
+
+type t = {
+  p_arch : Embsan_isa.Arch.t;
+  p_seed : int;
+  p_ram_base : int;
+  p_ram_size : int;
+  p_image : Embsan_isa.Image.t;
+  p_insns : (int * Embsan_isa.Insn.t) list;  (** address, instruction *)
+}
+
+(** Deterministic: same [arch] and [seed] give the same program. *)
+val generate : arch:Embsan_isa.Arch.t -> seed:int -> t
+
+(** Disassembly listing for divergence reports. *)
+val listing : t -> string

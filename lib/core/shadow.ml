@@ -14,9 +14,21 @@ type code =
   | Global_redzone
   | Freed
 
+(* A [Partial k] granule is only meaningful for k in 1..7: k = 0 would be
+   fully poisoned (a redzone byte says which kind) and k = 8 is
+   [Addressable].  The old [k land 7] silently aliased out-of-range
+   constructions — [Partial 8] encoded as [Addressable] and survived a
+   round-trip as a different code — so out-of-range is rejected loudly
+   instead. *)
+let partial k =
+  if k >= 1 && k <= 7 then Partial k
+  else invalid_arg (Printf.sprintf "Shadow.partial %d (want 1..7)" k)
+
 let byte_of_code = function
   | Addressable -> 0x00
-  | Partial k -> k land 7
+  | Partial k ->
+      if k >= 1 && k <= 7 then k
+      else invalid_arg (Printf.sprintf "Shadow.byte_of_code: Partial %d (want 1..7)" k)
   | Heap_redzone -> 0xF1
   | Stack_redzone -> 0xF3
   | Global_redzone -> 0xF9

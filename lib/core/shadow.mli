@@ -10,6 +10,13 @@ type code =
   | Global_redzone
   | Freed
 
+(** Smart constructor for [Partial]: raises [Invalid_argument] unless
+    [k] is in 1..7 (0 is a redzone's business, 8 is [Addressable]). *)
+val partial : int -> code
+
+(** Raises [Invalid_argument] on [Partial k] with [k] outside 1..7 — the
+    encoding would otherwise alias to a different code and break the
+    [code_of_byte] round-trip. *)
 val byte_of_code : code -> int
 
 (** Inverse of {!byte_of_code}; raises [Invalid_argument] on unknown bytes. *)

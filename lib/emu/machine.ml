@@ -205,20 +205,49 @@ let bus_write t (acc : Fault.access) value =
     | Some d -> d.write ~offset:(acc.addr - d.base) ~width:acc.size ~value
     | None -> Ram.check t.ram acc
 
+(* The fast engine charges a whole block's retired-insn total on entry, so
+   while the block's ops run [total_insns] is over-charged by the ops not
+   yet executed.  That is invisible to pure guest code, but devices can
+   observe the counter (the timer reads it) and probe callbacks key stall
+   windows off it, so a mid-block access must see exactly the count the
+   per-instruction-ticking baseline engine would show.  [over] is the op's
+   translate-time distance from the block end; the counter is rewound
+   around the callback and restored even when it raises (power writes
+   raise [Halted], probes raise [Retry_at]), which keeps the
+   [exec_ops] prefix-sum rollback arithmetic intact. *)
+let rewound t ~over f =
+  if over = 0 then f ()
+  else begin
+    t.total_insns <- t.total_insns - over;
+    match f () with
+    | v ->
+        t.total_insns <- t.total_insns + over;
+        v
+    | exception e ->
+        t.total_insns <- t.total_insns + over;
+        raise e
+  end
+
 (* MMIO/fault slow paths for the translated fast-path templates: the
    {!Fault.access} record is only allocated here, after the RAM bounds
-   check has already failed. *)
+   check has already failed.  [over] rewinds the block pre-charge around
+   the device callback (see {!rewound}); the fault path needs no rewind
+   because fault records carry no counters. *)
 
-let slow_read t ~hart ~pc ~addr ~size =
+let slow_read t ~hart ~pc ~addr ~size ~over =
   match find_device t addr with
-  | Some d -> d.Device.read ~offset:(addr - d.base) ~width:size
+  | Some d ->
+      rewound t ~over (fun () ->
+          d.Device.read ~offset:(addr - d.base) ~width:size)
   | None ->
       Ram.check t.ram { hart; pc; addr; size; is_write = false };
       0
 
-let slow_write t ~hart ~pc ~addr ~size value =
+let slow_write t ~hart ~pc ~addr ~size ~over value =
   match find_device t addr with
-  | Some d -> d.Device.write ~offset:(addr - d.base) ~width:size ~value
+  | Some d ->
+      rewound t ~over (fun () ->
+          d.Device.write ~offset:(addr - d.base) ~width:size ~value)
   | None -> Ram.check t.ram { hart; pc; addr; size; is_write = true }
 
 (* Debug accessors used by the sanitizer runtime and tests. *)
@@ -310,7 +339,12 @@ let translate_fast t base =
   let ri = Reg.to_int in
   let sgn v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v in
   let insns, end_pc = collect_block t base in
-  let op_of (pc, insn) : Cpu.t -> unit =
+  let n_insns = List.length insns in
+  (* [idx] is the op's position in the block; memory ops turn it into the
+     [over] rewind distance so device reads and probe callbacks observe
+     exact per-instruction counters despite the batched block pre-charge
+     (see {!rewound}). *)
+  let op_of idx (pc, insn) : Cpu.t -> unit =
     match (insn : Insn.t) with
     | Nop | Fence -> fun _cpu -> ()
     | Halt -> fun cpu -> raise (Fault.Halted (Cpu.get cpu Reg.a0))
@@ -373,22 +407,24 @@ let translate_fast t base =
           | Sne -> unary (fun x -> if x <> w then 1 else 0))
     | Load (w, signed, rd, rs1, imm) ->
         let size = Insn.width_bytes w in
+        let over = n_insns - 1 - idx in
         if mem_probes then (fun cpu ->
-          let addr = Word32.add (Cpu.get cpu rs1) imm in
-          Probe.fire_mem t.probes
-            {
-              hart = cpu.id;
-              pc;
-              addr;
-              size;
-              is_write = false;
-              is_atomic = false;
-              value = 0;
-            };
-          let raw =
-            bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
-          in
-          Cpu.set cpu rd (load_result w signed raw))
+          rewound t ~over (fun () ->
+              let addr = Word32.add (Cpu.get cpu rs1) imm in
+              Probe.fire_mem t.probes
+                {
+                  hart = cpu.id;
+                  pc;
+                  addr;
+                  size;
+                  is_write = false;
+                  is_atomic = false;
+                  value = 0;
+                };
+              let raw =
+                bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
+              in
+              Cpu.set cpu rd (load_result w signed raw)))
         else begin
           (* allocation-free fast path, width-specialized at translate time *)
           let d = ri rd and a = ri rs1 in
@@ -404,7 +440,8 @@ let translate_fast t base =
                     land 0xFFFF_FFFF)
                 else
                   set r
-                    (Word32.wrap (slow_read t ~hart:cpu.id ~pc ~addr ~size:4))
+                    (Word32.wrap
+                       (slow_read t ~hart:cpu.id ~pc ~addr ~size:4 ~over))
           | W16 ->
               fun cpu ->
                 let r = cpu.Cpu.regs in
@@ -412,7 +449,7 @@ let translate_fast t base =
                 let raw =
                   if addr >= rbase && addr + 2 <= rlim then
                     Bytes.get_uint16_le bytes (addr - rbase)
-                  else slow_read t ~hart:cpu.id ~pc ~addr ~size:2
+                  else slow_read t ~hart:cpu.id ~pc ~addr ~size:2 ~over
                 in
                 set r (if signed then Word32.sext raw 16 else raw land 0xFFFF)
           | W8 ->
@@ -422,26 +459,30 @@ let translate_fast t base =
                 let raw =
                   if addr >= rbase && addr + 1 <= rlim then
                     Char.code (Bytes.unsafe_get bytes (addr - rbase))
-                  else slow_read t ~hart:cpu.id ~pc ~addr ~size:1
+                  else slow_read t ~hart:cpu.id ~pc ~addr ~size:1 ~over
                 in
                 set r (if signed then Word32.sext raw 8 else raw land 0xFF)
         end
     | Store (w, rs1, rs2, imm) ->
         let size = Insn.width_bytes w in
+        let over = n_insns - 1 - idx in
         if mem_probes then (fun cpu ->
-          let addr = Word32.add (Cpu.get cpu rs1) imm in
-          let value = Cpu.get cpu rs2 in
-          Probe.fire_mem t.probes
-            {
-              hart = cpu.id;
-              pc;
-              addr;
-              size;
-              is_write = true;
-              is_atomic = false;
-              value;
-            };
-          bus_write t { hart = cpu.id; pc; addr; size; is_write = true } value)
+          rewound t ~over (fun () ->
+              let addr = Word32.add (Cpu.get cpu rs1) imm in
+              let value = Cpu.get cpu rs2 in
+              Probe.fire_mem t.probes
+                {
+                  hart = cpu.id;
+                  pc;
+                  addr;
+                  size;
+                  is_write = true;
+                  is_atomic = false;
+                  value;
+                };
+              bus_write t
+                { hart = cpu.id; pc; addr; size; is_write = true }
+                value))
         else begin
           let a = ri rs1 and v = ri rs2 in
           match (w : Insn.width) with
@@ -453,7 +494,7 @@ let translate_fast t base =
                   Bytes.set_int32_le bytes (addr - rbase)
                     (Int32.of_int (Array.unsafe_get r v))
                 else
-                  slow_write t ~hart:cpu.id ~pc ~addr ~size:4
+                  slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over
                     (Array.unsafe_get r v)
           | W16 ->
               fun cpu ->
@@ -463,7 +504,7 @@ let translate_fast t base =
                   Bytes.set_uint16_le bytes (addr - rbase)
                     (Array.unsafe_get r v land 0xFFFF)
                 else
-                  slow_write t ~hart:cpu.id ~pc ~addr ~size:2
+                  slow_write t ~hart:cpu.id ~pc ~addr ~size:2 ~over
                     (Array.unsafe_get r v)
           | W8 ->
               fun cpu ->
@@ -473,33 +514,35 @@ let translate_fast t base =
                   Bytes.unsafe_set bytes (addr - rbase)
                     (Char.unsafe_chr (Array.unsafe_get r v land 0xFF))
                 else
-                  slow_write t ~hart:cpu.id ~pc ~addr ~size:1
+                  slow_write t ~hart:cpu.id ~pc ~addr ~size:1 ~over
                     (Array.unsafe_get r v)
         end
     | Amo (op, rd, rs1, rs2) ->
+        let over = n_insns - 1 - idx in
         if mem_probes then (fun cpu ->
-          let addr = Cpu.get cpu rs1 in
-          Probe.fire_mem t.probes
-            {
-              hart = cpu.id;
-              pc;
-              addr;
-              size = 4;
-              is_write = true;
-              is_atomic = true;
-              value = Cpu.get cpu rs2;
-            };
-          let acc : Fault.access =
-            { hart = cpu.id; pc; addr; size = 4; is_write = true }
-          in
-          let old = bus_read t { acc with is_write = false } in
-          let next =
-            match op with
-            | Amo_add -> Word32.add old (Cpu.get cpu rs2)
-            | Amo_swap -> Cpu.get cpu rs2
-          in
-          bus_write t acc next;
-          Cpu.set cpu rd old)
+          rewound t ~over (fun () ->
+              let addr = Cpu.get cpu rs1 in
+              Probe.fire_mem t.probes
+                {
+                  hart = cpu.id;
+                  pc;
+                  addr;
+                  size = 4;
+                  is_write = true;
+                  is_atomic = true;
+                  value = Cpu.get cpu rs2;
+                };
+              let acc : Fault.access =
+                { hart = cpu.id; pc; addr; size = 4; is_write = true }
+              in
+              let old = bus_read t { acc with is_write = false } in
+              let next =
+                match op with
+                | Amo_add -> Word32.add old (Cpu.get cpu rs2)
+                | Amo_swap -> Cpu.get cpu rs2
+              in
+              bus_write t acc next;
+              Cpu.set cpu rd old))
         else
           let d = ri rd and a = ri rs1 and v = ri rs2 in
           let is_add = match op with Amo_add -> true | Amo_swap -> false in
@@ -519,12 +562,12 @@ let translate_fast t base =
               if d <> 0 then Array.unsafe_set r d old
             end
             else begin
-              let old = slow_read t ~hart:cpu.id ~pc ~addr ~size:4 in
+              let old = slow_read t ~hart:cpu.id ~pc ~addr ~size:4 ~over in
               let next =
                 if is_add then Word32.add old (Array.unsafe_get r v)
                 else Array.unsafe_get r v
               in
-              slow_write t ~hart:cpu.id ~pc ~addr ~size:4 next;
+              slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over next;
               if d <> 0 then Array.unsafe_set r d (Word32.wrap old)
             end
     | Branch (c, rs1, rs2, imm) ->
@@ -591,7 +634,7 @@ let translate_fast t base =
           | Some handler -> handler t cpu
           | None -> raise (Trap_unhandled (pc, num)))
   in
-  let ops = List.map op_of insns in
+  let ops = List.mapi op_of insns in
   let costs = List.map (fun (_, i) -> Cost_model.insn_cost i) insns in
   let ops, costs =
     match List.rev insns with

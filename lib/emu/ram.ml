@@ -16,7 +16,14 @@ let contains t addr ~size:n =
 let fault (acc : Fault.access) t =
   let reason =
     if acc.addr < 0x1000 then "null pointer dereference"
-    else if acc.addr >= limit t then "access beyond RAM"
+    else if
+      (* Either the access starts past the end of RAM, or it starts inside
+         RAM and straddles the end ([addr < limit] but [addr+size > limit]).
+         Both are "beyond RAM"; only accesses that start outside the mapped
+         window entirely (below base, above the null page) are "unmapped". *)
+      acc.addr >= limit t
+      || (acc.addr >= t.base && acc.addr + acc.size > limit t)
+    then "access beyond RAM"
     else "unmapped address"
   in
   raise (Fault.Memory_fault (acc, reason))
@@ -41,7 +48,8 @@ let read32 t addr =
 
 let write16 t addr v = Bytes.set_uint16_le t.bytes (addr - t.base) (v land 0xFFFF)
 
-let write32 t addr v = Bytes.set_int32_le t.bytes (addr - t.base) (Int32.of_int v)
+let write32 t addr v =
+  Bytes.set_int32_le t.bytes (addr - t.base) (Int32.of_int (v land 0xFFFF_FFFF))
 
 let read t addr width =
   match width with
@@ -52,7 +60,7 @@ let read t addr width =
 
 let write t addr width v =
   match width with
-  | 1 -> Bytes.set_uint8 t.bytes (addr - t.base) (v land 0xFF)
+  | 1 -> write8 t addr v
   | 2 -> write16 t addr v
   | 4 -> write32 t addr v
   | _ -> invalid_arg "Ram.write"

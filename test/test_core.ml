@@ -166,6 +166,37 @@ let shadow_qcheck =
       done;
       !ok)
 
+(* Every valid encoding byte must survive code_of_byte/byte_of_code. *)
+let shadow_byte_roundtrip () =
+  List.iter
+    (fun b ->
+      Alcotest.(check int)
+        (Printf.sprintf "byte 0x%x" b)
+        b
+        (Shadow.byte_of_code (Shadow.code_of_byte b)))
+    [ 0x00; 1; 2; 3; 4; 5; 6; 7; 0xF1; 0xF3; 0xF9; 0xFB ]
+
+(* Regression: [Partial k] outside 1..7 used to alias to a different code
+   via [k land 7] (e.g. [Partial 8] encoded as [Addressable]), silently
+   breaking the round-trip.  Construction-time validation must reject it. *)
+let shadow_partial_roundtrip =
+  let open QCheck2 in
+  Test.make ~name:"Partial round-trips in 1..7, rejected outside" ~count:200
+    Gen.(int_range (-4) 12)
+    (fun k ->
+      if k >= 1 && k <= 7 then
+        Shadow.code_of_byte (Shadow.byte_of_code (Shadow.Partial k))
+        = Shadow.Partial k
+        && Shadow.byte_of_code (Shadow.partial k) = k
+      else
+        (match Shadow.byte_of_code (Shadow.Partial k) with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
+        &&
+        match Shadow.partial k with
+        | _ -> false
+        | exception Invalid_argument _ -> true)
+
 (* --- Host KASAN -------------------------------------------------------------------- *)
 
 let mk_kasan () =
@@ -576,6 +607,9 @@ let () =
           Alcotest.test_case "partial granule" `Quick shadow_partial_granule;
           Alcotest.test_case "cross-granule start" `Quick shadow_cross_granule_start;
           QCheck_alcotest.to_alcotest shadow_qcheck;
+          Alcotest.test_case "encoding byte round-trip" `Quick
+            shadow_byte_roundtrip;
+          QCheck_alcotest.to_alcotest shadow_partial_roundtrip;
         ] );
       ( "kasan",
         [

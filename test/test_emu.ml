@@ -759,6 +759,89 @@ let fast_baseline_equivalence () =
   Alcotest.(check string) "same console" con_b con_f;
   Alcotest.(check string) "identical architectural state" fp_b fp_f
 
+(* --- Differential-harness regressions ------------------------------------ *)
+
+(* One unit check per Ram.fault reason branch.  The straddle case (starts
+   inside RAM, runs past the end) used to be misclassified as "unmapped
+   address" because only the start address was compared to the limit. *)
+let ram_fault_reasons () =
+  let ram = Ram.create ~base:0x1_0000 ~size:0x1000 in
+  let reason addr size =
+    match Ram.check ram { hart = 0; pc = 0; addr; size; is_write = false } with
+    | () -> "ok"
+    | exception Fault.Memory_fault (_, r) -> r
+  in
+  Alcotest.(check string) "in bounds" "ok" (reason 0x1_0000 4);
+  Alcotest.(check string) "null page" "null pointer dereference" (reason 0x4 4);
+  Alcotest.(check string) "past end" "access beyond RAM" (reason 0x1_1000 4);
+  Alcotest.(check string) "straddles end" "access beyond RAM" (reason 0x1_0FFE 4);
+  Alcotest.(check string) "unmapped hole" "unmapped address" (reason 0x8000 4)
+
+(* Same classification observed through the engine: a 4-byte store at
+   limit-2 must fault as beyond-RAM, not unmapped. *)
+let straddling_store_fault () =
+  let open Asm in
+  let lim = 0x1_0000 + (4 * 1024 * 1024) in
+  let text =
+    [ Label "main"; li Reg.t0 (lim - 2); store W32 Reg.t0 Reg.t0 0; halt ]
+  in
+  let m, _ = assemble_and_load ~harts:1 [ unit_ text [] ] in
+  match Machine.run m ~max_insns:100 with
+  | Machine.Fault (acc, "access beyond RAM") when acc.addr = lim - 2 -> ()
+  | s -> Alcotest.failf "expected straddle fault, got %a" Machine.pp_stop s
+
+let ram_width_contracts () =
+  let ram = Ram.create ~base:0x1_0000 ~size:0x100 in
+  (* write32 stores exactly the low 32 bits of any int *)
+  Ram.write32 ram 0x1_0000 0x1_2345_6789;
+  Alcotest.(check int) "write32 masks" 0x2345_6789 (Ram.read32 ram 0x1_0000);
+  Ram.write32 ram 0x1_0008 0xFFFF_FFFF;
+  Alcotest.(check int) "write32 keeps bit 31" 0xFFFF_FFFF (Ram.read32 ram 0x1_0008);
+  (* the width-1 dispatch path and the unsafe byte accessors agree *)
+  Ram.write ram 0x1_0010 1 0x1AB;
+  Alcotest.(check int) "width-1 write = write8" (Ram.read8 ram 0x1_0010)
+    (Ram.read ram 0x1_0010 1);
+  Alcotest.(check int) "byte masked" 0xAB (Ram.read8 ram 0x1_0010);
+  Ram.write8 ram 0x1_0011 0x7F;
+  Alcotest.(check int) "width-1 read = read8" 0x7F (Ram.read ram 0x1_0011 1)
+
+(* Pinned regression for a divergence the differential harness found
+   (fast-vs-baseline oracle): a timer read in the middle of a translated
+   block observed the fast engine's batched block pre-charge -- the whole
+   block's retired-insn total -- instead of the precise count after the
+   load itself, as the per-instruction-ticking baseline shows.  The halt
+   code is the timer value, so the test pins both cross-engine equality
+   and the exact count (2 insns retired when the load completes). *)
+let timer_mid_block_precise () =
+  let open Asm in
+  let text =
+    [
+      Label "main";
+      li Reg.t0 Devices.timer_base;
+      load W32 Reg.t1 Reg.t0 0;
+      (* block tail after the device read: this is what the pre-charge
+         used to leak into the timer value *)
+      Ins Insn.Nop;
+      Ins Insn.Nop;
+      mv Reg.a0 Reg.t1;
+      halt;
+    ]
+  in
+  let run_engine engine ~probed =
+    let m, _ = assemble_and_load ~harts:1 [ unit_ text [] ] in
+    Machine.set_engine m engine;
+    if probed then Probe.on_mem m.probes (fun _ -> ());
+    Machine.run m ~max_insns:1000
+  in
+  let fast = run_engine Machine.Fast ~probed:false in
+  let fast_probed = run_engine Machine.Fast ~probed:true in
+  let base = run_engine Machine.Baseline ~probed:false in
+  Alcotest.check check_stop "fast = baseline" base fast;
+  Alcotest.check check_stop "probed fast = baseline" base fast_probed;
+  match base with
+  | Machine.Halted n -> Alcotest.(check int) "precise mid-block count" 2 n
+  | s -> Alcotest.failf "unexpected stop %a" Machine.pp_stop s
+
 let () =
   Alcotest.run "embsan_emu"
     [
@@ -802,6 +885,12 @@ let () =
             differential_probe_semantics;
           Alcotest.test_case "fast/baseline equivalence" `Quick
             fast_baseline_equivalence;
+          Alcotest.test_case "ram fault reasons" `Quick ram_fault_reasons;
+          Alcotest.test_case "straddling store fault" `Quick
+            straddling_store_fault;
+          Alcotest.test_case "ram width contracts" `Quick ram_width_contracts;
+          Alcotest.test_case "timer precise mid-block" `Quick
+            timer_mid_block_precise;
         ] );
       ( "smp",
         [
