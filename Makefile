@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check check-diff clean
+.PHONY: all build test bench-smoke check check-diff check-snap clean
 
 all: build
 
@@ -22,7 +22,14 @@ bench-smoke: build
 check-diff: build
 	./_build/default/bin/embsan_cli.exe check --seed 1 --execs 250
 
-check: build test bench-smoke check-diff
+# Restore-transparency oracle on a bounded seeded campaign: snapshot /
+# run / restore must be architecturally invisible under all four
+# engine/probe configurations (250 programs x 3 arch flavors).
+check-snap: build
+	./_build/default/bin/embsan_cli.exe check --oracle restore-transparency \
+	  --seed 1 --execs 250
+
+check: build test bench-smoke check-diff check-snap
 
 clean:
 	dune clean

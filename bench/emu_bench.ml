@@ -25,6 +25,12 @@ module Firmware_db = Embsan_guest.Firmware_db
 let hot_loop_insns = 4_000_000
 let probed_insns = 400_000
 
+(* Minimum measured duration per configuration: the probed workloads
+   complete their insn budget in single-digit milliseconds, far too short
+   for stable numbers, so every measurement repeats its workload until
+   this much wall clock has accumulated and reports the repeat count. *)
+let min_bench_secs = 0.5
+
 (* A hot loop exercising every translation template: W8/W16/W32 memory
    traffic, a call/ret pair, an AMO, ALU ops and a two-block inner loop. *)
 let hot_image ~arch =
@@ -60,9 +66,23 @@ let hot_image ~arch =
   Asm.assemble ~arch ~text_base:0x1_0000 ~entry:"main"
     [ { unit_name = "hot"; text; data } ]
 
-type sample = { insns : int; secs : float; rate : float }
+type sample = { insns : int; secs : float; rate : float; repeats : int }
 
 let rate_of ~insns ~secs = float_of_int insns /. secs
+
+(* Repeat [workload ()] (which returns guest insns retired) until
+   [min_bench_secs] of wall clock have accumulated. *)
+let measure workload =
+  let insns = ref 0 and secs = ref 0.0 and repeats = ref 0 in
+  while !secs < min_bench_secs do
+    let t0 = Unix.gettimeofday () in
+    let n = workload () in
+    secs := !secs +. (Unix.gettimeofday () -. t0);
+    insns := !insns + n;
+    incr repeats
+  done;
+  { insns = !insns; secs = !secs;
+    rate = rate_of ~insns:!insns ~secs:!secs; repeats = !repeats }
 
 let run_engine engine =
   let arch = Arch.Arm_ev in
@@ -72,14 +92,15 @@ let run_engine engine =
   Machine.boot m;
   (* warm the translation cache so translation time is excluded *)
   ignore (Machine.run m ~max_insns:10_000);
-  let i0 = m.Machine.total_insns in
-  let t0 = Unix.gettimeofday () in
-  (match Machine.run m ~max_insns:hot_loop_insns with
-  | Machine.Budget_exhausted -> ()
-  | s -> Fmt.failwith "emu bench: unexpected stop %a" Machine.pp_stop s);
-  let secs = Unix.gettimeofday () -. t0 in
-  let insns = m.Machine.total_insns - i0 in
-  ({ insns; secs; rate = rate_of ~insns ~secs }, m.Machine.stats)
+  let sample =
+    measure (fun () ->
+        let i0 = m.Machine.total_insns in
+        (match Machine.run m ~max_insns:hot_loop_insns with
+        | Machine.Budget_exhausted -> ()
+        | s -> Fmt.failwith "emu bench: unexpected stop %a" Machine.pp_stop s);
+        m.Machine.total_insns - i0)
+  in
+  (sample, m.Machine.stats)
 
 (* Throughput with a live EmbSan-D runtime: boot the syzbot firmware,
    replay its benign syscall sequences until the insn budget is spent. *)
@@ -98,20 +119,19 @@ let run_probed sanitizers =
       if calls = [] then None
       else begin
         let m = inst.Replay.machine in
-        let i0 = m.Machine.total_insns in
-        let t0 = Unix.gettimeofday () in
-        while m.Machine.total_insns - i0 < probed_insns do
-          ignore (Replay.replay inst calls)
-        done;
-        let secs = Unix.gettimeofday () -. t0 in
-        let insns = m.Machine.total_insns - i0 in
-        Some { insns; secs; rate = rate_of ~insns ~secs }
+        Some
+          (measure (fun () ->
+               let i0 = m.Machine.total_insns in
+               while m.Machine.total_insns - i0 < probed_insns do
+                 ignore (Replay.replay inst calls)
+               done;
+               m.Machine.total_insns - i0))
       end
 
 let sample_json s =
   Printf.sprintf
-    {|{ "guest_insns": %d, "wall_secs": %.6f, "insns_per_sec": %.0f }|}
-    s.insns s.secs s.rate
+    {|{ "guest_insns": %d, "wall_secs": %.6f, "insns_per_sec": %.0f, "repeats": %d }|}
+    s.insns s.secs s.rate s.repeats
 
 let opt_json = function Some s -> sample_json s | None -> "null"
 
@@ -133,10 +153,11 @@ let run () =
   let json =
     Printf.sprintf
       {|{
-  "schema": "embsan-emu-bench/1",
+  "schema": "embsan-emu-bench/2",
   "workload": {
-    "uninstrumented": "synthetic hot loop (stores, loads, call/ret, AMO, branches), %d insns, cache warmed",
-    "probed": "benign syscall replay on %s, >= %d insns"
+    "uninstrumented": "synthetic hot loop (stores, loads, call/ret, AMO, branches), %d insns per repeat, cache warmed",
+    "probed": "benign syscall replay on %s, >= %d insns per repeat",
+    "min_wall_secs_per_config": %.2f
   },
   "baseline": %s,
   "fast": %s,
@@ -147,6 +168,7 @@ let run () =
 }
 |}
       hot_loop_insns Firmware_db.syzbot_suite_fw.fw_name probed_insns
+      min_bench_secs
       (sample_json baseline) (sample_json fast) speedup (opt_json kasan)
       (opt_json kcsan)
       (Engine_stats.to_json stats)

@@ -11,6 +11,8 @@
      ablation  design-choice ablations (DESIGN.md)
      bechamel  wall-clock micro-benchmarks
      emu       execution-engine throughput (writes BENCH_emu.json)
+     snap      snapshot service: restore latency + campaign reboot-vs-restore
+               (writes BENCH_snap.json)
      all       everything above (default)
 
    Options: --execs N (campaign budget, default 4000), --seed N. *)
@@ -44,7 +46,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "table3"; "table4"; "replay"; "fig2";
-            "ablation"; "bechamel"; "emu"; "all" ])
+            "ablation"; "bechamel"; "emu"; "snap"; "all" ])
       args
   in
   let cmds = if cmds = [] then [ "all" ] else cmds in
@@ -65,4 +67,5 @@ let () =
   if want "ablation" then Ablation.run ();
   if want "bechamel" then Bechamel_suite.run ();
   if want "emu" then Emu_bench.run ();
+  if want "snap" then Snap_bench.run ();
   Fmt.pr "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

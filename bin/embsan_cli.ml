@@ -201,7 +201,16 @@ let check_cmd =
       & info [ "arch" ] ~docv:"ARCH"
           ~doc:"Check only this flavor (arm-ev, mips-ev or x86-ev).")
   in
-  let run execs seed sync max_insns arch =
+  let oracle =
+    Arg.(
+      value & opt_all string []
+      & info [ "oracle" ] ~docv:"NAME"
+          ~doc:
+            "Run only this oracle (repeatable): fast-vs-baseline, \
+             probe-transparency, flush-anytime, chain-epoch-invalidation or \
+             restore-transparency.  Default: all.")
+  in
+  let run execs seed sync max_insns arch oracles =
     let archs =
       match arch with
       | None -> Embsan_isa.Arch.all
@@ -220,8 +229,14 @@ let check_cmd =
         sync;
         max_insns;
         archs;
+        oracles;
       }
     in
+    (match Embsan_check.Harness.selected_oracles config with
+    | _ -> ()
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 2);
     let s = Embsan_check.Harness.run config in
     Fmt.pr "%a@." Embsan_check.Harness.pp_summary s;
     if s.s_divergences <> [] then exit 1
@@ -231,8 +246,8 @@ let check_cmd =
        ~doc:
          "Differential-oracle check of the dual execution engines \
           (fast-vs-baseline, probe transparency, flush-anytime, chain-epoch \
-          invalidation); exits 1 on any divergence")
-    Term.(const run $ execs $ seed $ sync $ max_insns $ arch)
+          invalidation, restore transparency); exits 1 on any divergence")
+    Term.(const run $ execs $ seed $ sync $ max_insns $ arch $ oracle)
 
 (* --- disasm ----------------------------------------------------------------- *)
 

@@ -13,6 +13,7 @@ type config = {
   max_insns : int;
   archs : Arch.t list;
   max_divergences : int; (* stop collecting after this many *)
+  oracles : string list; (* oracle-name filter; [] = all *)
 }
 
 let default_config =
@@ -23,7 +24,23 @@ let default_config =
     max_insns = 4096;
     archs = Arch.all;
     max_divergences = 5;
+    oracles = [];
   }
+
+(** The oracle list [config] selects; raises on an unknown name. *)
+let selected_oracles config =
+  match config.oracles with
+  | [] -> Oracle.all
+  | names ->
+      List.map
+        (fun n ->
+          match List.assoc_opt n Oracle.all with
+          | Some o -> (n, o)
+          | None ->
+              invalid_arg
+                (Printf.sprintf "unknown oracle %S (known: %s)" n
+                   (String.concat ", " (List.map fst Oracle.all))))
+        names
 
 type summary = {
   s_programs : int;
@@ -49,6 +66,10 @@ let program_seed config ~arch ~index =
 
 let run config =
   let cfg = { Oracle.sync = config.sync; max_insns = config.max_insns } in
+  let oracles = selected_oracles config in
+  (* one histogram entry per program, from the first selected oracle's
+     reference run *)
+  let histo_oracle = match oracles with (n, _) :: _ -> n | [] -> "" in
   let stops = Hashtbl.create 8 in
   let bump cls = Hashtbl.replace stops cls (1 + Option.value ~default:0 (Hashtbl.find_opt stops cls)) in
   let programs = ref 0 and runs = ref 0 in
@@ -65,15 +86,14 @@ let run config =
               if not (capped ()) then begin
                 let d, stop = oracle ~cfg p in
                 incr runs;
-                (* one histogram entry per program, from the reference run *)
-                if name = "fast-vs-baseline" then bump (stop_class stop);
+                if name = histo_oracle then bump (stop_class stop);
                 match d with
                 | None -> ()
                 | Some d ->
                     divergences := d :: !divergences;
                     incr n_div
               end)
-            Oracle.all
+            oracles
         end
       done)
     config.archs;

@@ -10,9 +10,11 @@ type config = {
   max_insns : int;  (** instruction budget per run *)
   archs : Embsan_isa.Arch.t list;
   max_divergences : int;  (** stop collecting after this many *)
+  oracles : string list;  (** oracle-name filter; [[]] runs all *)
 }
 
-(** seed 1, 1000 execs, sync 512, 4096 insns, all arch flavors. *)
+(** seed 1, 1000 execs, sync 512, 4096 insns, all arch flavors, all
+    oracles. *)
 val default_config : config
 
 type summary = {
@@ -21,6 +23,16 @@ type summary = {
   s_stops : (string * int) list;  (** reference-run stop histogram *)
   s_divergences : Oracle.divergence list;
 }
+
+(** The oracles [config] selects (all when the filter is empty); raises
+    [Invalid_argument] naming the known oracles on an unknown name. *)
+val selected_oracles :
+  config ->
+  (string
+  * (cfg:Oracle.cfg ->
+    Progen.t ->
+    Oracle.divergence option * Embsan_emu.Machine.stop))
+  list
 
 val stop_class : Embsan_emu.Machine.stop -> string
 val run : config -> summary

@@ -16,7 +16,13 @@
      invisible;
    - chain-epoch-invalidation: alternately subscribing and clearing
      probes between sync points bumps the probe epoch mid-run, so cached
-     blocks and chain links die while the guest is in flight.
+     blocks and chain links die while the guest is in flight;
+   - restore-transparency: between sync points [mb] is checkpointed, run
+     for a throwaway chunk (scribbling on RAM, registers, devices and
+     counters), then reverted by [Snap.restore] — the revert must be
+     architecturally invisible.  Exercised under all four engine/probe
+     configurations (Fast/Baseline x probed/unprobed), since restore
+     interacts with the translation cache and probe epochs.
 
    Chunked [Machine.run] is a sound sync mechanism because both engines
    stop at the first block boundary past the deadline and block
@@ -139,10 +145,47 @@ let epoch_invalidation ~cfg (p : Progen.t) =
         attached := true
       end)
 
+let restore_transparency ~cfg (p : Progen.t) =
+  let rng = Rng.create ~seed:(p.p_seed + 0x51AB) in
+  let run_variant (engine, probed) =
+    let ma = machine_of p in
+    let mb = machine_of p in
+    Machine.set_engine ma engine;
+    Machine.set_engine mb engine;
+    if probed then begin
+      no_op_probes ma;
+      no_op_probes mb
+    end;
+    lockstep ~name:"restore-transparency" ~cfg p ma mb ~between:(fun mb ->
+        (* checkpoint, run a throwaway chunk so guest RAM, registers,
+           device state and counters all move, then revert; the next sync
+           comparison sees whether anything of the detour survived *)
+        let s = Embsan_snap.Snap.capture mb in
+        let chunk = Rng.range rng 1 cfg.sync in
+        ignore (Machine.run mb ~max_insns:chunk : Machine.stop);
+        ignore (Embsan_snap.Snap.restore s : int))
+  in
+  let rec go = function
+    | [] -> assert false
+    | [ v ] -> run_variant v
+    | v :: rest -> (
+        match run_variant v with
+        | (Some _, _) as r -> r
+        | None, _ -> go rest)
+  in
+  go
+    [
+      (Machine.Fast, false);
+      (Machine.Fast, true);
+      (Machine.Baseline, false);
+      (Machine.Baseline, true);
+    ]
+
 let all =
   [
     ("fast-vs-baseline", fast_vs_baseline);
     ("probe-transparency", probe_transparency);
     ("flush-anytime", flush_anytime);
     ("chain-epoch-invalidation", epoch_invalidation);
+    ("restore-transparency", restore_transparency);
   ]

@@ -43,6 +43,13 @@ val flush_anytime :
 val epoch_invalidation :
   cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
 
+(** Between sync points the variant machine is checkpointed, run for a
+    throwaway chunk and reverted with [Snap.restore]; the revert must be
+    architecturally invisible.  Runs all four engine/probe configurations
+    (Fast/Baseline x probed/unprobed) per program. *)
+val restore_transparency :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
 (** All oracles, with their report names. *)
 val all :
   (string * (cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop))

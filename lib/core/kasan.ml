@@ -35,6 +35,44 @@ let create ?(quarantine_max = 512) ~shadow ~sink ~symbolize () =
     free_events = 0;
   }
 
+(* --- Snapshot support -------------------------------------------------------- *)
+
+type state = {
+  s_allocs : (int * alloc_info) list;
+  s_quarantine : int list; (* front (oldest) first *)
+  s_redzone : int;
+  s_access_checks : int;
+  s_alloc_events : int;
+  s_free_events : int;
+}
+
+(* [alloc_info] has a mutable field, so BOTH directions copy the records:
+   save so later frees don't mutate the snapshot, restore so post-restore
+   frees don't either (a snapshot may be restored many times). *)
+let copy_info (i : alloc_info) =
+  { a_size = i.a_size; a_pc = i.a_pc; freed_pc = i.freed_pc }
+
+let save t =
+  {
+    s_allocs =
+      Hashtbl.fold (fun ptr i acc -> (ptr, copy_info i) :: acc) t.allocs [];
+    s_quarantine = List.rev (Queue.fold (fun acc p -> p :: acc) [] t.quarantine);
+    s_redzone = t.redzone;
+    s_access_checks = t.access_checks;
+    s_alloc_events = t.alloc_events;
+    s_free_events = t.free_events;
+  }
+
+let restore t (s : state) =
+  Hashtbl.reset t.allocs;
+  List.iter (fun (ptr, i) -> Hashtbl.replace t.allocs ptr (copy_info i)) s.s_allocs;
+  Queue.clear t.quarantine;
+  List.iter (fun p -> Queue.push p t.quarantine) s.s_quarantine;
+  t.redzone <- s.s_redzone;
+  t.access_checks <- s.s_access_checks;
+  t.alloc_events <- s.s_alloc_events;
+  t.free_events <- s.s_free_events
+
 let report t ~kind ~addr ~size ~is_write ~pc ~hart ~detail =
   ignore
     (Report.add t.sink

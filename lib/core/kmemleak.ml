@@ -32,6 +32,24 @@ let create ?(grace_insns = 50_000) ?(site_threshold = 4) ~sink ~symbolize () =
     site_threshold;
   }
 
+(* --- Snapshot support -------------------------------------------------------- *)
+
+(* [alloc_rec] is immutable, so the bindings can be shared. *)
+type state = { s_live : (int * alloc_rec) list; s_allocs : int; s_frees : int }
+
+let save t =
+  {
+    s_live = Hashtbl.fold (fun ptr r acc -> (ptr, r) :: acc) t.live [];
+    s_allocs = t.allocs;
+    s_frees = t.frees;
+  }
+
+let restore t (s : state) =
+  Hashtbl.reset t.live;
+  List.iter (fun (ptr, r) -> Hashtbl.replace t.live ptr r) s.s_live;
+  t.allocs <- s.s_allocs;
+  t.frees <- s.s_frees
+
 let on_alloc t ~ptr ~size ~pc ~now =
   t.allocs <- t.allocs + 1;
   if ptr <> 0 then

@@ -88,3 +88,26 @@ let hits sink key = Option.value ~default:0 (Hashtbl.find_opt sink.seen key)
 let clear sink =
   sink.reports <- [];
   Hashtbl.reset sink.seen
+
+(* --- Snapshot support -------------------------------------------------------- *)
+
+(* Reports are immutable records, so the lists can be shared; the dedup
+   table is flattened to bindings. *)
+type sink_state = {
+  ss_reports : t list;
+  ss_seen : (string * int) list;
+  ss_limit : int;
+}
+
+let save_sink sink =
+  {
+    ss_reports = sink.reports;
+    ss_seen = Hashtbl.fold (fun k n acc -> (k, n) :: acc) sink.seen [];
+    ss_limit = sink.limit;
+  }
+
+let restore_sink sink (s : sink_state) =
+  sink.reports <- s.ss_reports;
+  Hashtbl.reset sink.seen;
+  List.iter (fun (k, n) -> Hashtbl.replace sink.seen k n) s.ss_seen;
+  sink.limit <- s.ss_limit

@@ -59,3 +59,10 @@ val hits : sink -> string -> int
 val total_hits : sink -> int
 
 val clear : sink -> unit
+
+(** Snapshot of the sink (report list plus dedup table): restoring reverts
+    both the unique reports and the per-key hit counts. *)
+type sink_state
+
+val save_sink : sink -> sink_state
+val restore_sink : sink -> sink_state -> unit

@@ -324,6 +324,61 @@ let attach ~spec ~mode ?image ?(sink = Report.create_sink ())
       machine.mailbox.on_ready <- on_ready t);
   t
 
+(* --- Snapshot support --------------------------------------------------------- *)
+
+type state = {
+  r_shadow : Shadow.state;
+  r_kasan : Kasan.state option;
+  r_kcsan : Kcsan.state option;
+  r_kmemleak : Kmemleak.state option;
+  r_sink : Report.sink_state;
+  r_ready : bool;
+  r_pending_allocs : (int * int * int) list;
+  r_mem_events : int;
+  r_callouts : int;
+  r_intercepted_calls : int;
+}
+
+(** Snapshot the runtime's host-side sanitizer state: shadow planes, KASAN
+    allocation table and quarantine, KCSAN watchpoint/sampling state, the
+    kmemleak live-block table and the report-dedup sink.  Probe wiring and
+    trap handlers are structural (installed once by {!attach}) and are not
+    part of the state. *)
+let save t =
+  {
+    r_shadow = Shadow.save t.shadow;
+    r_kasan = Option.map Kasan.save t.kasan;
+    r_kcsan = Option.map Kcsan.save t.kcsan;
+    r_kmemleak = Option.map Kmemleak.save t.kmemleak;
+    r_sink = Report.save_sink t.sink;
+    r_ready = t.ready;
+    r_pending_allocs = t.pending_allocs;
+    r_mem_events = t.mem_events;
+    r_callouts = t.callouts;
+    r_intercepted_calls = t.intercepted_calls;
+  }
+
+let restore t (s : state) =
+  Shadow.restore t.shadow s.r_shadow;
+  (match (t.kasan, s.r_kasan) with
+  | Some k, Some ks -> Kasan.restore k ks
+  | None, None -> ()
+  | _ -> invalid_arg "Runtime.restore: kasan presence mismatch");
+  (match (t.kcsan, s.r_kcsan) with
+  | Some k, Some ks -> Kcsan.restore k ks
+  | None, None -> ()
+  | _ -> invalid_arg "Runtime.restore: kcsan presence mismatch");
+  (match (t.kmemleak, s.r_kmemleak) with
+  | Some l, Some ls -> Kmemleak.restore l ls
+  | None, None -> ()
+  | _ -> invalid_arg "Runtime.restore: kmemleak presence mismatch");
+  Report.restore_sink t.sink s.r_sink;
+  t.ready <- s.r_ready;
+  t.pending_allocs <- s.r_pending_allocs;
+  t.mem_events <- s.r_mem_events;
+  t.callouts <- s.r_callouts;
+  t.intercepted_calls <- s.r_intercepted_calls
+
 let reports t = Report.unique_reports t.sink
 
 (** Run the kmemleak scan now (typically after a test completes); returns

@@ -41,6 +41,16 @@ val attach :
   Embsan_emu.Machine.t ->
   t
 
+(** Snapshot of the runtime's host-side sanitizer state: shadow planes,
+    KASAN allocation table/quarantine, KCSAN watchpoint and sampling
+    state, kmemleak live-block table, the report-dedup sink, and the
+    D-mode allocator-interception stack.  Probe wiring and trap handlers
+    are structural (installed once by {!attach}) and not captured. *)
+type state
+
+val save : t -> state
+val restore : t -> state -> unit
+
 (** Unique reports collected so far. *)
 val reports : t -> Report.t list
 

@@ -119,6 +119,22 @@ let check t ~addr ~size =
     else Invalid (code_of_byte sh)
   end
 
+(* --- Snapshot support --------------------------------------------------------- *)
+
+type state = { s_kasan : Bytes.t; s_kcsan_epoch : Bytes.t }
+
+(** Deep copy of both shadow planes for the snapshot service. *)
+let save t =
+  { s_kasan = Bytes.copy t.kasan; s_kcsan_epoch = Bytes.copy t.kcsan_epoch }
+
+let restore t (s : state) =
+  if
+    Bytes.length s.s_kasan <> Bytes.length t.kasan
+    || Bytes.length s.s_kcsan_epoch <> Bytes.length t.kcsan_epoch
+  then invalid_arg "Shadow.restore: size mismatch";
+  Bytes.blit s.s_kasan 0 t.kasan 0 (Bytes.length t.kasan);
+  Bytes.blit s.s_kcsan_epoch 0 t.kcsan_epoch 0 (Bytes.length t.kcsan_epoch)
+
 (* --- KCSAN plane -------------------------------------------------------------- *)
 
 (** Per-granule monotonically wrapping access counter, used by the host

@@ -57,3 +57,10 @@ val check : t -> addr:int -> size:int -> verdict
 
 (** Bump and return the KCSAN sampling counter of [addr]'s granule. *)
 val kcsan_bump : t -> int -> int
+
+(** Snapshot of both shadow planes (deep copy); a saved [state] is immune
+    to later mutation of the live shadow and survives repeated restores. *)
+type state
+
+val save : t -> state
+val restore : t -> state -> unit

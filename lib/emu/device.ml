@@ -1,4 +1,11 @@
-(* Memory-mapped device interface. *)
+(* Memory-mapped device interface.
+
+   [save]/[restore] serialize the device's *guest-visible* state for the
+   snapshot service: [save] returns an opaque string, [restore] accepts a
+   string previously produced by the same device's [save] and reverts the
+   device to that state.  Host-side wiring (callbacks such as the
+   mailbox's [on_ready]) is not state and must survive a restore
+   untouched.  Stateless devices use {!stateless}. *)
 
 type t = {
   name : string;
@@ -6,6 +13,11 @@ type t = {
   size : int;
   read : offset:int -> width:int -> int;
   write : offset:int -> width:int -> value:int -> unit;
+  save : unit -> string;
+  restore : string -> unit;
 }
+
+(** [save]/[restore] pair for devices with no guest-visible state. *)
+let stateless = ((fun () -> ""), fun (_ : string) -> ())
 
 let covers t addr = addr >= t.base && addr < t.base + t.size

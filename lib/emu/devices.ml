@@ -7,7 +7,14 @@
      0xF000_0100  POWER       (write -> Halted with the written code)
      0xF000_0200  MAILBOX     (executor/syscall interface + ready doorbell)
      0xF000_0300  TIMER       (read -> low 32 bits of retired instructions)
-     0xF000_0400  RNG         (deterministic xorshift32) *)
+     0xF000_0400  RNG         (deterministic xorshift32)
+
+   Each stateful device implements the {!Device.t} [save]/[restore] hooks
+   for the snapshot service.  Saved state is the *guest-visible* state
+   only: host-side wiring (mailbox [on_ready]/[on_complete]) survives a
+   restore untouched.  Plain-data state is serialized with [Marshal];
+   restore rebuilds mutable containers in place so aliases held by the
+   machine stay valid. *)
 
 let uart_base = 0xF000_0000
 let power_base = 0xF000_0100
@@ -25,7 +32,21 @@ let uart () =
   let write ~offset ~width:_ ~value =
     if offset = 0 then Buffer.add_char state.out (Char.chr (value land 0xFF))
   in
-  (state, { Device.name = "uart"; base = uart_base; size = 0x100; read; write })
+  let save () = Buffer.contents state.out in
+  let restore s =
+    Buffer.clear state.out;
+    Buffer.add_string state.out s
+  in
+  ( state,
+    {
+      Device.name = "uart";
+      base = uart_base;
+      size = 0x100;
+      read;
+      write;
+      save;
+      restore;
+    } )
 
 let uart_output u = Buffer.contents u.out
 let uart_clear u = Buffer.clear u.out
@@ -37,7 +58,9 @@ let power () =
   let write ~offset ~width:_ ~value =
     if offset = 0 then raise (Fault.Halted value)
   in
-  { Device.name = "power"; base = power_base; size = 0x100; read; write }
+  let save, restore = Device.stateless in
+  { Device.name = "power"; base = power_base; size = 0x100; read; write;
+    save; restore }
 
 (* --- Mailbox (executor/syscall interface) -------------------------------- *)
 
@@ -61,6 +84,17 @@ type mailbox = {
   mutable ready : bool;
   mutable on_ready : unit -> unit;
   mutable on_complete : completion -> unit;
+}
+
+(* Guest-visible mailbox state as a plain-data Marshal payload.  Requests
+   are flattened to (nr, args) pairs so the payload contains no mutable
+   structure shared with the live device. *)
+type mailbox_state = {
+  s_queue : (int * int array) list; (* front first *)
+  s_current : (int * int array) option;
+  s_last_ret : int;
+  s_completions : completion list;
+  s_ready : bool;
 }
 
 let mailbox () =
@@ -106,8 +140,33 @@ let mailbox () =
           state.on_ready ())
     | _ -> ()
   in
+  let flatten (r : request) = (r.nr, Array.copy r.args) in
+  let unflatten (nr, args) = { nr; args = Array.copy args } in
+  let save () =
+    let s =
+      {
+        s_queue = Queue.fold (fun acc r -> flatten r :: acc) [] state.queue
+                  |> List.rev;
+        s_current = Option.map flatten state.current;
+        s_last_ret = state.last_ret;
+        s_completions = state.completions;
+        s_ready = state.ready;
+      }
+    in
+    Marshal.to_string s []
+  in
+  let restore blob =
+    let s : mailbox_state = Marshal.from_string blob 0 in
+    Queue.clear state.queue;
+    List.iter (fun r -> Queue.push (unflatten r) state.queue) s.s_queue;
+    state.current <- Option.map unflatten s.s_current;
+    state.last_ret <- s.s_last_ret;
+    state.completions <- s.s_completions;
+    state.ready <- s.s_ready
+  in
   ( state,
-    { Device.name = "mailbox"; base = mailbox_base; size = 0x100; read; write }
+    { Device.name = "mailbox"; base = mailbox_base; size = 0x100; read; write;
+      save; restore }
   )
 
 let mailbox_push m ~nr ~args =
@@ -122,10 +181,14 @@ let mailbox_clear_completions m = m.completions <- []
 
 (* --- Timer ---------------------------------------------------------------- *)
 
+(* The timer reads the machine's retired-instruction counter, which the
+   snapshot service restores separately; the device itself is stateless. *)
 let timer ~now =
   let read ~offset ~width:_ = if offset = 0 then now () land 0xFFFF_FFFF else 0 in
   let write ~offset:_ ~width:_ ~value:_ = () in
-  { Device.name = "timer"; base = timer_base; size = 0x100; read; write }
+  let save, restore = Device.stateless in
+  { Device.name = "timer"; base = timer_base; size = 0x100; read; write;
+    save; restore }
 
 (* --- Deterministic RNG ----------------------------------------------------- *)
 
@@ -141,4 +204,7 @@ let rng ~seed =
   in
   let read ~offset ~width:_ = if offset = 0 then next () else 0 in
   let write ~offset:_ ~width:_ ~value:_ = () in
-  { Device.name = "rng"; base = rng_base; size = 0x100; read; write }
+  let save () = string_of_int !state in
+  let restore s = state := int_of_string s in
+  { Device.name = "rng"; base = rng_base; size = 0x100; read; write;
+    save; restore }

@@ -145,6 +145,15 @@ let set_engine t engine =
     flush_tcg t
   end
 
+(* Dirty-page tracking is baked into the translated store templates, so
+   toggling it invalidates the translation cache, exactly like a probe
+   change.  Enabling is idempotent and cheap when already on. *)
+let set_dirty_tracking t on =
+  if Ram.track_dirty t.ram <> on then begin
+    Ram.set_track_dirty t.ram on;
+    flush_tcg t
+  end
+
 let set_trap_handler t num handler = Hashtbl.replace t.trap_handlers num handler
 
 let remove_trap_handler t num = Hashtbl.remove t.trap_handlers num
@@ -336,6 +345,19 @@ let translate_fast t base =
   let bytes = ram.Ram.bytes in
   let rbase = ram.Ram.base in
   let rlim = rbase + Bytes.length bytes in
+  (* Dirty-page tracking is specialized in at translation time like the
+     probes: [track] is captured here, so toggling it must flush the
+     translation cache ({!set_dirty_tracking}).  The tracked store path
+     adds one unconditional byte write per store (two when the access
+     straddles a page boundary) and no allocation. *)
+  let track = ram.Ram.track_dirty in
+  let dirtyb = ram.Ram.dirty in
+  let pshift = Ram.page_shift in
+  let mark off n =
+    Bytes.unsafe_set dirtyb (off lsr pshift) '\xFF';
+    let last = (off + n - 1) lsr pshift in
+    if last <> off lsr pshift then Bytes.unsafe_set dirtyb last '\xFF'
+  in
   let ri = Reg.to_int in
   let sgn v = if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v in
   let insns, end_pc = collect_block t base in
@@ -490,9 +512,12 @@ let translate_fast t base =
               fun cpu ->
                 let r = cpu.Cpu.regs in
                 let addr = (Array.unsafe_get r a + imm) land 0xFFFF_FFFF in
-                if addr >= rbase && addr + 4 <= rlim then
-                  Bytes.set_int32_le bytes (addr - rbase)
-                    (Int32.of_int (Array.unsafe_get r v))
+                if addr >= rbase && addr + 4 <= rlim then begin
+                  let off = addr - rbase in
+                  Bytes.set_int32_le bytes off
+                    (Int32.of_int (Array.unsafe_get r v));
+                  if track then mark off 4
+                end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over
                     (Array.unsafe_get r v)
@@ -500,9 +525,12 @@ let translate_fast t base =
               fun cpu ->
                 let r = cpu.Cpu.regs in
                 let addr = (Array.unsafe_get r a + imm) land 0xFFFF_FFFF in
-                if addr >= rbase && addr + 2 <= rlim then
-                  Bytes.set_uint16_le bytes (addr - rbase)
-                    (Array.unsafe_get r v land 0xFFFF)
+                if addr >= rbase && addr + 2 <= rlim then begin
+                  let off = addr - rbase in
+                  Bytes.set_uint16_le bytes off
+                    (Array.unsafe_get r v land 0xFFFF);
+                  if track then mark off 2
+                end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:2 ~over
                     (Array.unsafe_get r v)
@@ -510,9 +538,13 @@ let translate_fast t base =
               fun cpu ->
                 let r = cpu.Cpu.regs in
                 let addr = (Array.unsafe_get r a + imm) land 0xFFFF_FFFF in
-                if addr >= rbase && addr + 1 <= rlim then
-                  Bytes.unsafe_set bytes (addr - rbase)
-                    (Char.unsafe_chr (Array.unsafe_get r v land 0xFF))
+                if addr >= rbase && addr + 1 <= rlim then begin
+                  let off = addr - rbase in
+                  Bytes.unsafe_set bytes off
+                    (Char.unsafe_chr (Array.unsafe_get r v land 0xFF));
+                  if track then
+                    Bytes.unsafe_set dirtyb (off lsr pshift) '\xFF'
+                end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:1 ~over
                     (Array.unsafe_get r v)
@@ -559,6 +591,7 @@ let translate_fast t base =
                 else Array.unsafe_get r v
               in
               Bytes.set_int32_le bytes off (Int32.of_int next);
+              if track then mark off 4;
               if d <> 0 then Array.unsafe_set r d old
             end
             else begin

@@ -72,6 +72,13 @@ val flush_tcg : t -> unit
     actually changes (blocks of the two engines are not interchangeable). *)
 val set_engine : t -> engine -> unit
 
+(** Toggle dirty-page tracking in RAM (see {!Ram}).  The marking is
+    specialized into the translated store templates, so an actual toggle
+    flushes the translation cache; enabling when already on is free.
+    Consumers (snapshot service, incremental digests) own one dirty-bitmap
+    channel each and clear only their own bits. *)
+val set_dirty_tracking : t -> bool -> unit
+
 val set_trap_handler : t -> int -> handler -> unit
 val remove_trap_handler : t -> int -> unit
 

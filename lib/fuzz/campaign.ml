@@ -15,6 +15,7 @@ module Report = Embsan_core.Report
 module Coverage = Embsan_emu.Coverage
 module Machine = Embsan_emu.Machine
 module Image = Embsan_isa.Image
+module Snap = Embsan_snap.Snap
 
 type config = {
   fw : Firmware_db.firmware;
@@ -22,6 +23,7 @@ type config = {
   max_execs : int;
   seed : int;
   stop_when_all_found : bool;
+  use_snapshots : bool;
 }
 
 let default_config fw =
@@ -31,6 +33,7 @@ let default_config fw =
     max_execs = 3000;
     seed = 1;
     stop_when_all_found = true;
+    use_snapshots = true;
   }
 
 type found = {
@@ -84,23 +87,29 @@ let boot_with_coverage cfg cov =
    else Coverage.attach_tcg cov inst.machine);
   inst
 
-(* Confirm a finding by replay on a fresh instance.  Bugs with
+(* Confirm a finding by replay from pristine post-boot state.  Bugs with
    cross-program state dependencies are retried with the recent program
    history prepended (then greedily shrunk), yielding a reproducer in the
-   "deduplicated and reproducible" sense of S4.2. *)
-let try_repro cfg bug calls =
+   "deduplicated and reproducible" sense of S4.2.
+
+   With snapshots, confirmations share one dedicated instance: a lazy boot
+   captures a post-boot checkpoint, and each attempt restores it instead
+   of rebooting — the restore-transparency oracle (lib/check) is what
+   justifies treating the two as equivalent.  Without snapshots each
+   attempt boots fresh, as before. *)
+let reboot_repro cfg bug calls =
   match
     Replay.run_reproducer cfg.fw (Replay.Embsan_cfg cfg.sanitizers) calls
   with
   | outcome -> Replay.detects bug outcome
   | exception Replay.Boot_failed _ -> false
 
-let confirm cfg (bug : Defs.bug) ~history prog =
+let confirm ~try_repro (bug : Defs.bug) ~history prog =
   let calls = Prog.to_reproducer prog in
-  if try_repro cfg bug calls then Some prog
+  if try_repro bug calls then Some prog
   else begin
     let full = List.concat_map Prog.to_reproducer history @ calls in
-    if not (try_repro cfg bug full) then None
+    if not (try_repro bug full) then None
     else begin
       (* greedy shrink: drop leading history programs while it reproduces *)
       let rec shrink hist =
@@ -108,7 +117,7 @@ let confirm cfg (bug : Defs.bug) ~history prog =
         | [] -> hist
         | _ :: rest ->
             let candidate = List.concat_map Prog.to_reproducer rest @ calls in
-            if try_repro cfg bug candidate then shrink rest else hist
+            if try_repro bug candidate then shrink rest else hist
       in
       let kept = shrink history in
       Some (List.concat kept @ prog)
@@ -121,6 +130,16 @@ let run (cfg : config) : result =
   let cov = Coverage.create ~harts:2 in
   let symbolize = truth_symbolize cfg.fw in
   let inst = ref (boot_with_coverage cfg cov) in
+  (* Persistent-mode checkpoint: capture once post-boot and revert to it on
+     crash recovery instead of rebooting.  Coverage is fuzzer-owned host
+     state, attached via probes — it survives restores by design (pinned by
+     a regression test in test/test_fuzz.ml). *)
+  let snap =
+    if cfg.use_snapshots then
+      Some (Snap.capture ?runtime:!inst.rt !inst.machine)
+    else None
+  in
+  let insns_base = ref 0 in (* total_insns already credited to [insns] *)
   let history = ref [] in (* recent programs, newest first *)
   let found : (string, found) Hashtbl.t = Hashtbl.create 16 in
   let unmatched = ref [] in
@@ -128,12 +147,39 @@ let run (cfg : config) : result =
   let execs = ref 0 in
   let insns = ref 0 in
   let seen_reports = ref 0 in
+  (* Confirmation replays: with snapshots, one lazily-booted instance is
+     restored per attempt; otherwise each attempt boots fresh. *)
+  let repro_state = ref None in
+  let try_repro =
+    if not cfg.use_snapshots then reboot_repro cfg
+    else fun bug calls ->
+      match
+        (match !repro_state with
+        | Some is -> is
+        | None ->
+            let i =
+              Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers)
+            in
+            let s = Snap.capture ?runtime:i.Replay.rt i.Replay.machine in
+            repro_state := Some (i, s);
+            (i, s))
+      with
+      | exception Replay.Boot_failed _ -> false
+      | i, s ->
+          ignore (Snap.restore s : int);
+          let before = List.length (Report.unique_reports i.Replay.sink) in
+          let o = Replay.replay i calls in
+          let fresh =
+            List.filteri (fun k _ -> k >= before) o.Replay.o_reports
+          in
+          Replay.detects bug { o with Replay.o_reports = fresh }
+  in
   let total_bugs = List.length cfg.fw.fw_bugs in
   let all_found () = Hashtbl.length found >= total_bugs in
   let note_bug bug prog =
     if not (Hashtbl.mem found bug.Defs.b_id) then begin
       let entry =
-        match confirm cfg bug ~history:(List.rev !history) prog with
+        match confirm ~try_repro bug ~history:(List.rev !history) prog with
         | Some repro ->
             { f_bug = bug; f_exec = !execs; f_prog = repro; f_confirmed = true }
         | None ->
@@ -169,20 +215,30 @@ let run (cfg : config) : result =
           | None -> unmatched := Report.title r :: !unmatched)
         fresh
     end;
-    (* architectural crash: triage, then reboot a fresh instance *)
+    (* architectural crash: triage, then recover — restore the post-boot
+       checkpoint when snapshotting, reboot a fresh instance otherwise *)
     (match outcome.o_crash with
     | Some stop ->
         incr crashes;
         (match match_crash cfg.fw stop with
         | Some bug -> note_bug bug prog
         | None -> ());
-        insns := !insns + !inst.machine.total_insns;
-        inst := boot_with_coverage cfg cov;
-        history := [];
-        seen_reports := 0
+        (match snap with
+        | Some s ->
+            insns := !insns + (!inst.machine.total_insns - !insns_base);
+            ignore (Snap.restore s : int);
+            (* total_insns reverts to its captured value; the sink reverts
+               to its post-boot contents, so re-baseline both *)
+            insns_base := !inst.machine.total_insns;
+            seen_reports := List.length (Report.unique_reports !inst.sink)
+        | None ->
+            insns := !insns + !inst.machine.total_insns;
+            inst := boot_with_coverage cfg cov;
+            seen_reports := 0);
+        history := []
     | None -> ())
   done;
-  insns := !insns + !inst.machine.total_insns;
+  insns := !insns + (!inst.machine.total_insns - !insns_base);
   {
     r_fw = cfg.fw;
     r_found = Hashtbl.fold (fun _ f acc -> f :: acc) found [];
@@ -199,9 +255,22 @@ let run (cfg : config) : result =
    that trigger sanitizer reports or crashes are excluded so the workload
    measures steady-state behavior rather than post-corruption allocator
    pathologies. *)
-let clean_corpus (fw : Firmware_db.firmware) (progs : Prog.t list) =
+let clean_corpus ?(use_snapshots = true) (fw : Firmware_db.firmware)
+    (progs : Prog.t list) =
+  (* each fixpoint pass must start from pristine post-boot state: restore
+     the shared checkpoint when snapshotting, boot fresh otherwise *)
+  let fresh_instance =
+    if use_snapshots then begin
+      let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+      let snap = Snap.capture ?runtime:inst.Replay.rt inst.Replay.machine in
+      fun () ->
+        ignore (Snap.restore snap : int);
+        inst
+    end
+    else fun () -> Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers)
+  in
   let filter_pass progs =
-    let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+    let inst = fresh_instance () in
     List.filter
       (fun p ->
         let before = Report.total_hits inst.sink in

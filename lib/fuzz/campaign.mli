@@ -12,6 +12,11 @@ type config = {
   max_execs : int;
   seed : int;
   stop_when_all_found : bool;
+  use_snapshots : bool;
+      (** recover from crashes (and run confirmation replays / corpus
+          cleaning) by restoring a post-boot checkpoint instead of
+          rebooting; on by default — the restore-transparency oracle in
+          [lib/check] pins the equivalence *)
 }
 
 val default_config : Firmware_db.firmware -> config
@@ -41,6 +46,7 @@ val run : config -> result
 (** Filter the corpus to programs that neither report nor crash, iterated
     to a fixpoint (dropping a program changes allocator state for the
     survivors).  The Figure-2 replay workload. *)
-val clean_corpus : Firmware_db.firmware -> Prog.t list -> Prog.t list
+val clean_corpus :
+  ?use_snapshots:bool -> Firmware_db.firmware -> Prog.t list -> Prog.t list
 
 val pp_result : Format.formatter -> result -> unit

@@ -44,11 +44,14 @@ let config_name = function
   | Native_kasan -> "native KASAN"
   | Native_kcsan -> "native KCSAN"
 
-(* A booted instance ready to serve syscalls. *)
+(* A booted instance ready to serve syscalls.  [rt] is the attached EmbSan
+   runtime when one exists (EmbSan configs), so the snapshot service can
+   checkpoint its host-side sanitizer state alongside the machine. *)
 type instance = {
   machine : Machine.t;
   sink : Report.sink;
   fw : Firmware_db.firmware;
+  rt : Runtime.t option;
 }
 
 exception Boot_failed of string
@@ -104,9 +107,9 @@ let boot ?(harts = 2) ?(kcov = false) (fw : Firmware_db.firmware) (config : conf
       in
       let session = session_for ~kcov ?forced_mode fw sanitizers in
       let machine = Embsan.make_machine ~harts session in
-      let _rt = Embsan.attach ~sink session machine in
+      let rt = Embsan.attach ~sink session machine in
       run_to_ready machine;
-      { machine; sink; fw }
+      { machine; sink; fw; rt = Some rt }
   | No_sanitizer | Native_kasan | Native_kcsan ->
       let image = fw.fw_build ~kcov (native_mode config) in
       let machine = Machine.create ~harts ~arch:image.Embsan_isa.Image.arch () in
@@ -131,7 +134,7 @@ let boot ?(harts = 2) ?(kcov = false) (fw : Firmware_db.firmware) (config : conf
         (fun n -> Machine.set_trap_handler machine n (fun _ _ -> ()))
         [ 16; 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ];
       run_to_ready machine;
-      { machine; sink; fw })
+      { machine; sink; fw; rt = None })
 
 (** Execute one syscall; returns [Some stop] if the machine crashed. *)
 let syscall inst ~nr ~args =

@@ -27,6 +27,9 @@ type instance = {
   machine : Embsan_emu.Machine.t;
   sink : Report.sink;
   fw : Firmware_db.firmware;
+  rt : Embsan_core.Runtime.t option;
+      (** the attached EmbSan runtime (EmbSan configs only), exposed so the
+          snapshot service can checkpoint its host-side state *)
 }
 
 exception Boot_failed of string

@@ -17,6 +17,7 @@ let pppoed : module_def =
     m_source =
       {|
 var pppoed_sessions = 0;
+var pppoed_session = 0;
 
 // BUG (pppoed, OOB write): the PADR tag walker copies a tag value with
 // the on-wire tag length into the 16-byte host-uniq field.
@@ -33,12 +34,31 @@ fun pppoed_input(tag_len, seed) {
   pppoed_sessions = pppoed_sessions + 1;
   var v = load32(pkt);
   memPartFree(pkt);
+  if (pppoed_session == 0) {
+    pppoed_session = memPartAlloc(16);        // discovery done: open session
+    if (pppoed_session != 0) { store32(pppoed_session + 4, pppoed_sessions); }
+  }
   return v & 0x7FFFFFFF;
+}
+
+// PADT teardown trusts the session pointer: a disconnect arriving before
+// discovery completes dereferences null and faults the board.  The real
+// router hits the same watchdog-reboot path; the fuzzer recovers via its
+// post-boot checkpoint.  Not a registry bug: the sanitizer never sees it
+// (Tables 3/4 count sanitizer-class bugs only) - it is the campaign's
+// architectural-crash workload.
+fun pppoed_disconnect() {
+  var s = pppoed_session;
+  var sid = load32(s + 4);                    // null deref when no session
+  pppoed_session = 0;
+  memPartFree(s);
+  return sid;
 }
 
 fun sys_pppoed(a, b, c) {
   if (a == 0) { return pppoed_sessions; }
   if (a == 1) { return pppoed_input(b, c); }
+  if (a == 2) { return pppoed_disconnect(); }
   return 0 - 22;
 }
 
@@ -50,7 +70,7 @@ fun vx_pppoed_init() {
     m_init = Some "vx_pppoed_init";
     m_syscalls =
       [
-        { sc_nr = 20; sc_name = "pppoed"; sc_args = [ Flag [ 0; 1 ]; Len; Any32 ] };
+        { sc_nr = 20; sc_name = "pppoed"; sc_args = [ Flag [ 0; 1; 2 ]; Len; Any32 ] };
       ];
     m_bugs =
       [

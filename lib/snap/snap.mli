@@ -1,0 +1,28 @@
+(** Machine checkpoint/restore service for persistent-mode fuzzing (see
+    DESIGN.md "Snapshot service").
+
+    {!capture} checkpoints guest RAM, hart registers, device state and
+    (optionally) the host-side sanitizer runtime; {!restore} reverts in
+    O(pages written since capture) using {!Embsan_emu.Ram} dirty-page
+    tracking.  Single-active-snapshot discipline: only the most recent
+    capture of a machine restores through the dirty-page fast path; older
+    snapshots need [restore ~full:true].  Host-side wiring — probe
+    subscribers, trap handlers, device callbacks, the fuzzer's
+    {!Embsan_emu.Coverage} state — is deliberately not captured and
+    survives a restore. *)
+
+type t
+
+(** Checkpoint the machine (and the runtime's sanitizer state, when
+    given).  Enables dirty-page tracking; the first capture on a machine
+    flushes the translation cache to specialize store-template marking. *)
+val capture : ?runtime:Embsan_core.Runtime.t -> Embsan_emu.Machine.t -> t
+
+(** Pages written since the last capture — the volume the next {!restore}
+    will move. *)
+val dirty_pages : Embsan_emu.Machine.t -> int
+
+(** Revert machine (and captured runtime) to the snapshot; returns pages
+    reverted.  Flushes the translation cache.  [~full:true] forces a
+    whole-RAM revert (required for non-latest snapshots). *)
+val restore : ?full:bool -> t -> int

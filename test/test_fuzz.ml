@@ -132,6 +132,33 @@ let tardis_mode_needs_no_guest_support () =
   Alcotest.(check bool) "coverage collected" true (r.r_coverage > 10);
   Alcotest.(check bool) "found something" true (r.r_found <> [])
 
+(* Coverage is fuzzer-owned host state, attached via probes: Snap.restore
+   must revert the guest without touching it.  This is the semantics the
+   campaign's persistent mode depends on (a restore after every crash must
+   not wipe the corpus signal) -- see DESIGN.md "Snapshot service". *)
+let coverage_survives_restore () =
+  let fw = small_fw () in
+  let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.kasan_only) in
+  let cov = Embsan_emu.Coverage.create ~harts:2 in
+  Embsan_emu.Coverage.attach_tcg cov inst.Replay.machine;
+  let snap =
+    Embsan_snap.Snap.capture ?runtime:inst.Replay.rt inst.Replay.machine
+  in
+  let benign =
+    List.concat_map (fun (b : Defs.bug) -> b.b_benign) fw.fw_bugs
+  in
+  ignore (Replay.replay inst benign);
+  let edges = Embsan_emu.Coverage.edge_count cov in
+  Alcotest.(check bool) "edges collected" true (edges > 0);
+  ignore (Embsan_snap.Snap.restore snap : int);
+  Alcotest.(check int) "coverage survives the restore" edges
+    (Embsan_emu.Coverage.edge_count cov);
+  (* the restored guest still executes and reports coverage *)
+  Embsan_emu.Coverage.reset_edges cov;
+  ignore (Replay.replay inst benign);
+  Alcotest.(check bool) "coverage flows after restore" true
+    (Embsan_emu.Coverage.edge_count cov > 0)
+
 let clean_corpus_filters_triggers () =
   let fw = small_fw () in
   let cfg =
@@ -173,6 +200,8 @@ let () =
           Alcotest.test_case "seed variation" `Slow campaign_seed_variation;
           Alcotest.test_case "Tardis mode on closed firmware" `Slow
             tardis_mode_needs_no_guest_support;
+          Alcotest.test_case "coverage survives restore" `Quick
+            coverage_survives_restore;
           Alcotest.test_case "clean corpus" `Slow clean_corpus_filters_triggers;
         ] );
     ]

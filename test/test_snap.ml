@@ -1,0 +1,206 @@
+(* Tests for the snapshot service (lib/snap): per-device save/restore
+   round-trips, capture/restore identity on architectural state
+   (property-based), O(touched) restore cost, and end-to-end restore of
+   the host-side sanitizer runtime. *)
+
+open Embsan_emu
+module Snap = Embsan_snap.Snap
+module Snapshot = Embsan_check.Snapshot
+module Report = Embsan_core.Report
+module Embsan = Embsan_core.Embsan
+module Replay = Embsan_guest.Replay
+module Firmware_db = Embsan_guest.Firmware_db
+
+(* --- per-device round-trips ------------------------------------------------ *)
+
+let dev_write (d : Device.t) ~offset ~value = d.write ~offset ~width:4 ~value
+let dev_read (d : Device.t) ~offset = d.read ~offset ~width:4
+
+let uart_roundtrip () =
+  let state, dev = Devices.uart () in
+  String.iter
+    (fun c -> dev_write dev ~offset:0 ~value:(Char.code c))
+    "checkpoint";
+  let saved = dev.save () in
+  String.iter (fun c -> dev_write dev ~offset:0 ~value:(Char.code c)) "-junk";
+  Alcotest.(check string) "mutated" "checkpoint-junk" (Devices.uart_output state);
+  dev.restore saved;
+  Alcotest.(check string) "reverted" "checkpoint" (Devices.uart_output state)
+
+let rng_roundtrip () =
+  let dev = Devices.rng ~seed:42 in
+  for _ = 1 to 5 do
+    ignore (dev_read dev ~offset:0)
+  done;
+  let saved = dev.save () in
+  let run () = List.init 8 (fun _ -> dev_read dev ~offset:0) in
+  let first = run () in
+  dev.restore saved;
+  Alcotest.(check (list int)) "stream replays" first (run ())
+
+let mailbox_roundtrip () =
+  let state, dev = Devices.mailbox () in
+  Devices.mailbox_push state ~nr:7 ~args:[| 1; 2; 3 |];
+  Devices.mailbox_push state ~nr:9 ~args:[| 4; 5; 6 |];
+  dev_write dev ~offset:0x28 ~value:1 (* ready doorbell *);
+  (* serve the first request: read NR (pops), write RET, complete *)
+  Alcotest.(check int) "nr" 7 (dev_read dev ~offset:0x04);
+  dev_write dev ~offset:0x20 ~value:123;
+  dev_write dev ~offset:0x24 ~value:1;
+  let saved = dev.save () in
+  (* mutate past the checkpoint: serve the second request, push a third *)
+  Alcotest.(check int) "nr2" 9 (dev_read dev ~offset:0x04);
+  dev_write dev ~offset:0x20 ~value:456;
+  dev_write dev ~offset:0x24 ~value:1;
+  Devices.mailbox_push state ~nr:11 ~args:[| 0; 0; 0 |];
+  Alcotest.(check int) "two completions" 2
+    (List.length (Devices.mailbox_completions state));
+  (* host wiring installed before restore must survive it *)
+  let completions_seen = ref 0 in
+  state.on_complete <- (fun _ -> incr completions_seen);
+  dev.restore saved;
+  Alcotest.(check bool) "ready survives" true (Devices.mailbox_ready state);
+  (match Devices.mailbox_completions state with
+  | [ { c_nr; ret } ] ->
+      Alcotest.(check int) "completion nr" 7 c_nr;
+      Alcotest.(check int) "completion ret" 123 ret
+  | l -> Alcotest.failf "expected 1 completion, got %d" (List.length l));
+  (* the queued request is back and flows through the restored device *)
+  Alcotest.(check int) "queued nr back" 9 (dev_read dev ~offset:0x04);
+  Alcotest.(check int) "arg back" 5 (dev_read dev ~offset:0x0C);
+  dev_write dev ~offset:0x20 ~value:99;
+  dev_write dev ~offset:0x24 ~value:1;
+  Alcotest.(check int) "wiring survives restore" 1 !completions_seen;
+  Alcotest.(check bool) "idle after draining" true (Devices.mailbox_idle state)
+
+(* --- capture/restore identity ---------------------------------------------- *)
+
+let ram_base = 0x1_0000
+let ram_size = 256 * 1024 (* 64 pages *)
+
+let make_machine () =
+  Machine.create ~harts:2 ~ram_base ~ram_size ~arch:Embsan_isa.Arch.Arm_ev ()
+
+(* Apply a deterministic batch of state mutations derived from [writes]:
+   RAM stores (width-aligned), register writes and pc bumps. *)
+let mutate m writes =
+  List.iter
+    (fun (off, width, value) ->
+      let off = off mod (ram_size - 4) in
+      let off = off - (off mod width) in
+      Machine.write_mem m ~addr:(ram_base + off) ~width ~value;
+      let h = m.Machine.harts.(off mod Array.length m.Machine.harts) in
+      h.Cpu.regs.(1 + (value mod (Embsan_isa.Reg.count - 1))) <-
+        value land 0xFFFF_FFFF;
+      h.Cpu.pc <- ram_base + (value land 0xFFC))
+    writes
+
+let restore_identity =
+  QCheck2.Test.make ~name:"restore is identity on architectural state"
+    ~count:50
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 60)
+           (triple (int_range 0 (ram_size - 1)) (oneofl [ 1; 2; 4 ])
+              (int_range 0 0xFFFF_FFFF)))
+        (list_size (int_range 0 60)
+           (triple (int_range 0 (ram_size - 1)) (oneofl [ 1; 2; 4 ])
+              (int_range 0 0xFFFF_FFFF))))
+    (fun (pre, post) ->
+      let m = make_machine () in
+      mutate m pre;
+      let snap = Snap.capture m in
+      let reference = Snapshot.capture m in
+      mutate m post;
+      let reverted = Snap.restore snap in
+      let after = Snapshot.capture m in
+      (* O(touched): never more pages than distinct page-touching writes *)
+      reverted <= List.length post
+      && Snapshot.diff reference after = []
+      (* a second restore has nothing left to revert *)
+      && Snap.restore snap = 0
+      && Snapshot.diff reference (Snapshot.capture m) = [])
+
+let restore_cost_is_o_touched () =
+  let m = make_machine () in
+  let snap = Snap.capture m in
+  List.iter
+    (fun touched ->
+      for p = 0 to touched - 1 do
+        Machine.write_mem m
+          ~addr:(ram_base + (p * Ram.page_size))
+          ~width:4 ~value:0xDEAD
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "%d pages tracked" touched)
+        touched (Snap.dirty_pages m);
+      Alcotest.(check int)
+        (Printf.sprintf "%d pages reverted" touched)
+        touched (Snap.restore snap))
+    [ 1; 7; 33; 64 ]
+
+let full_restore_for_stale_snapshot () =
+  let m = make_machine () in
+  let older = Snap.capture m in
+  Machine.write_mem m ~addr:ram_base ~width:4 ~value:1;
+  let newer = Snap.capture m in
+  (* capturing [newer] cleared the snap channel: [older] must be restored
+     with ~full, and doing so reverts every page *)
+  Machine.write_mem m ~addr:ram_base ~width:4 ~value:2;
+  Alcotest.(check int) "full revert moves all pages"
+    (ram_size / Ram.page_size)
+    (Snap.restore ~full:true older);
+  Alcotest.(check int) "word back" 0
+    (Machine.read_mem m ~addr:ram_base ~width:4);
+  Alcotest.(check int) "newer still usable via full" (ram_size / Ram.page_size)
+    (Snap.restore ~full:true newer);
+  Alcotest.(check int) "newer word" 1 (Machine.read_mem m ~addr:ram_base ~width:4)
+
+(* --- sanitizer runtime state ------------------------------------------------ *)
+
+(* End to end on a real firmware: trigger a KASAN bug, restore, and check
+   that the report sink (and its dedup table) reverted -- re-triggering
+   after the restore must produce the report again, not hit the dedup. *)
+let runtime_state_restores () =
+  let fw = Option.get (Firmware_db.find "OpenHarmony-stm32f407") in
+  let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.all_sanitizers) in
+  let snap =
+    Snap.capture ?runtime:inst.Replay.rt inst.Replay.machine
+  in
+  let bug = List.hd fw.fw_bugs in
+  let report_titles () =
+    List.map Report.title (Report.unique_reports inst.Replay.sink)
+  in
+  Alcotest.(check (list string)) "clean after boot" [] (report_titles ());
+  ignore (Replay.replay inst bug.b_syscalls);
+  let first = report_titles () in
+  Alcotest.(check bool) "trigger reports" true (first <> []);
+  ignore (Snap.restore snap : int);
+  Alcotest.(check (list string)) "sink reverted" [] (report_titles ());
+  ignore (Replay.replay inst bug.b_syscalls);
+  Alcotest.(check (list string)) "re-trigger reports again" first
+    (report_titles ())
+
+let () =
+  Alcotest.run "embsan_snap"
+    [
+      ( "devices",
+        [
+          Alcotest.test_case "uart round-trip" `Quick uart_roundtrip;
+          Alcotest.test_case "rng round-trip" `Quick rng_roundtrip;
+          Alcotest.test_case "mailbox round-trip" `Quick mailbox_roundtrip;
+        ] );
+      ( "snapshot",
+        [
+          QCheck_alcotest.to_alcotest restore_identity;
+          Alcotest.test_case "restore cost is O(touched)" `Quick
+            restore_cost_is_o_touched;
+          Alcotest.test_case "stale snapshot needs ~full" `Quick
+            full_restore_for_stale_snapshot;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "sanitizer state restores" `Quick
+            runtime_state_restores;
+        ] );
+    ]
