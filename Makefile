@@ -1,4 +1,4 @@
-.PHONY: all build test bench-smoke check check-diff check-snap clean
+.PHONY: all build test bench-smoke check check-diff check-snap check-modes clean
 
 all: build
 
@@ -29,7 +29,15 @@ check-snap: build
 	./_build/default/bin/embsan_cli.exe check --oracle restore-transparency \
 	  --seed 1 --execs 250
 
-check: build test bench-smoke check-diff check-snap
+# Mode-agreement oracle on a bounded seeded campaign: the same firmware
+# and syscall sequence under EmbSan-C (compile-time callouts) and
+# EmbSan-D (translation-time probes) must yield the same unique report
+# set (250 programs x 3 arch flavors).
+check-modes: build
+	./_build/default/bin/embsan_cli.exe check --oracle mode-agreement \
+	  --seed 1 --execs 250
+
+check: build test bench-smoke check-diff check-snap check-modes
 
 clean:
 	dune clean

@@ -88,7 +88,8 @@ let print_table4 (rs : Campaign.result list) =
             | Null_deref -> "Null Deref"
             | Wild_access -> "Wild"
             | Data_race -> "Race"
-            | Memory_leak -> "Leak")
+            | Memory_leak -> "Leak"
+            | Unaligned_access -> "Unaligned")
             f.f_exec
             (if f.f_confirmed then "yes" else "no"))
         (List.sort

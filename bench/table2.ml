@@ -45,6 +45,7 @@ let kind_column (b : Defs.bug) =
   | Wild_access -> "Wild-access"
   | Data_race -> "Data-race"
   | Memory_leak -> "Memory-leak"
+  | Unaligned_access -> "Unaligned-access"
 
 let yn = function true -> "Yes" | false -> "No"
 

@@ -207,8 +207,8 @@ let check_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Run only this oracle (repeatable): fast-vs-baseline, \
-             probe-transparency, flush-anytime, chain-epoch-invalidation or \
-             restore-transparency.  Default: all.")
+             probe-transparency, flush-anytime, chain-epoch-invalidation, \
+             restore-transparency or mode-agreement.  Default: all.")
   in
   let run execs seed sync max_insns arch oracles =
     let archs =
@@ -246,7 +246,9 @@ let check_cmd =
        ~doc:
          "Differential-oracle check of the dual execution engines \
           (fast-vs-baseline, probe transparency, flush-anytime, chain-epoch \
-          invalidation, restore transparency); exits 1 on any divergence")
+          invalidation, restore transparency) and of the dual \
+          instrumentation backends (mode-agreement); exits 1 on any \
+          divergence")
     Term.(const run $ execs $ seed $ sync $ max_insns $ arch $ oracle)
 
 (* --- disasm ----------------------------------------------------------------- *)

@@ -27,19 +27,22 @@ let default_config =
     oracles = [];
   }
 
+(* The engine oracles plus the cross-backend mode-agreement check. *)
+let all_oracles = Oracle.all @ [ ("mode-agreement", Modes.oracle) ]
+
 (** The oracle list [config] selects; raises on an unknown name. *)
 let selected_oracles config =
   match config.oracles with
-  | [] -> Oracle.all
+  | [] -> all_oracles
   | names ->
       List.map
         (fun n ->
-          match List.assoc_opt n Oracle.all with
+          match List.assoc_opt n all_oracles with
           | Some o -> (n, o)
           | None ->
               invalid_arg
                 (Printf.sprintf "unknown oracle %S (known: %s)" n
-                   (String.concat ", " (List.map fst Oracle.all))))
+                   (String.concat ", " (List.map fst all_oracles))))
         names
 
 type summary = {

@@ -1,0 +1,10 @@
+(** Mode-agreement oracle: the same MiniC firmware driven through the
+    same syscall sequence under EmbSan-C (compile-time callouts) and
+    EmbSan-D (translation-time probes) must produce the same set of
+    unique sanitizer reports.  Differential check for the plugin event
+    pipeline — both backends feed the same compiled dispatch plans. *)
+
+val oracle :
+  cfg:Oracle.cfg ->
+  Progen.t ->
+  Oracle.divergence option * Embsan_emu.Machine.stop

@@ -92,6 +92,18 @@ update func_alloc(ptr, size, pc) => track_alloc;
 update func_free(ptr) => track_free;
 |}
 
+(* A UBSAN-style alignment checker: the fourth sanitizer, demonstrating
+   that a new detector is an interface header plus a registered plugin
+   (Ualign) -- the runtime needs no changes. *)
+let ualign_header =
+  {|
+/* UBSAN-style unaligned-access detector - interception interface */
+sanitizer ualign;
+resource alignment_rules;
+check  load(addr, size, pc) => check_align;
+check  store(addr, size, pc) => check_align;
+|}
+
 (* --- Header parser ----------------------------------------------------------------- *)
 
 exception Spec_error of string
@@ -147,3 +159,4 @@ let parse_header text =
 let kasan () = parse_header kasan_header
 let kcsan () = parse_header kcsan_header
 let kmemleak () = parse_header kmemleak_header
+let ualign () = parse_header ualign_header

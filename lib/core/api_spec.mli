@@ -31,6 +31,10 @@ val kasan_header : string
 val kcsan_header : string
 val kmemleak_header : string
 
+(** The fourth sanitizer's header (UBSAN-style alignment checker); see
+    {!Ualign}. *)
+val ualign_header : string
+
 exception Spec_error of string
 
 (** Parse a header text; raises {!Spec_error} on malformed input. *)
@@ -39,3 +43,4 @@ val parse_header : string -> t
 val kasan : unit -> t
 val kcsan : unit -> t
 val kmemleak : unit -> t
+val ualign : unit -> t

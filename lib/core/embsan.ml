@@ -13,12 +13,24 @@
 
 open Embsan_isa
 
-type sanitizers = { kasan : bool; kcsan : bool; kmemleak : bool }
+type sanitizers = {
+  kasan : bool;
+  kcsan : bool;
+  kmemleak : bool;
+  ualign : bool;
+}
 
-let kasan_only = { kasan = true; kcsan = false; kmemleak = false }
-let kcsan_only = { kasan = false; kcsan = true; kmemleak = false }
-let all_sanitizers = { kasan = true; kcsan = true; kmemleak = false }
+let kasan_only =
+  { kasan = true; kcsan = false; kmemleak = false; ualign = false }
+
+let kcsan_only =
+  { kasan = false; kcsan = true; kmemleak = false; ualign = false }
+
+let all_sanitizers =
+  { kasan = true; kcsan = true; kmemleak = false; ualign = false }
+
 let with_kmemleak s = { s with kmemleak = true }
+let with_ualign s = { s with ualign = true }
 
 (** Firmware category, deciding the Prober mode (S3.2) and the runtime's
     instrumentation mode. *)
@@ -46,7 +58,14 @@ let prepare ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
   let headers =
     (if sanitizers.kasan then [ Api_spec.kasan () ] else [])
     @ (if sanitizers.kcsan then [ Api_spec.kcsan () ] else [])
-    @ if sanitizers.kmemleak then [ Api_spec.kmemleak () ] else []
+    @ (if sanitizers.kmemleak then [ Api_spec.kmemleak () ] else [])
+    @
+    if sanitizers.ualign then begin
+      (* a non-builtin plugin must be in the registry before attach *)
+      Ualign.register ();
+      [ Api_spec.ualign () ]
+    end
+    else []
   in
   if headers = [] then invalid_arg "Embsan.prepare: no sanitizer selected";
   let distilled = Distiller.distill headers in
@@ -74,10 +93,18 @@ let prepare ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
 (** The session's full specification in the textual DSL. *)
 let spec_text session = Dsl.to_string session.s_spec
 
-(** Testing phase: hook a fresh machine running the session's firmware. *)
+(** Testing phase: hook a fresh machine running the session's firmware.
+    [kcsan_interval]/[kcsan_stall] are sugar for the ["kcsan.interval"] /
+    ["kcsan.stall"] tuning keys. *)
 let attach ?sink ?kcsan_interval ?kcsan_stall session machine =
+  let tuning =
+    (match kcsan_interval with
+    | Some v -> [ ("kcsan.interval", v) ]
+    | None -> [])
+    @ match kcsan_stall with Some v -> [ ("kcsan.stall", v) ] | None -> []
+  in
   Runtime.attach ~spec:session.s_spec ~mode:session.s_mode
-    ~image:session.s_image ?sink ?kcsan_interval ?kcsan_stall machine
+    ~image:session.s_image ?sink ~tuning machine
 
 (** Convenience: create a machine for this session's firmware and boot it. *)
 let make_machine ?(harts = 2) ?seed session =

@@ -9,7 +9,12 @@
       Embsan.reports runtime
     ]} *)
 
-type sanitizers = { kasan : bool; kcsan : bool; kmemleak : bool }
+type sanitizers = {
+  kasan : bool;
+  kcsan : bool;
+  kmemleak : bool;
+  ualign : bool;
+}
 
 val kasan_only : sanitizers
 val kcsan_only : sanitizers
@@ -19,6 +24,9 @@ val all_sanitizers : sanitizers
 
 (** Add the kmemleak functionality to a selection. *)
 val with_kmemleak : sanitizers -> sanitizers
+
+(** Add the unaligned-access detector ({!Ualign}) to a selection. *)
+val with_ualign : sanitizers -> sanitizers
 
 (** Firmware category, deciding the Prober mode and the runtime's
     instrumentation mode. *)

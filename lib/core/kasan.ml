@@ -180,3 +180,60 @@ let on_access t ~addr ~size ~is_write ~pc ~hart =
           ~detail:
             (Printf.sprintf "shadow: %s; %s" (Shadow.code_name code)
                (describe_owner t addr))
+
+(* --- Plugin ------------------------------------------------------------------ *)
+
+module Plugin = struct
+  let name = "kasan"
+
+  let points =
+    [
+      Api_spec.P_load;
+      Api_spec.P_store;
+      Api_spec.P_func_alloc;
+      Api_spec.P_func_free;
+      Api_spec.P_global_register;
+      Api_spec.P_stack_poison;
+      Api_spec.P_stack_unpoison;
+    ]
+
+  type nonrec t = t
+
+  let create (ctx : Sanitizer.ctx) =
+    create ~shadow:ctx.shadow ~sink:ctx.sink ~symbolize:ctx.symbolize ()
+
+  let access t ~pc ~addr ~size ~is_write ~is_atomic:_ ~hart =
+    on_access t ~addr ~size ~is_write ~pc ~hart
+
+  let event t = function
+    | Sanitizer.Alloc { ptr; size; pc; now = _ } -> on_alloc t ~ptr ~size ~pc
+    | Free { ptr; pc; hart } -> on_free t ~ptr ~pc ~hart
+    | Poison { addr; size; code } -> on_poison t ~addr ~size code
+    | Unpoison { addr; size } -> on_unpoison t ~addr ~size
+    | Register_global { addr; size } -> on_register_global t ~addr ~size
+    | Stack_poison { addr; size } -> on_stack_poison t ~addr ~size
+    | Stack_unpoison { addr; size } -> on_stack_unpoison t ~addr ~size
+    | Ready ->
+        (* re-establish live allocations made during boot: EmbSan-D
+           intercepts them before the heap-poison init action replays *)
+        Hashtbl.iter
+          (fun ptr (info : alloc_info) ->
+            if info.freed_pc = None then
+              Shadow.unpoison t.shadow ~addr:ptr ~size:info.a_size)
+          t.allocs
+
+  let scan _ ~now:_ = 0
+
+  let checkpoint t =
+    let s = save t in
+    fun () -> restore t s
+
+  let stats t =
+    [
+      ("access_checks", t.access_checks);
+      ("alloc_events", t.alloc_events);
+      ("free_events", t.free_events);
+    ]
+end
+
+let plugin : Sanitizer.plugin = (module Plugin)

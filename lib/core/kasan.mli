@@ -59,3 +59,8 @@ val on_stack_unpoison : t -> addr:int -> size:int -> unit
     continues). *)
 val on_access :
   t -> addr:int -> size:int -> is_write:bool -> pc:int -> hart:int -> unit
+
+(** The registry plugin ({!Sanitizer.S} implementation).  Its [Ready]
+    event re-establishes live boot-time allocations after the init-routine
+    heap poison replays. *)
+val plugin : Sanitizer.plugin

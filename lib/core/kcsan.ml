@@ -172,3 +172,51 @@ let on_access t machine ~addr ~size ~is_write ~pc ~hart =
       raise (Embsan_emu.Fault.Retry_at pc)
     end
   end
+
+(* --- Plugin ------------------------------------------------------------------ *)
+
+module Plugin = struct
+  let name = "kcsan"
+  let points = [ Api_spec.P_load; Api_spec.P_store ]
+
+  type nonrec t = { k : t; machine : Embsan_emu.Machine.t; check_cost : int }
+
+  let create (ctx : Sanitizer.ctx) =
+    let interval = Sanitizer.tuned ctx "kcsan.interval" ~default:120 in
+    let stall_insns = Sanitizer.tuned ctx "kcsan.stall" ~default:1200 in
+    {
+      k =
+        create ~interval ~stall_insns ~shadow:ctx.shadow ~sink:ctx.sink
+          ~symbolize:ctx.symbolize ();
+      machine = ctx.machine;
+      (* host-side race-check work is dearer on the D path (it rides the
+         probe machinery); bake the mode into the compiled handler *)
+      check_cost =
+        (match ctx.mode with
+        | `C -> Embsan_emu.Cost_model.kcsan_host_check_c
+        | `D -> Embsan_emu.Cost_model.kcsan_host_check_d);
+    }
+
+  (* marked (atomic) accesses are never data races by definition *)
+  let access p ~pc ~addr ~size ~is_write ~is_atomic ~hart =
+    if not is_atomic then begin
+      Embsan_emu.Machine.add_external_cost p.machine p.check_cost;
+      on_access p.k p.machine ~addr ~size ~is_write ~pc ~hart
+    end
+
+  let event _ _ = ()
+  let scan _ ~now:_ = 0
+
+  let checkpoint p =
+    let s = save p.k in
+    fun () -> restore p.k s
+
+  let stats p =
+    [
+      ("access_events", p.k.access_events);
+      ("watchpoints_set", p.k.watchpoints_set);
+      ("races", p.k.races);
+    ]
+end
+
+let plugin : Sanitizer.plugin = (module Plugin)

@@ -99,3 +99,36 @@ let scan t ~now =
         if added then incr fresh)
     sites;
   !fresh
+
+(* --- Plugin ------------------------------------------------------------------ *)
+
+module Plugin = struct
+  let name = "kmemleak"
+  let points = [ Api_spec.P_func_alloc; Api_spec.P_func_free ]
+
+  type nonrec t = t
+
+  let create (ctx : Sanitizer.ctx) =
+    create ~sink:ctx.sink ~symbolize:ctx.symbolize ()
+
+  (* never planned at P_load/P_store *)
+  let access _ ~pc:_ ~addr:_ ~size:_ ~is_write:_ ~is_atomic:_ ~hart:_ = ()
+
+  let event t = function
+    | Sanitizer.Alloc { ptr; size; pc; now } -> on_alloc t ~ptr ~size ~pc ~now
+    | Free { ptr; pc = _; hart = _ } -> on_free t ~ptr
+    | Poison _ | Unpoison _ | Register_global _ | Stack_poison _
+    | Stack_unpoison _ | Ready ->
+        ()
+
+  let scan t ~now = scan t ~now
+
+  let checkpoint t =
+    let s = save t in
+    fun () -> restore t s
+
+  let stats t =
+    [ ("allocs", t.allocs); ("frees", t.frees); ("live", live_blocks t) ]
+end
+
+let plugin : Sanitizer.plugin = (module Plugin)

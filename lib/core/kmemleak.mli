@@ -38,3 +38,7 @@ val live_blocks : t -> int
 (** Scan for leaks at instruction count [now]; returns the number of new
     reports added to the sink. *)
 val scan : t -> now:int -> int
+
+(** The registry plugin ({!Sanitizer.S} implementation); its [scan] hook
+    is the leak pass {!Runtime.scan_leaks} sums over. *)
+val plugin : Sanitizer.plugin

@@ -1,0 +1,17 @@
+(* Registry bootstrap for the built-in sanitizers.
+
+   This is the only place the runtime's side of the architecture names
+   concrete sanitizers: {!Runtime.attach} calls {!ensure_builtin} and then
+   works purely off the registry.  Out-of-tree sanitizers register
+   themselves with {!Sanitizer.register} (see {!Ualign.register}) and need
+   no entry here. *)
+
+let done_ = ref false
+
+let ensure_builtin () =
+  if not !done_ then begin
+    done_ := true;
+    Sanitizer.register Kasan.plugin;
+    Sanitizer.register Kcsan.plugin;
+    Sanitizer.register Kmemleak.plugin
+  end

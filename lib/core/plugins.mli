@@ -1,0 +1,5 @@
+(** Registry bootstrap: registers the built-in sanitizer plugins (KASAN,
+    KCSAN, kmemleak) exactly once.  {!Runtime.attach} calls this; other
+    sanitizers register themselves via {!Sanitizer.register}. *)
+
+val ensure_builtin : unit -> unit

@@ -10,6 +10,7 @@ type bug_kind =
   | Wild_access
   | Data_race
   | Memory_leak
+  | Unaligned_access
 
 let kind_name = function
   | Oob_access -> "out-of-bounds access"
@@ -20,6 +21,7 @@ let kind_name = function
   | Wild_access -> "wild-memory-access"
   | Data_race -> "data-race"
   | Memory_leak -> "memory-leak"
+  | Unaligned_access -> "unaligned-access"
 
 type t = {
   kind : bug_kind;

@@ -10,6 +10,7 @@ type bug_kind =
   | Wild_access
   | Data_race
   | Memory_leak
+  | Unaligned_access
 
 val kind_name : bug_kind -> string
 

@@ -11,6 +11,13 @@
      (check traps and state-maintenance traps), which skips the probe
      machinery and is the cheaper path.
 
+   The runtime is sanitizer-agnostic: {!attach} instantiates the plugins
+   the spec selects from the {!Sanitizer} registry and compiles the spec's
+   intercepts ONCE into per-interception-point dispatch plans -- flat
+   arrays of handler closures, so the hot path performs no [Dsl.wants]
+   list scans and no option matches.  Both backends construct the same
+   typed {!Sanitizer.event}s feeding the same plans.
+
    Host-side work is charged to the machine's external cost counter using
    {!Embsan_emu.Cost_model}, which is what the overhead bench (Figure 2)
    measures. *)
@@ -22,46 +29,162 @@ type inst_mode = C | D
 
 let mode_name = function C -> "EmbSan-C" | D -> "EmbSan-D"
 
+(* --- EmbSan-D allocator interception: per-hart bounded pending stacks --------- *)
+
+(* An intercepted allocator call waits for its matching return to learn the
+   returned pointer.  A crash, tail call or reboot inside the allocator
+   means that return never arrives, so the stacks are bounded: at capacity
+   the oldest frame is dropped, and a return matching a deeper frame
+   abandons everything pushed above it.  Flat int arrays (hart-major), no
+   per-event allocation. *)
+
+let pending_cap = 16
+
+type pending = {
+  p_ret : int array; (* harts * cap: awaited return addresses *)
+  p_size : int array; (* requested allocation sizes *)
+  p_depth : int array; (* per-hart stack depth *)
+}
+
+let pending_create ~harts =
+  {
+    p_ret = Array.make (harts * pending_cap) 0;
+    p_size = Array.make (harts * pending_cap) 0;
+    p_depth = Array.make harts 0;
+  }
+
+let pending_push p ~hart ~ra ~size =
+  let base = hart * pending_cap in
+  let d = p.p_depth.(hart) in
+  if d = pending_cap then begin
+    (* the allocator never returned this deep (tail-call/reboot): the
+       bottom frame is stale, drop it *)
+    Array.blit p.p_ret (base + 1) p.p_ret base (pending_cap - 1);
+    Array.blit p.p_size (base + 1) p.p_size base (pending_cap - 1);
+    p.p_ret.(base + pending_cap - 1) <- ra;
+    p.p_size.(base + pending_cap - 1) <- size
+  end
+  else begin
+    p.p_ret.(base + d) <- ra;
+    p.p_size.(base + d) <- size;
+    p.p_depth.(hart) <- d + 1
+  end
+
+(* Top-down match of a return address; frames above the match never
+   returned and are abandoned with it. *)
+let pending_pop p ~hart ~ra =
+  let base = hart * pending_cap in
+  let rec go i =
+    if i < 0 then None
+    else if p.p_ret.(base + i) = ra then begin
+      p.p_depth.(hart) <- i;
+      Some p.p_size.(base + i)
+    end
+    else go (i - 1)
+  in
+  go (p.p_depth.(hart) - 1)
+
+let pending_depth_of p ~hart = p.p_depth.(hart)
+
+type pending_state = { ps_ret : int array; ps_size : int array; ps_depth : int array }
+
+let pending_save p =
+  {
+    ps_ret = Array.copy p.p_ret;
+    ps_size = Array.copy p.p_size;
+    ps_depth = Array.copy p.p_depth;
+  }
+
+let pending_restore p (s : pending_state) =
+  Array.blit s.ps_ret 0 p.p_ret 0 (Array.length p.p_ret);
+  Array.blit s.ps_size 0 p.p_size 0 (Array.length p.p_size);
+  Array.blit s.ps_depth 0 p.p_depth 0 (Array.length p.p_depth)
+
+(* --- Runtime ------------------------------------------------------------------ *)
+
 type t = {
   spec : Dsl.spec;
   mode : inst_mode;
   machine : Machine.t;
   sink : Report.sink;
   shadow : Shadow.t;
-  kasan : Kasan.t option;
-  kcsan : Kcsan.t option;
-  kmemleak : Kmemleak.t option;
+  instances : Sanitizer.instance array; (* spec.sanitizers order *)
+  (* compiled dispatch plans: one flat closure array per interception
+     point, fixed at attach time *)
+  load_plan : Sanitizer.access_fn array;
+  store_plan : Sanitizer.access_fn array;
+  alloc_plan : (Sanitizer.event -> unit) array;
+  free_plan : (Sanitizer.event -> unit) array;
+  global_plan : (Sanitizer.event -> unit) array;
+  stack_poison_plan : (Sanitizer.event -> unit) array;
+  stack_unpoison_plan : (Sanitizer.event -> unit) array;
+  plan_index : (Api_spec.point * string list) list;
+  event_units : int; (* per-event cost of this mode's delivery mechanism *)
   mutable ready : bool;
-  (* EmbSan-D allocator interception state: per-hart stack of pending
-     allocator calls awaiting their return *)
-  mutable pending_allocs : (int * int * int) list; (* hart, ret addr, size *)
+  pending : pending;
   (* pc ranges of intercepted allocator functions: accesses from inside are
      legal metadata traffic and exempt from checks (the compile-time analog
-     is excluding mm/slab from instrumentation) *)
-  exempt_ranges : (int * int) array;
+     is excluding mm/slab from instrumentation).  Sorted, disjoint, split
+     into two parallel arrays for the binary search. *)
+  exempt_lo : int array;
+  exempt_hi : int array;
+  token : unit ref; (* identity guard for save/restore pairing *)
   mutable mem_events : int;
   mutable callouts : int;
   mutable intercepted_calls : int;
 }
 
-let pc_exempt t pc =
-  let n = Array.length t.exempt_ranges in
-  let rec go i =
-    if i >= n then false
-    else
-      let lo, hi = t.exempt_ranges.(i) in
-      (pc >= lo && pc < hi) || go (i + 1)
+(* Sorted-merge the exempt ranges so membership is a binary search. *)
+let compile_exempts ranges =
+  let sorted =
+    List.sort compare (List.filter (fun (lo, hi) -> hi > lo) ranges)
   in
-  go 0
+  let merged =
+    List.fold_left
+      (fun acc (lo, hi) ->
+        match acc with
+        | (plo, phi) :: rest when lo <= phi -> (plo, max phi hi) :: rest
+        | _ -> (lo, hi) :: acc)
+      [] sorted
+  in
+  let arr = Array.of_list (List.rev merged) in
+  (Array.map fst arr, Array.map snd arr)
+
+let pc_exempt t pc =
+  let lo = t.exempt_lo in
+  let n = Array.length lo in
+  if n = 0 then false
+  else begin
+    (* count entries with lo <= pc; candidates left of that boundary *)
+    let l = ref 0 and r = ref n in
+    while !r > !l do
+      let m = (!l + !r) lsr 1 in
+      if Array.unsafe_get lo m <= pc then l := m + 1 else r := m
+    done;
+    !l > 0 && pc < Array.unsafe_get t.exempt_hi (!l - 1)
+  end
 
 let charge t units = Machine.add_external_cost t.machine units
 
-let event_cost t =
-  match t.mode with
-  | C -> Cost_model.embsan_c_hypercall
-  | D -> Cost_model.embsan_d_probe
+(* --- Event dispatch ----------------------------------------------------------- *)
 
-(* --- Init routine ------------------------------------------------------------------ *)
+let run_event_plan plan ev = Array.iter (fun f -> f ev) plan
+
+(* State-maintenance events that are not tied to a DSL interception point
+   (poison/unpoison and readiness) go to every instance. *)
+let broadcast t ev = Array.iter (fun i -> Sanitizer.event i ev) t.instances
+
+let dispatch_access t ~pc ~addr ~size ~is_write ~is_atomic ~hart =
+  t.mem_events <- t.mem_events + 1;
+  charge t t.event_units;
+  if not (pc_exempt t pc) then begin
+    let plan = if is_write then t.store_plan else t.load_plan in
+    for i = 0 to Array.length plan - 1 do
+      (Array.unsafe_get plan i) ~pc ~addr ~size ~is_write ~is_atomic ~hart
+    done
+  end
+
+(* --- Init routine ------------------------------------------------------------- *)
 
 let shadow_code_of_string = function
   | "heap" -> Shadow.Heap_redzone
@@ -71,64 +194,33 @@ let shadow_code_of_string = function
   | s -> invalid_arg ("unknown poison code " ^ s)
 
 let apply_init_action t (a : Dsl.init_action) =
-  match (a, t.kasan) with
-  | Dsl.Poison { addr; size; code }, Some k ->
-      Kasan.on_poison k ~addr ~size (shadow_code_of_string code)
-  | Unpoison { addr; size }, Some k -> Kasan.on_unpoison k ~addr ~size
-  | Alloc { ptr; size }, Some k -> Kasan.on_alloc k ~ptr ~size ~pc:0
-  | Region { name = "global"; addr; size }, Some k ->
-      Kasan.on_register_global k ~addr ~size
-  | Region _, Some _ -> ()
-  | (Poison _ | Unpoison _ | Alloc _ | Region _), None -> ()
-  | Note _, _ -> ()
+  match a with
+  | Dsl.Poison { addr; size; code } ->
+      broadcast t
+        (Sanitizer.Poison { addr; size; code = shadow_code_of_string code })
+  | Unpoison { addr; size } -> broadcast t (Sanitizer.Unpoison { addr; size })
+  | Alloc { ptr; size } ->
+      run_event_plan t.alloc_plan
+        (Sanitizer.Alloc { ptr; size; pc = 0; now = t.machine.total_insns })
+  | Region { name = "global"; addr; size } ->
+      broadcast t (Sanitizer.Register_global { addr; size })
+  | Region _ -> ()
+  | Note _ -> ()
 
 let on_ready t () =
   if not t.ready then begin
     t.ready <- true;
     List.iter (apply_init_action t) t.spec.Dsl.init;
-    (* re-establish live allocations made during boot (EmbSan-D intercepts
-       them before the heap-poison init action runs) *)
-    match t.kasan with
-    | Some k ->
-        Hashtbl.iter
-          (fun ptr (info : Kasan.alloc_info) ->
-            if info.freed_pc = None then
-              Shadow.unpoison t.shadow ~addr:ptr ~size:info.a_size)
-          k.allocs
-    | None -> ()
+    broadcast t Sanitizer.Ready
   end
 
-(* --- Event dispatch ----------------------------------------------------------------- *)
-
-let dispatch_access_checked t ~addr ~size ~is_write ~is_atomic ~pc ~hart =
-  (match t.kasan with
-  | Some k when Dsl.wants t.spec (if is_write then Api_spec.P_store else P_load) "kasan"
-    ->
-      Kasan.on_access k ~addr ~size ~is_write ~pc ~hart
-  | Some _ | None -> ());
-  match t.kcsan with
-  | Some k
-    when (not is_atomic)
-         && Dsl.wants t.spec (if is_write then Api_spec.P_store else P_load) "kcsan"
-    ->
-      charge t
-        (match t.mode with
-        | C -> Cost_model.kcsan_host_check_c
-        | D -> Cost_model.kcsan_host_check_d);
-      Kcsan.on_access k t.machine ~addr ~size ~is_write ~pc ~hart
-  | Some _ | None -> ()
-
-let dispatch_access t ~addr ~size ~is_write ?(is_atomic = false) ~pc ~hart () =
-  t.mem_events <- t.mem_events + 1;
-  charge t (event_cost t);
-  if not (pc_exempt t pc) then
-    dispatch_access_checked t ~addr ~size ~is_write ~is_atomic ~pc ~hart
+(* --- Backends ------------------------------------------------------------------ *)
 
 let install_mem_probes t =
   Probe.on_mem t.machine.probes (fun (ev : Probe.mem_event) ->
       if t.ready then
-        dispatch_access t ~addr:ev.addr ~size:ev.size ~is_write:ev.is_write
-          ~is_atomic:ev.is_atomic ~pc:ev.pc ~hart:ev.hart ())
+        dispatch_access t ~pc:ev.pc ~addr:ev.addr ~size:ev.size
+          ~is_write:ev.is_write ~is_atomic:ev.is_atomic ~hart:ev.hart)
 
 let install_call_interception t =
   let allocs = Hashtbl.create 16 and frees = Hashtbl.create 16 in
@@ -145,41 +237,31 @@ let install_call_interception t =
             t.intercepted_calls <- t.intercepted_calls + 1;
             charge t Cost_model.embsan_d_probe;
             let size = Cpu.get t.machine.harts.(ev.c_hart) Reg.args.(size_arg) in
-            t.pending_allocs <-
-              (ev.c_hart, ev.c_pc + Insn.size, size) :: t.pending_allocs
+            pending_push t.pending ~hart:ev.c_hart ~ra:(ev.c_pc + Insn.size)
+              ~size
         | None -> (
             match Hashtbl.find_opt frees ev.c_target with
             | Some ptr_arg ->
                 t.intercepted_calls <- t.intercepted_calls + 1;
                 charge t Cost_model.embsan_d_probe;
                 let ptr = Cpu.get t.machine.harts.(ev.c_hart) Reg.args.(ptr_arg) in
-                (match t.kasan with
-                | Some k -> Kasan.on_free k ~ptr ~pc:ev.c_pc ~hart:ev.c_hart
-                | None -> ());
-                (match t.kmemleak with
-                | Some l -> Kmemleak.on_free l ~ptr
-                | None -> ())
+                run_event_plan t.free_plan
+                  (Sanitizer.Free { ptr; pc = ev.c_pc; hart = ev.c_hart })
             | None -> ()));
     Probe.on_ret t.machine.probes (fun (ev : Probe.ret_event) ->
-        match
-          List.partition
-            (fun (h, ra, _) -> h = ev.r_hart && ra = ev.r_target)
-            t.pending_allocs
-        with
-        | (_, ra, size) :: _, rest ->
-            t.pending_allocs <- rest;
+        match pending_pop t.pending ~hart:ev.r_hart ~ra:ev.r_target with
+        | Some size ->
             (* attribute the allocation to its call site, not to the
                allocator's return instruction *)
-            let pc = ra - Insn.size in
-            (match t.kasan with
-            | Some k -> Kasan.on_alloc k ~ptr:ev.r_retval ~size ~pc
-            | None -> ());
-            (match t.kmemleak with
-            | Some l ->
-                Kmemleak.on_alloc l ~ptr:ev.r_retval ~size ~pc
-                  ~now:t.machine.total_insns
-            | None -> ())
-        | [], _ -> ())
+            run_event_plan t.alloc_plan
+              (Sanitizer.Alloc
+                 {
+                   ptr = ev.r_retval;
+                   size;
+                   pc = ev.r_target - Insn.size;
+                   now = t.machine.total_insns;
+                 })
+        | None -> ())
   end
 
 let install_callout_traps t =
@@ -191,10 +273,9 @@ let install_callout_traps t =
           match Hypercall.decode_check num with
           | Some (is_write, size) ->
               dispatch_access t
-                ~addr:(Cpu.get cpu Reg.a0)
-                ~size ~is_write
                 ~pc:(cpu.Cpu.pc - Insn.size)
-                ~hart:cpu.Cpu.id ()
+                ~addr:(Cpu.get cpu Reg.a0)
+                ~size ~is_write ~is_atomic:false ~hart:cpu.Cpu.id
           | None -> assert false))
     [ 16; 17; 18; 19; 20; 21 ];
   let update num f =
@@ -206,52 +287,47 @@ let install_callout_traps t =
   (* the trap sits in the san_* glue called from the allocator, so walk two
      frames up to attribute the event to the kernel function itself *)
   update Hypercall.san_alloc (fun cpu ->
-      let ptr = Cpu.get cpu Reg.a0 and size = Cpu.get cpu Reg.a1 in
-      let pc = Unwind.caller_pc t.machine cpu ~depth:2 in
-      (match t.kasan with
-      | Some k -> Kasan.on_alloc k ~ptr ~size ~pc
-      | None -> ());
-      match t.kmemleak with
-      | Some l -> Kmemleak.on_alloc l ~ptr ~size ~pc ~now:t.machine.total_insns
-      | None -> ());
+      if Array.length t.alloc_plan > 0 then
+        run_event_plan t.alloc_plan
+          (Sanitizer.Alloc
+             {
+               ptr = Cpu.get cpu Reg.a0;
+               size = Cpu.get cpu Reg.a1;
+               pc = Unwind.caller_pc t.machine cpu ~depth:2;
+               now = t.machine.total_insns;
+             }));
   update Hypercall.san_free (fun cpu ->
-      let ptr = Cpu.get cpu Reg.a0 in
-      (match t.kasan with
-      | Some k ->
-          (* the glue reports (ptr, size); the tracked size wins *)
-          Kasan.on_free k ~ptr
-            ~pc:(Unwind.caller_pc t.machine cpu ~depth:2)
-            ~hart:cpu.Cpu.id
-      | None -> ());
-      match t.kmemleak with
-      | Some l -> Kmemleak.on_free l ~ptr
-      | None -> ());
+      if Array.length t.free_plan > 0 then
+        (* the glue reports (ptr, size); the tracked size wins *)
+        run_event_plan t.free_plan
+          (Sanitizer.Free
+             {
+               ptr = Cpu.get cpu Reg.a0;
+               pc = Unwind.caller_pc t.machine cpu ~depth:2;
+               hart = cpu.Cpu.id;
+             }));
   update Hypercall.san_global (fun cpu ->
-      match t.kasan with
-      | Some k ->
-          Kasan.on_register_global k ~addr:(Cpu.get cpu Reg.a0)
-            ~size:(Cpu.get cpu Reg.a1)
-      | None -> ());
+      run_event_plan t.global_plan
+        (Sanitizer.Register_global
+           { addr = Cpu.get cpu Reg.a0; size = Cpu.get cpu Reg.a1 }));
   update Hypercall.san_stack_poison (fun cpu ->
-      match t.kasan with
-      | Some k ->
-          Kasan.on_stack_poison k ~addr:(Cpu.get cpu Reg.a0)
-            ~size:(Cpu.get cpu Reg.a1)
-      | None -> ());
+      run_event_plan t.stack_poison_plan
+        (Sanitizer.Stack_poison
+           { addr = Cpu.get cpu Reg.a0; size = Cpu.get cpu Reg.a1 }));
   update Hypercall.san_stack_unpoison (fun cpu ->
-      match t.kasan with
-      | Some k ->
-          Kasan.on_stack_unpoison k ~addr:(Cpu.get cpu Reg.a0)
-            ~size:(Cpu.get cpu Reg.a1)
-      | None -> ());
+      run_event_plan t.stack_unpoison_plan
+        (Sanitizer.Stack_unpoison
+           { addr = Cpu.get cpu Reg.a0; size = Cpu.get cpu Reg.a1 }));
   update Hypercall.san_poison_region (fun cpu ->
-      match t.kasan with
-      | Some k ->
-          Kasan.on_poison k ~addr:(Cpu.get cpu Reg.a0)
-            ~size:(Cpu.get cpu Reg.a1) Shadow.Heap_redzone
-      | None -> ())
+      broadcast t
+        (Sanitizer.Poison
+           {
+             addr = Cpu.get cpu Reg.a0;
+             size = Cpu.get cpu Reg.a1;
+             code = Shadow.Heap_redzone;
+           }))
 
-(* --- Attachment ---------------------------------------------------------------------- *)
+(* --- Attachment ---------------------------------------------------------------- *)
 
 let symbolize_of_image (image : Image.t option) pc =
   match image with
@@ -259,32 +335,88 @@ let symbolize_of_image (image : Image.t option) pc =
   | Some img ->
       Option.map (fun (s : Image.symbol) -> s.name) (Image.symbol_at img pc)
 
+(* Instances named by the intercept's handlers, in handler order, filtered
+   to created instances that subscribe to the point; one slot per
+   sanitizer. *)
+let planned_instances instances spec point =
+  match Dsl.find_intercept spec point with
+  | None -> []
+  | Some i ->
+      let seen = Hashtbl.create 4 in
+      List.filter_map
+        (fun (h : Dsl.handler) ->
+          if Hashtbl.mem seen h.h_san then None
+          else begin
+            Hashtbl.add seen h.h_san ();
+            Array.find_opt
+              (fun inst ->
+                String.equal (Sanitizer.instance_name inst) h.h_san
+                && List.mem point (Sanitizer.instance_points inst))
+              instances
+          end)
+        i.i_handlers
+
 (** Attach the runtime to a machine per the spec.  [image] (optional,
     un-stripped) provides report symbolization. *)
-let attach ~spec ~mode ?image ?(sink = Report.create_sink ())
-    ?(kcsan_interval = 120) ?(kcsan_stall = 1200) (machine : Machine.t) =
+let attach ~spec ~mode ?image ?(sink = Report.create_sink ()) ?(tuning = [])
+    (machine : Machine.t) =
+  Plugins.ensure_builtin ();
   let shadow =
     Shadow.create ~ram_base:(Machine.ram_base machine)
       ~ram_size:(Machine.ram_size machine)
   in
   let symbolize = symbolize_of_image image in
-  let with_kasan = List.mem "kasan" spec.Dsl.sanitizers in
-  let with_kcsan = List.mem "kcsan" spec.Dsl.sanitizers in
-  let kasan =
-    if with_kasan then Some (Kasan.create ~shadow ~sink ~symbolize ())
-    else None
+  let ctx =
+    {
+      Sanitizer.machine;
+      mode = (match mode with C -> `C | D -> `D);
+      shadow;
+      sink;
+      symbolize;
+      tuning;
+    }
   in
-  let kcsan =
-    if with_kcsan then
-      Some
-        (Kcsan.create ~interval:kcsan_interval ~stall_insns:kcsan_stall ~shadow
-           ~sink ~symbolize ())
-    else None
+  let instances =
+    Array.of_list
+      (List.filter_map
+         (fun name ->
+           match Sanitizer.find name with
+           | Some p -> Some (Sanitizer.instantiate p ctx)
+           | None ->
+               Logs.debug (fun m ->
+                   m "Runtime.attach: no plugin registered for %S; skipped"
+                     name);
+               None)
+         spec.Dsl.sanitizers)
   in
-  let kmemleak =
-    if List.mem "kmemleak" spec.Dsl.sanitizers then
-      Some (Kmemleak.create ~sink ~symbolize ())
-    else None
+  let planned point = planned_instances instances spec point in
+  let access_plan point =
+    Array.of_list (List.map Sanitizer.access (planned point))
+  in
+  let event_plan point =
+    Array.of_list (List.map (fun i -> Sanitizer.event i) (planned point))
+  in
+  let plan_index =
+    List.map
+      (fun point -> (point, List.map Sanitizer.instance_name (planned point)))
+      [
+        Api_spec.P_load;
+        Api_spec.P_store;
+        Api_spec.P_func_alloc;
+        Api_spec.P_func_free;
+        Api_spec.P_global_register;
+        Api_spec.P_stack_poison;
+        Api_spec.P_stack_unpoison;
+      ]
+  in
+  let exempt_lo, exempt_hi =
+    compile_exempts
+      (List.map
+         (fun (f : Dsl.func_sig) -> (f.f_addr, f.f_addr + f.f_size))
+         spec.Dsl.functions
+      @ List.map
+          (fun (e : Dsl.exempt) -> (e.e_addr, e.e_addr + e.e_size))
+          spec.Dsl.exempts)
   in
   let t =
     {
@@ -293,19 +425,24 @@ let attach ~spec ~mode ?image ?(sink = Report.create_sink ())
       machine;
       sink;
       shadow;
-      kasan;
-      kcsan;
-      kmemleak;
+      instances;
+      load_plan = access_plan Api_spec.P_load;
+      store_plan = access_plan Api_spec.P_store;
+      alloc_plan = event_plan Api_spec.P_func_alloc;
+      free_plan = event_plan Api_spec.P_func_free;
+      global_plan = event_plan Api_spec.P_global_register;
+      stack_poison_plan = event_plan Api_spec.P_stack_poison;
+      stack_unpoison_plan = event_plan Api_spec.P_stack_unpoison;
+      plan_index;
+      event_units =
+        (match mode with
+        | C -> Cost_model.embsan_c_hypercall
+        | D -> Cost_model.embsan_d_probe);
       ready = false;
-      pending_allocs = [];
-      exempt_ranges =
-        Array.of_list
-          (List.map
-             (fun (f : Dsl.func_sig) -> (f.f_addr, f.f_addr + f.f_size))
-             spec.Dsl.functions
-          @ List.map
-              (fun (e : Dsl.exempt) -> (e.e_addr, e.e_addr + e.e_size))
-              spec.Dsl.exempts);
+      pending = pending_create ~harts:(Array.length machine.Machine.harts);
+      exempt_lo;
+      exempt_hi;
+      token = ref ();
       mem_events = 0;
       callouts = 0;
       intercepted_calls = 0;
@@ -324,69 +461,78 @@ let attach ~spec ~mode ?image ?(sink = Report.create_sink ())
       machine.mailbox.on_ready <- on_ready t);
   t
 
-(* --- Snapshot support --------------------------------------------------------- *)
+(* --- Introspection ------------------------------------------------------------- *)
+
+(** Sanitizer names in the compiled plan of [point], in dispatch order. *)
+let plan_names t point =
+  match List.assoc_opt point t.plan_index with Some l -> l | None -> []
+
+let pending_depth t ~hart = pending_depth_of t.pending ~hart
+let pending_capacity = pending_cap
+
+(* --- Snapshot support ---------------------------------------------------------- *)
 
 type state = {
+  r_token : unit ref;
   r_shadow : Shadow.state;
-  r_kasan : Kasan.state option;
-  r_kcsan : Kcsan.state option;
-  r_kmemleak : Kmemleak.state option;
+  r_plugins : (string * (unit -> unit)) list; (* name, restore thunk *)
   r_sink : Report.sink_state;
   r_ready : bool;
-  r_pending_allocs : (int * int * int) list;
+  r_pending : pending_state;
   r_mem_events : int;
   r_callouts : int;
   r_intercepted_calls : int;
 }
 
-(** Snapshot the runtime's host-side sanitizer state: shadow planes, KASAN
-    allocation table and quarantine, KCSAN watchpoint/sampling state, the
-    kmemleak live-block table and the report-dedup sink.  Probe wiring and
-    trap handlers are structural (installed once by {!attach}) and are not
-    part of the state. *)
+(** Snapshot the runtime's host-side sanitizer state: shadow planes, every
+    plugin instance's checkpoint (keyed by sanitizer name), the
+    report-dedup sink and the D-mode allocator-interception stacks.  Probe
+    wiring, trap handlers and the compiled dispatch plans are structural
+    (installed once by {!attach}) and are not part of the state. *)
 let save t =
   {
+    r_token = t.token;
     r_shadow = Shadow.save t.shadow;
-    r_kasan = Option.map Kasan.save t.kasan;
-    r_kcsan = Option.map Kcsan.save t.kcsan;
-    r_kmemleak = Option.map Kmemleak.save t.kmemleak;
+    r_plugins =
+      Array.to_list
+        (Array.map
+           (fun i -> (Sanitizer.instance_name i, Sanitizer.checkpoint i))
+           t.instances);
     r_sink = Report.save_sink t.sink;
     r_ready = t.ready;
-    r_pending_allocs = t.pending_allocs;
+    r_pending = pending_save t.pending;
     r_mem_events = t.mem_events;
     r_callouts = t.callouts;
     r_intercepted_calls = t.intercepted_calls;
   }
 
 let restore t (s : state) =
+  if s.r_token != t.token then
+    invalid_arg "Runtime.restore: state belongs to a different runtime";
   Shadow.restore t.shadow s.r_shadow;
-  (match (t.kasan, s.r_kasan) with
-  | Some k, Some ks -> Kasan.restore k ks
-  | None, None -> ()
-  | _ -> invalid_arg "Runtime.restore: kasan presence mismatch");
-  (match (t.kcsan, s.r_kcsan) with
-  | Some k, Some ks -> Kcsan.restore k ks
-  | None, None -> ()
-  | _ -> invalid_arg "Runtime.restore: kcsan presence mismatch");
-  (match (t.kmemleak, s.r_kmemleak) with
-  | Some l, Some ls -> Kmemleak.restore l ls
-  | None, None -> ()
-  | _ -> invalid_arg "Runtime.restore: kmemleak presence mismatch");
+  List.iter (fun (_name, thunk) -> thunk ()) s.r_plugins;
   Report.restore_sink t.sink s.r_sink;
   t.ready <- s.r_ready;
-  t.pending_allocs <- s.r_pending_allocs;
+  pending_restore t.pending s.r_pending;
   t.mem_events <- s.r_mem_events;
   t.callouts <- s.r_callouts;
   t.intercepted_calls <- s.r_intercepted_calls
 
 let reports t = Report.unique_reports t.sink
 
-(** Run the kmemleak scan now (typically after a test completes); returns
-    the number of new leak reports. *)
+(** Run every plugin's detector pass now (typically after a test
+    completes); returns the number of new reports. *)
 let scan_leaks t =
-  match t.kmemleak with
-  | Some l -> Kmemleak.scan l ~now:t.machine.total_insns
-  | None -> 0
+  Array.fold_left
+    (fun acc i -> acc + Sanitizer.scan i ~now:t.machine.total_insns)
+    0 t.instances
+
+(** Per-plugin counter snapshots, in instantiation order. *)
+let plugin_stats t =
+  Array.to_list
+    (Array.map
+       (fun i -> (Sanitizer.instance_name i, Sanitizer.stats i))
+       t.instances)
 
 let pp_stats fmt t =
   Fmt.pf fmt

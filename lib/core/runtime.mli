@@ -2,11 +2,24 @@
     merged DSL specification plus platform description and hooks the
     firmware's execution - translated-code probes and allocator
     interception for EmbSan-D, direct hypercall dispatch for EmbSan-C.
-    Host-side work is charged to the machine's external cost counter. *)
+
+    The runtime is sanitizer-agnostic: {!attach} instantiates the plugins
+    named by the spec from the {!Sanitizer} registry and compiles the
+    spec's intercepts once into flat per-interception-point dispatch plans
+    (arrays of handler closures), which both backends feed with the same
+    typed {!Sanitizer.event}s.  Host-side work is charged to the machine's
+    external cost counter. *)
 
 type inst_mode = C | D
 
 val mode_name : inst_mode -> string
+
+(** Per-hart bounded stacks of in-flight allocator calls (EmbSan-D
+    interception awaiting the allocator's return). *)
+type pending
+
+(** Stack capacity per hart; pushing past it drops the oldest frame. *)
+val pending_capacity : int
 
 type t = {
   spec : Dsl.spec;
@@ -14,48 +27,73 @@ type t = {
   machine : Embsan_emu.Machine.t;
   sink : Report.sink;
   shadow : Shadow.t;
-  kasan : Kasan.t option;
-  kcsan : Kcsan.t option;
-  kmemleak : Kmemleak.t option;
+  instances : Sanitizer.instance array;  (** spec.sanitizers order *)
+  load_plan : Sanitizer.access_fn array;
+  store_plan : Sanitizer.access_fn array;
+  alloc_plan : (Sanitizer.event -> unit) array;
+  free_plan : (Sanitizer.event -> unit) array;
+  global_plan : (Sanitizer.event -> unit) array;
+  stack_poison_plan : (Sanitizer.event -> unit) array;
+  stack_unpoison_plan : (Sanitizer.event -> unit) array;
+  plan_index : (Api_spec.point * string list) list;
+  event_units : int;
   mutable ready : bool;
-  mutable pending_allocs : (int * int * int) list;
-  exempt_ranges : (int * int) array;
+  pending : pending;
+  exempt_lo : int array;  (** sorted disjoint exempt ranges (parallel) *)
+  exempt_hi : int array;
+  token : unit ref;
   mutable mem_events : int;
   mutable callouts : int;
   mutable intercepted_calls : int;
 }
 
 (** Is [pc] inside an intercepted allocator function or an exempt helper
-    (legal metadata traffic)? *)
+    (legal metadata traffic)?  Binary search over the sorted merged
+    ranges. *)
 val pc_exempt : t -> int -> bool
 
 (** Attach the runtime to a machine per the spec.  [image] (un-stripped)
-    provides report symbolization; [sink] collects reports. *)
+    provides report symbolization; [sink] collects reports.  [tuning]
+    carries per-plugin knobs (e.g. ["kcsan.interval"]), which plugins read
+    via {!Sanitizer.tuned}. *)
 val attach :
   spec:Dsl.spec ->
   mode:inst_mode ->
   ?image:Embsan_isa.Image.t ->
   ?sink:Report.sink ->
-  ?kcsan_interval:int ->
-  ?kcsan_stall:int ->
+  ?tuning:(string * int) list ->
   Embsan_emu.Machine.t ->
   t
 
+(** Sanitizer names in the compiled dispatch plan of [point], in dispatch
+    order (the DSL handler order, deduplicated, filtered to instantiated
+    plugins that subscribe to the point). *)
+val plan_names : t -> Api_spec.point -> string list
+
+(** Current depth of [hart]'s in-flight allocator-call stack. *)
+val pending_depth : t -> hart:int -> int
+
 (** Snapshot of the runtime's host-side sanitizer state: shadow planes,
-    KASAN allocation table/quarantine, KCSAN watchpoint and sampling
-    state, kmemleak live-block table, the report-dedup sink, and the
-    D-mode allocator-interception stack.  Probe wiring and trap handlers
-    are structural (installed once by {!attach}) and not captured. *)
+    every plugin instance's checkpoint (keyed by sanitizer name), the
+    report-dedup sink, and the D-mode allocator-interception stacks.
+    Probe wiring, trap handlers and the compiled dispatch plans are
+    structural (installed once by {!attach}) and not captured. *)
 type state
 
 val save : t -> state
+
+(** Restore a snapshot previously taken from this same runtime.
+    @raise Invalid_argument if [state] came from a different runtime. *)
 val restore : t -> state -> unit
 
 (** Unique reports collected so far. *)
 val reports : t -> Report.t list
 
-(** Run the kmemleak scan now (typically after a test completes); returns
-    the number of new leak reports. *)
+(** Run every plugin's on-demand detector pass (typically after a test
+    completes); returns the number of new reports. *)
 val scan_leaks : t -> int
+
+(** Per-plugin counter snapshots, in instantiation order. *)
+val plugin_stats : t -> (string * (string * int) list) list
 
 val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+(* Sanitizer plugin architecture (DESIGN.md "Sanitizer plugin architecture").
+
+   The paper's claim (S3.2-S3.3) is that distilling sanitizer interception
+   APIs into a DSL makes the on-host runtime generic.  This module is the
+   host-side half of that claim: a typed event vocabulary, a first-class-
+   module plugin interface, and a registry keyed by the DSL sanitizer name.
+
+   The Common Sanitizer Runtime instantiates the plugins a spec selects and
+   compiles the spec's intercepts into flat per-point handler arrays; both
+   instrumentation backends (EmbSan-C hypercall traps and EmbSan-D
+   translation-time probes) construct the same typed events and feed the
+   same compiled plan.  A new sanitizer is a module implementing {!S} plus
+   an {!Api_spec} header -- no runtime changes (see Ualign). *)
+
+(* --- Typed event vocabulary -------------------------------------------------- *)
+
+(* Cold-path events.  The access check is deliberately NOT a constructor of
+   this type: memory events are the hot path and must stay allocation-free,
+   so they dispatch through {!access_fn} closures instead. *)
+type event =
+  | Alloc of { ptr : int; size : int; pc : int; now : int }
+      (** an intercepted allocator returned [ptr] ([now] = retired insns) *)
+  | Free of { ptr : int; pc : int; hart : int }
+  | Poison of { addr : int; size : int; code : Shadow.code }
+  | Unpoison of { addr : int; size : int }
+  | Register_global of { addr : int; size : int }
+  | Stack_poison of { addr : int; size : int }
+  | Stack_unpoison of { addr : int; size : int }
+  | Ready  (** the firmware signalled readiness (post init-routine replay) *)
+
+let event_name = function
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Poison _ -> "poison"
+  | Unpoison _ -> "unpoison"
+  | Register_global _ -> "register_global"
+  | Stack_poison _ -> "stack_poison"
+  | Stack_unpoison _ -> "stack_unpoison"
+  | Ready -> "ready"
+
+(* Hot-path access check: plain labelled closure, no event record, so a
+   compiled dispatch plan costs one indirect call per plugin per access. *)
+type access_fn =
+  pc:int ->
+  addr:int ->
+  size:int ->
+  is_write:bool ->
+  is_atomic:bool ->
+  hart:int ->
+  unit
+
+(* --- Plugin interface -------------------------------------------------------- *)
+
+type mode = [ `C | `D ]
+
+type ctx = {
+  machine : Embsan_emu.Machine.t;
+  mode : mode;
+  shadow : Shadow.t;  (** unified shadow planes, shared across plugins *)
+  sink : Report.sink;
+  symbolize : int -> string option;
+  tuning : (string * int) list;  (** plugin knobs, e.g. ["kcsan.interval"] *)
+}
+
+let tuned ctx key ~default =
+  Option.value ~default (List.assoc_opt key ctx.tuning)
+
+module type S = sig
+  val name : string
+  (** The DSL sanitizer name this plugin implements (registry key). *)
+
+  val points : Api_spec.point list
+  (** Interception points the plugin subscribes to; the runtime only
+      includes it in the dispatch plans of these points. *)
+
+  type t
+
+  val create : ctx -> t
+
+  val access : t -> access_fn
+  (** Hot-path handler, called for P_load/P_store plan slots.  Evaluated
+      once at plan-compile time; only meaningful when [points] contains
+      P_load or P_store. *)
+
+  val event : t -> event -> unit
+  (** Cold-path handler: plan-routed alloc/free/global/stack events plus
+      broadcast state maintenance (poison/unpoison/ready).  Plugins ignore
+      events they do not care about. *)
+
+  val scan : t -> now:int -> int
+  (** On-demand detector pass (kmemleak-style); returns new reports. *)
+
+  val checkpoint : t -> unit -> unit
+  (** [checkpoint t] captures the plugin's mutable state and returns a
+      restore thunk.  The thunk must survive repeated invocation (a
+      snapshot is restored many times in persistent-mode fuzzing). *)
+
+  val stats : t -> (string * int) list
+end
+
+type plugin = (module S)
+
+let name (module P : S) = P.name
+let supports (module P : S) point = List.mem point P.points
+
+(* --- Instances --------------------------------------------------------------- *)
+
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+let instantiate (module P : S) ctx = Instance ((module P), P.create ctx)
+let instance_name (Instance ((module P), _)) = P.name
+let instance_points (Instance ((module P), _)) = P.points
+let access (Instance ((module P), x)) = P.access x
+let event (Instance ((module P), x)) ev = P.event x ev
+let scan (Instance ((module P), x)) ~now = P.scan x ~now
+let checkpoint (Instance ((module P), x)) = P.checkpoint x
+let stats (Instance ((module P), x)) = P.stats x
+
+(* --- Registry ---------------------------------------------------------------- *)
+
+let registry : (string, plugin) Hashtbl.t = Hashtbl.create 8
+
+(** Register (or replace) a plugin under its [S.name]. *)
+let register (module P : S) = Hashtbl.replace registry P.name (module P : S)
+
+let find n = Hashtbl.find_opt registry n
+
+let registered () =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])

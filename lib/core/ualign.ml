@@ -1,0 +1,80 @@
+(* UBSAN-style unaligned-access detector: the plugin architecture's
+   drop-in proof.
+
+   This sanitizer exists entirely outside the Common Sanitizer Runtime: an
+   {!Api_spec.ualign} interface header (so the Distiller emits its DSL
+   entry) plus this module (a {!Sanitizer.S} implementation registered
+   with {!Sanitizer.register}).  Neither runtime.ml, machine.ml nor
+   probe.ml know it exists; both instrumentation backends reach it through
+   the compiled dispatch plans.
+
+   Detection: a 2- or 4-byte access whose address is not a multiple of its
+   size.  The emulated cores tolerate misalignment (like ARMv7's unaligned
+   load/store support), so these bugs are silent until the firmware runs
+   on a stricter core - exactly the class a sanitizer should surface. *)
+
+type t = {
+  sink : Report.sink;
+  symbolize : int -> string option;
+  mutable checks : int;
+  mutable unaligned : int;
+}
+
+let create ~sink ~symbolize () = { sink; symbolize; checks = 0; unaligned = 0 }
+
+let on_access t ~addr ~size ~is_write ~pc ~hart =
+  t.checks <- t.checks + 1;
+  if size > 1 && addr land (size - 1) <> 0 then begin
+    t.unaligned <- t.unaligned + 1;
+    ignore
+      (Report.add t.sink
+         {
+           kind = Report.Unaligned_access;
+           sanitizer = "ualign";
+           addr;
+           size;
+           is_write;
+           pc;
+           hart;
+           location = t.symbolize pc;
+           detail =
+             Printf.sprintf "address 0x%08x is not %d-byte aligned" addr size;
+         })
+  end
+
+(* --- Snapshot support -------------------------------------------------------- *)
+
+type state = { s_checks : int; s_unaligned : int }
+
+let save t = { s_checks = t.checks; s_unaligned = t.unaligned }
+
+let restore t s =
+  t.checks <- s.s_checks;
+  t.unaligned <- s.s_unaligned
+
+(* --- Plugin ------------------------------------------------------------------ *)
+
+module Plugin = struct
+  let name = "ualign"
+  let points = [ Api_spec.P_load; Api_spec.P_store ]
+
+  type nonrec t = t
+
+  let create (ctx : Sanitizer.ctx) =
+    create ~sink:ctx.sink ~symbolize:ctx.symbolize ()
+
+  let access t ~pc ~addr ~size ~is_write ~is_atomic:_ ~hart =
+    on_access t ~addr ~size ~is_write ~pc ~hart
+
+  let event _ _ = ()
+  let scan _ ~now:_ = 0
+
+  let checkpoint t =
+    let s = save t in
+    fun () -> restore t s
+
+  let stats t = [ ("checks", t.checks); ("unaligned", t.unaligned) ]
+end
+
+let plugin : Sanitizer.plugin = (module Plugin)
+let register () = Sanitizer.register plugin

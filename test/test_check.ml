@@ -81,6 +81,26 @@ let random_campaign () =
   | [] -> ()
   | d :: _ -> Alcotest.failf "%a" Oracle.pp_divergence d
 
+(* Bounded mode-agreement campaign: the same syscall sequences under
+   EmbSan-C and EmbSan-D must yield the same unique report set.  Selected
+   by name so a harness wiring regression (oracle dropped from the
+   registry) fails here rather than silently shrinking the default set. *)
+let mode_agreement_campaign () =
+  let config =
+    {
+      Harness.default_config with
+      execs = 30;
+      oracles = [ "mode-agreement" ];
+    }
+  in
+  let s = Harness.run config in
+  Alcotest.(check int) "all programs ran" (3 * 30) s.s_programs;
+  (* the kernels never crash: every sequence ends back in the idle loop *)
+  Alcotest.(check (list (pair string int))) "stops" [ ("halted", 90) ] s.s_stops;
+  match s.s_divergences with
+  | [] -> ()
+  | d :: _ -> Alcotest.failf "%a" Oracle.pp_divergence d
+
 (* --- guest kernel boot differentials --------------------------------------- *)
 
 (* One representative firmware per guest OS family. *)
@@ -167,7 +187,11 @@ let () =
           Alcotest.test_case "incremental digest agrees with full" `Quick
             incremental_digest_agrees;
         ] );
-      ("oracles", [ Alcotest.test_case "random campaign" `Quick random_campaign ]);
+      ( "oracles",
+        [
+          Alcotest.test_case "random campaign" `Quick random_campaign;
+          Alcotest.test_case "mode agreement" `Quick mode_agreement_campaign;
+        ] );
       ("kernel fast-vs-baseline", kernel_tests kernel_fast_vs_baseline);
       ("kernel probe transparency", kernel_tests kernel_probe_transparency);
     ]

@@ -587,6 +587,275 @@ let embsan_kmemleak_third_sanitizer () =
       Embsan.Source (build_firmware Codegen.Plain, Prober.no_hints);
     ]
 
+(* --- Sanitizer plugin architecture ----------------------------------------------- *)
+
+(* The compiled per-point dispatch plans must agree with the reference
+   semantics [Dsl.wants] for arbitrary specs: a sanitizer is in the plan
+   of a point iff the spec selects it, the DSL intercept names it there,
+   a plugin is registered under that name, and the plugin subscribes to
+   the point.  Unknown names ("mystery") must be skipped, duplicates
+   collapsed. *)
+let all_points =
+  [
+    Api_spec.P_load;
+    Api_spec.P_store;
+    Api_spec.P_func_alloc;
+    Api_spec.P_func_free;
+    Api_spec.P_global_register;
+    Api_spec.P_stack_poison;
+    Api_spec.P_stack_unpoison;
+  ]
+
+let plan_matches_wants =
+  let open QCheck2 in
+  let san_names = [ "kasan"; "kcsan"; "kmemleak"; "ualign"; "mystery" ] in
+  let intercept_gen =
+    Gen.(
+      pair (oneofl all_points) (list_size (int_range 0 4) (oneofl san_names))
+      >|= fun (p, sans) ->
+      {
+        Dsl.i_point = p;
+        i_args = [ "addr"; "size" ];
+        i_handlers =
+          List.map (fun s -> { Dsl.h_san = s; h_op = "op"; h_args = [] }) sans;
+      })
+  in
+  let spec_gen =
+    Gen.(
+      pair
+        (list_size (int_range 0 5) (oneofl san_names))
+        (list_size (int_range 0 7) intercept_gen)
+      >|= fun (sans, intercepts) ->
+      { Dsl.empty with sanitizers = List.sort_uniq compare sans; intercepts })
+  in
+  Test.make ~name:"compiled plan = Dsl.wants reference" ~count:100 spec_gen
+    (fun spec ->
+      Ualign.register ();
+      List.for_all
+        (fun mode ->
+          let m =
+            Machine.create ~harts:1 ~ram_base:0x1_0000 ~ram_size:0x1_0000
+              ~arch:Arch.Arm_ev ()
+          in
+          let rt = Runtime.attach ~spec ~mode m in
+          List.for_all
+            (fun point ->
+              let plan = Runtime.plan_names rt point in
+              List.length plan = List.length (List.sort_uniq compare plan)
+              && List.for_all
+                   (fun san ->
+                     let reference =
+                       List.mem san spec.Dsl.sanitizers
+                       && Dsl.wants spec point san
+                       &&
+                       match Sanitizer.find san with
+                       | Some p -> Sanitizer.supports p point
+                       | None -> false
+                     in
+                     List.mem san plan = reference)
+                   san_names)
+            all_points)
+        [ Runtime.C; Runtime.D ])
+
+(* Satellite: the binary-searched (sorted, merged) exempt ranges must agree
+   with a naive linear scan over the original overlapping range list. *)
+let pc_exempt_matches_linear =
+  let open QCheck2 in
+  let range_gen =
+    Gen.(
+      pair (int_bound 0x400) (int_bound 48) >|= fun (lo, len) -> (lo, lo + len))
+  in
+  Test.make ~name:"pc_exempt = linear reference" ~count:200
+    Gen.(
+      pair
+        (list_size (int_range 0 40) range_gen)
+        (list_size (int_range 1 60) (int_bound 0x460)))
+    (fun (ranges, pcs) ->
+      let spec =
+        {
+          Dsl.empty with
+          sanitizers = [ "kasan" ];
+          exempts =
+            List.map
+              (fun (lo, hi) -> { Dsl.e_name = "e"; e_addr = lo; e_size = hi - lo })
+              ranges;
+        }
+      in
+      let m =
+        Machine.create ~harts:1 ~ram_base:0x1_0000 ~ram_size:0x1_0000
+          ~arch:Arch.Arm_ev ()
+      in
+      let rt = Runtime.attach ~spec ~mode:Runtime.D m in
+      List.for_all
+        (fun pc ->
+          let naive =
+            List.exists (fun (lo, hi) -> pc >= lo && pc < hi) ranges
+          in
+          Runtime.pc_exempt rt pc = naive)
+        pcs)
+
+(* Satellite: the EmbSan-D allocator-interception stacks are per-hart and
+   bounded, and a snapshot restore drops in-flight entries left behind by
+   a crash mid-allocator instead of leaking them into the next run. *)
+let pending_allocs_bounded_and_restored () =
+  let session =
+    Embsan.prepare ~sanitizers:Embsan.kasan_only
+      ~firmware:(Embsan.Source (build_firmware Codegen.Plain, Prober.no_hints))
+      ()
+  in
+  let m = Embsan.make_machine session in
+  let rt = Embsan.attach session m in
+  (match Machine.run_until_ready m ~max_insns:5_000_000 with
+  | None -> ()
+  | Some s -> Alcotest.failf "boot failed: %a" Machine.pp_stop s);
+  let kmalloc =
+    match
+      List.find_opt
+        (fun f -> f.Dsl.f_name = "kmalloc")
+        session.s_spec.Dsl.functions
+    with
+    | Some f -> f.Dsl.f_addr
+    | None -> Alcotest.fail "kmalloc not intercepted"
+  in
+  Alcotest.(check int) "idle" 0 (Runtime.pending_depth rt ~hart:0);
+  let snap = Runtime.save rt in
+  (* allocator entries whose returns never happen (crash / tail call) *)
+  let enter pc =
+    Probe.fire_call m.probes { Probe.c_hart = 0; c_pc = pc; c_target = kmalloc }
+  in
+  enter 0x100;
+  enter 0x200;
+  Alcotest.(check int) "two in flight" 2 (Runtime.pending_depth rt ~hart:0);
+  (* a snapshot restore must not carry the abandoned entries over *)
+  Runtime.restore rt snap;
+  Alcotest.(check int) "restore clears in-flight" 0
+    (Runtime.pending_depth rt ~hart:0);
+  (* unbounded re-entry must saturate at the stack capacity, not grow *)
+  for i = 1 to 100 do
+    enter (0x1000 + (8 * i))
+  done;
+  Alcotest.(check int) "bounded" Runtime.pending_capacity
+    (Runtime.pending_depth rt ~hart:0);
+  (* a matching return resolves the newest frame *)
+  Probe.fire_ret m.probes
+    {
+      Probe.r_hart = 0;
+      r_pc = kmalloc;
+      r_target = 0x1000 + (8 * 100) + Insn.size;
+      r_retval = 0x2_0000;
+    };
+  Alcotest.(check int) "return pops"
+    (Runtime.pending_capacity - 1)
+    (Runtime.pending_depth rt ~hart:0);
+  (* state is keyed to its runtime: cross-runtime restore is an error *)
+  let m2 = Embsan.make_machine session in
+  let rt2 = Embsan.attach session m2 in
+  match Runtime.restore rt2 snap with
+  | () -> Alcotest.fail "expected Invalid_argument on cross-runtime restore"
+  | exception Invalid_argument _ -> ()
+
+(* The fourth sanitizer: ualign plugs in through Api_spec + registry only
+   (no runtime/machine/probe edits) and works under both backends, with
+   its own reports and snapshot state. *)
+let ualign_kernel_src =
+  {|
+barr buf[64];
+barr heap_pool[1024];
+var heap_next = 0;
+
+fun kmalloc(size) {
+  var p = &heap_pool + heap_next;
+  heap_next = heap_next + ((size + 7) & ~7);
+  san_alloc(p, size);
+  return p;
+}
+
+fun kfree(p) {
+  san_free(p, 0);
+  return 0;
+}
+
+fun sys_ua(n) {
+  if (n) { store32(&buf + 2, 7); }   // straddles the 4-byte boundary
+  return 0;
+}
+
+fun kmain() {
+  san_poison(&heap_pool, 1024);
+  store32(0xF0000228, 1);   // ready doorbell
+  while (1) {
+    if (load32(0xF0000200)) {
+      var nr = load32(0xF0000204);
+      var a = load32(0xF0000208);
+      var ret = 0;
+      if (nr == 1) { ret = sys_ua(a); }
+      store32(0xF0000220, ret);
+      store32(0xF0000224, 1);
+    }
+  }
+}
+|}
+
+let build_ua_firmware mode =
+  Driver.compile_string
+    ~cfg:{ Driver.default_config with mode; arch = Arch.Arm_ev }
+    ~name:"ua_kernel" ualign_kernel_src
+
+let embsan_ualign_fourth_sanitizer () =
+  List.iter
+    (fun firmware ->
+      let session =
+        Embsan.prepare
+          ~sanitizers:(Embsan.with_ualign Embsan.kasan_only)
+          ~firmware ()
+      in
+      Alcotest.(check bool) "ualign in spec" true
+        (List.mem "ualign" session.s_spec.Dsl.sanitizers);
+      Alcotest.(check bool) "ualign registered" true
+        (List.mem "ualign" (Sanitizer.registered ()));
+      let m = Embsan.make_machine session in
+      let rt = Embsan.attach session m in
+      (* deterministic plan order: header order, kasan before ualign *)
+      Alcotest.(check (list string)) "store plan" [ "kasan"; "ualign" ]
+        (Runtime.plan_names rt Api_spec.P_store);
+      (match Machine.run_until_ready m ~max_insns:5_000_000 with
+      | None -> ()
+      | Some s -> Alcotest.failf "boot failed: %a" Machine.pp_stop s);
+      let syscall nr arg =
+        Devices.mailbox_push m.mailbox ~nr ~args:[| arg |];
+        match Machine.run_until_mailbox_idle m ~max_insns:5_000_000 with
+        | None -> ()
+        | Some s -> Alcotest.failf "syscall crashed: %a" Machine.pp_stop s
+      in
+      syscall 1 0;
+      Alcotest.(check int) "benign arg: clean" 0 (Report.count rt.sink);
+      let snap = Runtime.save rt in
+      syscall 1 1;
+      (match
+         List.filter
+           (fun (r : Report.t) -> r.kind = Report.Unaligned_access)
+           (Embsan.reports rt)
+       with
+      | [ r ] ->
+          Alcotest.(check string) "sanitizer" "ualign" r.sanitizer;
+          Alcotest.(check (option string)) "location" (Some "sys_ua") r.location
+      | l ->
+          Alcotest.failf "expected 1 unaligned-access report, got %d"
+            (List.length l));
+      (* ualign state rides the plugin-keyed snapshot like the builtins *)
+      Runtime.restore rt snap;
+      Alcotest.(check int) "reports rewound" 0 (Report.count rt.sink);
+      let unaligned_count =
+        match List.assoc_opt "ualign" (Runtime.plugin_stats rt) with
+        | Some stats -> List.assoc "unaligned" stats
+        | None -> -1
+      in
+      Alcotest.(check int) "ualign counter rewound" 0 unaligned_count)
+    [
+      Embsan.Instrumented (build_ua_firmware Codegen.Trap_callout);
+      Embsan.Source (build_ua_firmware Codegen.Plain, Prober.no_hints);
+    ]
+
 let () =
   Alcotest.run "embsan_core"
     [
@@ -633,5 +902,14 @@ let () =
           Alcotest.test_case "KCSAN catches a data race" `Quick embsan_kcsan_race;
           Alcotest.test_case "kmemleak as a third sanitizer (S5)" `Quick
             embsan_kmemleak_third_sanitizer;
+        ] );
+      ( "plugins",
+        [
+          QCheck_alcotest.to_alcotest plan_matches_wants;
+          QCheck_alcotest.to_alcotest pc_exempt_matches_linear;
+          Alcotest.test_case "pending allocs bounded + restored" `Quick
+            pending_allocs_bounded_and_restored;
+          Alcotest.test_case "ualign as a fourth sanitizer" `Quick
+            embsan_ualign_fourth_sanitizer;
         ] );
     ]

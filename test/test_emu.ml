@@ -842,6 +842,38 @@ let timer_mid_block_precise () =
   | Machine.Halted n -> Alcotest.(check int) "precise mid-block count" 2 n
   | s -> Alcotest.failf "unexpected stop %a" Machine.pp_stop s
 
+(* Drift guard for the hypercall callout numbering: the EmbSan-C codegen
+   and the runtime's trap installation both go through check/decode_check,
+   so a renumbering that breaks the round-trip, or a sanitizer callout
+   slot losing its name, must fail loudly here rather than as silently
+   missed checks. *)
+let hypercall_numbering_stable () =
+  List.iter
+    (fun is_write ->
+      List.iter
+        (fun size ->
+          let n = Hypercall.check ~is_write ~size in
+          Alcotest.(check (option (pair bool int)))
+            (Printf.sprintf "decode (check ~is_write:%b ~size:%d)" is_write
+               size)
+            (Some (is_write, size))
+            (Hypercall.decode_check n))
+        [ 1; 2; 4 ])
+    [ false; true ];
+  (* every sanitizer callout slot 16..29 must carry a real name *)
+  for n = 16 to 29 do
+    let default = Printf.sprintf "trap%d" n in
+    if String.equal (Hypercall.name n) default then
+      Alcotest.failf "callout %d has no name (got default %S)" n default
+  done;
+  (* and decode_check must reject everything outside the check range *)
+  List.iter
+    (fun n ->
+      Alcotest.(check (option (pair bool int)))
+        (Printf.sprintf "decode_check %d" n)
+        None (Hypercall.decode_check n))
+    [ 0; 15; 22; 23; 29; 30 ]
+
 let () =
   Alcotest.run "embsan_emu"
     [
@@ -903,6 +935,8 @@ let () =
       ( "services",
         [
           Alcotest.test_case "hypercall ABI" `Quick hypercall_abi;
+          Alcotest.test_case "callout numbering stable" `Quick
+            hypercall_numbering_stable;
           Alcotest.test_case "putc and exit" `Quick services_putc_and_exit;
           Alcotest.test_case "hart_start / current_hart" `Quick
             hart_start_service;
