@@ -1,4 +1,5 @@
-.PHONY: all build test bench-smoke check check-diff check-snap check-modes clean
+.PHONY: all build test bench-smoke check check-diff check-snap check-modes \
+	check-orch clean
 
 all: build
 
@@ -13,6 +14,7 @@ test:
 bench-smoke: build
 	./_build/default/bench/main.exe bechamel --execs 200
 	./_build/default/bench/main.exe emu
+	./_build/default/bench/main.exe orch
 
 # Bounded differential-oracle run over the dual execution engines (fixed
 # seed, small exec budget): fast-vs-baseline, probe transparency,
@@ -37,7 +39,14 @@ check-modes: build
 	./_build/default/bin/embsan_cli.exe check --oracle mode-agreement \
 	  --seed 1 --execs 250
 
-check: build test bench-smoke check-diff check-snap check-modes
+# Orchestrator smoke: a short 2-worker campaign over one RTOS image with
+# frontier exchange and per-epoch telemetry.  Exercises the multi-domain
+# path end-to-end (worker boot, epoch barrier, merge, global triage).
+check-orch: build
+	./_build/default/bin/embsan_cli.exe campaign OpenHarmony-stm32f407 \
+	  --jobs 2 --execs 400 --seed 3 --exchange 100 --telemetry
+
+check: build test bench-smoke check-diff check-snap check-modes check-orch
 
 clean:
 	dune clean

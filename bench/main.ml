@@ -13,6 +13,7 @@
      emu       execution-engine throughput (writes BENCH_emu.json)
      snap      snapshot service: restore latency + campaign reboot-vs-restore
                (writes BENCH_snap.json)
+     orch      multi-domain orchestrator scaling sweep (writes BENCH_orch.json)
      all       everything above (default)
 
    Options: --execs N (campaign budget, default 4000), --seed N. *)
@@ -46,7 +47,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "table3"; "table4"; "replay"; "fig2";
-            "ablation"; "bechamel"; "emu"; "snap"; "all" ])
+            "ablation"; "bechamel"; "emu"; "snap"; "orch"; "all" ])
       args
   in
   let cmds = if cmds = [] then [ "all" ] else cmds in
@@ -68,4 +69,5 @@ let () =
   if want "bechamel" then Bechamel_suite.run ();
   if want "emu" then Emu_bench.run ();
   if want "snap" then Snap_bench.run ();
+  if want "orch" then Orch_bench.run ();
   Fmt.pr "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

@@ -5,6 +5,7 @@
      embsan run    <firmware> <nr> <args...>   one syscall under EmbSan
      embsan repro  <firmware> <bug-id>   replay a bug's reproducer
      embsan fuzz   <firmware> [--execs N] [--seed N]
+     embsan campaign <firmware> [--jobs N] [--execs N] [--seed N]
      embsan disasm <firmware>            disassemble the built image *)
 
 open Cmdliner
@@ -143,6 +144,64 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc:"Run a coverage-guided fuzzing campaign with EmbSan")
     Term.(const run $ fw_arg $ execs $ seed)
 
+(* --- campaign ---------------------------------------------------------------- *)
+
+let campaign_cmd =
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains (1..64).  Each worker owns its own machine, \
+             runtime and post-boot snapshot and fuzzes a deterministic \
+             sub-seed shard; 1 reduces bit-for-bit to the single-threaded \
+             campaign.")
+  in
+  let execs =
+    Arg.(
+      value & opt int 2000
+      & info [ "execs" ] ~doc:"Execution budget per worker.")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
+  let exchange =
+    Arg.(
+      value & opt int 100
+      & info [ "exchange" ]
+          ~doc:"Executions per worker between frontier exchanges.")
+  in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ] ~doc:"Print per-epoch merged telemetry lines.")
+  in
+  let run fw jobs execs seed exchange telemetry =
+    let campaign =
+      { (Embsan_fuzz.Campaign.default_config fw) with max_execs = execs; seed }
+    in
+    let cfg =
+      {
+        Embsan_orch.Orch.campaign;
+        jobs;
+        epoch_execs = exchange;
+        on_telemetry =
+          (if telemetry then
+             Some (fun t -> Fmt.pr "%a@." Embsan_orch.Orch.pp_telemetry t)
+           else None);
+      }
+    in
+    match Embsan_orch.Orch.run cfg with
+    | r -> Fmt.pr "%a@." Embsan_orch.Orch.pp_result r
+    | exception Invalid_argument msg ->
+        Fmt.epr "%s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Run an orchestrated fuzzing campaign over N worker domains with \
+          frontier exchange and global triage")
+    Term.(const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry)
+
 (* --- trace ------------------------------------------------------------------ *)
 
 let trace_cmd =
@@ -276,6 +335,7 @@ let () =
             run_cmd;
             repro_cmd;
             fuzz_cmd;
+            campaign_cmd;
             trace_cmd;
             check_cmd;
             disasm_cmd;

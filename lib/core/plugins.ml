@@ -4,14 +4,22 @@
    concrete sanitizers: {!Runtime.attach} calls {!ensure_builtin} and then
    works purely off the registry.  Out-of-tree sanitizers register
    themselves with {!Sanitizer.register} (see {!Ualign.register}) and need
-   no entry here. *)
+   no entry here.
 
+   [Runtime.attach] runs concurrently from the orchestrator's worker
+   domains, so the once-flag is guarded by a mutex: exactly one domain
+   performs the registration, and any domain returning from
+   [ensure_builtin] observes the completed bootstrap (the registrations
+   happen before the flag's critical section ends). *)
+
+let lock = Mutex.create ()
 let done_ = ref false
 
 let ensure_builtin () =
-  if not !done_ then begin
-    done_ := true;
-    Sanitizer.register Kasan.plugin;
-    Sanitizer.register Kcsan.plugin;
-    Sanitizer.register Kmemleak.plugin
-  end
+  Mutex.protect lock (fun () ->
+      if not !done_ then begin
+        Sanitizer.register Kasan.plugin;
+        Sanitizer.register Kcsan.plugin;
+        Sanitizer.register Kmemleak.plugin;
+        done_ := true
+      end)

@@ -118,12 +118,22 @@ let stats (Instance ((module P), x)) = P.stats x
 
 (* --- Registry ---------------------------------------------------------------- *)
 
+(* The registry is process-global toplevel state, and every worker domain
+   of the campaign orchestrator reaches it through [Runtime.attach]
+   (register at bootstrap, find per attach), so all access goes through
+   one mutex.  Plugins themselves stay domain-free: [find] hands out the
+   immutable first-class module, and each runtime instantiates its own
+   per-domain state from it. *)
 let registry : (string, plugin) Hashtbl.t = Hashtbl.create 8
+let registry_lock = Mutex.create ()
 
-(** Register (or replace) a plugin under its [S.name]. *)
-let register (module P : S) = Hashtbl.replace registry P.name (module P : S)
+(** Register (or replace) a plugin under its [S.name].  Domain-safe. *)
+let register (module P : S) =
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.replace registry P.name (module P : S))
 
-let find n = Hashtbl.find_opt registry n
+let find n = Mutex.protect registry_lock (fun () -> Hashtbl.find_opt registry n)
 
 let registered () =
-  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry [])
+  Mutex.protect registry_lock (fun () ->
+      List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) registry []))

@@ -124,132 +124,232 @@ let confirm ~try_repro (bug : Defs.bug) ~history prog =
     end
   end
 
-let run (cfg : config) : result =
-  let rng = Rng.create ~seed:cfg.seed in
-  let corpus = Corpus.create () in
-  let cov = Coverage.create ~harts:2 in
-  let symbolize = truth_symbolize cfg.fw in
-  let inst = ref (boot_with_coverage cfg cov) in
-  (* Persistent-mode checkpoint: capture once post-boot and revert to it on
-     crash recovery instead of rebooting.  Coverage is fuzzer-owned host
-     state, attached via probes — it survives restores by design (pinned by
-     a regression test in test/test_fuzz.ml). *)
-  let snap =
-    if cfg.use_snapshots then
-      Some (Snap.capture ?runtime:!inst.rt !inst.machine)
-    else None
-  in
-  let insns_base = ref 0 in (* total_insns already credited to [insns] *)
-  let history = ref [] in (* recent programs, newest first *)
-  let found : (string, found) Hashtbl.t = Hashtbl.create 16 in
-  let unmatched = ref [] in
-  let crashes = ref 0 in
-  let execs = ref 0 in
-  let insns = ref 0 in
-  let seen_reports = ref 0 in
-  (* Confirmation replays: with snapshots, one lazily-booted instance is
-     restored per attempt; otherwise each attempt boots fresh. *)
-  let repro_state = ref None in
-  let try_repro =
-    if not cfg.use_snapshots then reboot_repro cfg
-    else fun bug calls ->
-      match
-        (match !repro_state with
-        | Some is -> is
-        | None ->
-            let i =
-              Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers)
-            in
-            let s = Snap.capture ?runtime:i.Replay.rt i.Replay.machine in
-            repro_state := Some (i, s);
-            (i, s))
-      with
-      | exception Replay.Boot_failed _ -> false
-      | i, s ->
-          ignore (Snap.restore s : int);
-          let before = List.length (Report.unique_reports i.Replay.sink) in
-          let o = Replay.replay i calls in
-          let fresh =
-            List.filteri (fun k _ -> k >= before) o.Replay.o_reports
-          in
-          Replay.detects bug { o with Replay.o_reports = fresh }
-  in
-  let total_bugs = List.length cfg.fw.fw_bugs in
-  let all_found () = Hashtbl.length found >= total_bugs in
-  let note_bug bug prog =
-    if not (Hashtbl.mem found bug.Defs.b_id) then begin
-      let entry =
-        match confirm ~try_repro bug ~history:(List.rev !history) prog with
-        | Some repro ->
-            { f_bug = bug; f_exec = !execs; f_prog = repro; f_confirmed = true }
-        | None ->
-            { f_bug = bug; f_exec = !execs; f_prog = prog; f_confirmed = false }
-      in
-      Hashtbl.replace found bug.Defs.b_id entry
-    end
-  in
-  while !execs < cfg.max_execs && not (cfg.stop_when_all_found && all_found ())
-  do
-    incr execs;
-    let prog =
-      if Corpus.size corpus > 0 && Rng.chance rng ~percent:70 then
-        Prog.mutate rng cfg.fw.fw_syscalls
-          ~corpus_pick:(fun () -> Corpus.pick rng corpus)
-          (Option.value ~default:[] (Corpus.pick rng corpus))
-      else Prog.gen rng cfg.fw.fw_syscalls
+(* The per-worker fuzzing engine.  [Campaign.run] below is a trivial
+   driver over it (create, step until finished, result); the campaign
+   orchestrator ([lib/orch]) drives one engine per worker domain in
+   epoch-sized batches, injecting frontier programs received from other
+   workers between batches.  Keeping [run] on this exact code path is
+   what makes an orchestrated single-worker campaign bit-identical to
+   [Campaign.run] for the same seed (pinned in test/test_orch.ml). *)
+module Engine = struct
+  type t = {
+    cfg : config;
+    rng : Rng.t;
+    corpus : Corpus.t;
+    cov : Coverage.t;
+    symbolize : int -> string option;
+    mutable inst : Replay.instance;
+    snap : Snap.t option;
+    try_repro : Defs.bug -> (int * int array) list -> bool;
+    total_bugs : int;
+    mutable insns_base : int; (* total_insns already credited to [insns] *)
+    mutable history : Prog.t list; (* recent programs, newest first *)
+    found : (string, found) Hashtbl.t;
+    mutable unmatched : string list;
+    mutable crashes : int;
+    mutable execs : int;
+    mutable insns : int;
+    mutable seen_reports : int;
+    (* per-epoch harvest for the orchestrator, newest first *)
+    mutable fresh_frontier : (Prog.t * (int * int) list) list;
+    mutable fresh_found : found list;
+  }
+
+  let create ?rng (cfg : config) =
+    let rng =
+      match rng with Some r -> r | None -> Rng.create ~seed:cfg.seed
     in
-    Coverage.reset_edges cov;
-    history := prog :: (if List.length !history >= 4 then List.filteri (fun i _ -> i < 3) !history else !history);
-    let outcome = Replay.replay !inst (Prog.to_reproducer prog) in
-    ignore (Corpus.consider corpus prog (Coverage.signature cov));
+    let cov = Coverage.create ~harts:2 in
+    let inst = boot_with_coverage cfg cov in
+    (* Persistent-mode checkpoint: capture once post-boot and revert to it
+       on crash recovery instead of rebooting.  Coverage is fuzzer-owned
+       host state, attached via probes — it survives restores by design
+       (pinned by a regression test in test/test_fuzz.ml). *)
+    let snap =
+      if cfg.use_snapshots then Some (Snap.capture ?runtime:inst.rt inst.machine)
+      else None
+    in
+    (* Confirmation replays: with snapshots, one lazily-booted instance is
+       restored per attempt; otherwise each attempt boots fresh. *)
+    let repro_state = ref None in
+    let try_repro =
+      if not cfg.use_snapshots then reboot_repro cfg
+      else fun bug calls ->
+        match
+          (match !repro_state with
+          | Some is -> is
+          | None ->
+              let i = Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers) in
+              let s = Snap.capture ?runtime:i.Replay.rt i.Replay.machine in
+              repro_state := Some (i, s);
+              (i, s))
+        with
+        | exception Replay.Boot_failed _ -> false
+        | i, s ->
+            ignore (Snap.restore s : int);
+            let before = List.length (Report.unique_reports i.Replay.sink) in
+            let o = Replay.replay i calls in
+            let fresh =
+              List.filteri (fun k _ -> k >= before) o.Replay.o_reports
+            in
+            Replay.detects bug { o with Replay.o_reports = fresh }
+    in
+    {
+      cfg;
+      rng;
+      corpus = Corpus.create ();
+      cov;
+      symbolize = truth_symbolize cfg.fw;
+      inst;
+      snap;
+      try_repro;
+      total_bugs = List.length cfg.fw.fw_bugs;
+      insns_base = 0;
+      history = [];
+      found = Hashtbl.create 16;
+      unmatched = [];
+      crashes = 0;
+      execs = 0;
+      insns = 0;
+      seen_reports = 0;
+      fresh_frontier = [];
+      fresh_found = [];
+    }
+
+  let all_found e = Hashtbl.length e.found >= e.total_bugs
+
+  let finished e =
+    e.execs >= e.cfg.max_execs || (e.cfg.stop_when_all_found && all_found e)
+
+  let note_bug e bug prog =
+    if not (Hashtbl.mem e.found bug.Defs.b_id) then begin
+      let entry =
+        match
+          confirm ~try_repro:e.try_repro bug ~history:(List.rev e.history) prog
+        with
+        | Some repro ->
+            { f_bug = bug; f_exec = e.execs; f_prog = repro; f_confirmed = true }
+        | None ->
+            { f_bug = bug; f_exec = e.execs; f_prog = prog; f_confirmed = false }
+      in
+      Hashtbl.replace e.found bug.Defs.b_id entry;
+      e.fresh_found <- entry :: e.fresh_found
+    end
+
+  (* One execution of [prog]: run it, triage coverage, reports and
+     crashes, recover if the machine died.  Shared between [step]
+     (self-generated programs) and [inject] (frontier programs received
+     from other workers). *)
+  let execute e prog =
+    Coverage.reset_edges e.cov;
+    e.history <-
+      prog
+      ::
+      (if List.length e.history >= 4 then
+         List.filteri (fun i _ -> i < 3) e.history
+       else e.history);
+    let outcome = Replay.replay e.inst (Prog.to_reproducer prog) in
+    let signature = Coverage.signature e.cov in
+    if Corpus.consider e.corpus prog signature then
+      e.fresh_frontier <- (prog, signature) :: e.fresh_frontier;
     (* new sanitizer reports? *)
-    let reports = Report.unique_reports !inst.sink in
+    let reports = Report.unique_reports e.inst.sink in
     let n = List.length reports in
-    if n > !seen_reports then begin
-      let fresh = List.filteri (fun i _ -> i >= !seen_reports) reports in
-      seen_reports := n;
+    if n > e.seen_reports then begin
+      let fresh = List.filteri (fun i _ -> i >= e.seen_reports) reports in
+      e.seen_reports <- n;
       List.iter
         (fun r ->
-          match match_bug symbolize cfg.fw r with
-          | Some bug -> note_bug bug prog
-          | None -> unmatched := Report.title r :: !unmatched)
+          match match_bug e.symbolize e.cfg.fw r with
+          | Some bug -> note_bug e bug prog
+          | None -> e.unmatched <- Report.title r :: e.unmatched)
         fresh
     end;
     (* architectural crash: triage, then recover — restore the post-boot
        checkpoint when snapshotting, reboot a fresh instance otherwise *)
-    (match outcome.o_crash with
+    match outcome.o_crash with
     | Some stop ->
-        incr crashes;
-        (match match_crash cfg.fw stop with
-        | Some bug -> note_bug bug prog
+        e.crashes <- e.crashes + 1;
+        (match match_crash e.cfg.fw stop with
+        | Some bug -> note_bug e bug prog
         | None -> ());
-        (match snap with
+        (match e.snap with
         | Some s ->
-            insns := !insns + (!inst.machine.total_insns - !insns_base);
+            e.insns <- e.insns + (e.inst.machine.total_insns - e.insns_base);
             ignore (Snap.restore s : int);
             (* total_insns reverts to its captured value; the sink reverts
                to its post-boot contents, so re-baseline both *)
-            insns_base := !inst.machine.total_insns;
-            seen_reports := List.length (Report.unique_reports !inst.sink)
+            e.insns_base <- e.inst.machine.total_insns;
+            e.seen_reports <-
+              List.length (Report.unique_reports e.inst.sink)
         | None ->
-            insns := !insns + !inst.machine.total_insns;
-            inst := boot_with_coverage cfg cov;
-            seen_reports := 0);
-        history := []
-    | None -> ())
+            e.insns <- e.insns + e.inst.machine.total_insns;
+            e.inst <- boot_with_coverage e.cfg e.cov;
+            e.seen_reports <- 0);
+        e.history <- []
+    | None -> ()
+
+  let step e =
+    e.execs <- e.execs + 1;
+    let prog =
+      if Corpus.size e.corpus > 0 && Rng.chance e.rng ~percent:70 then
+        Prog.mutate e.rng e.cfg.fw.fw_syscalls
+          ~corpus_pick:(fun () -> Corpus.pick e.rng e.corpus)
+          (Option.value ~default:[] (Corpus.pick e.rng e.corpus))
+      else Prog.gen e.rng e.cfg.fw.fw_syscalls
+    in
+    execute e prog
+
+  (* Frontier import: execute a program another worker found productive.
+     It counts as an execution (it costs one), joins the corpus if it
+     yields locally-new coverage, and goes through the same report/crash
+     triage as a generated program. *)
+  let inject e prog =
+    e.execs <- e.execs + 1;
+    execute e prog
+
+  let drain_frontier e =
+    let l = List.rev e.fresh_frontier in
+    e.fresh_frontier <- [];
+    l
+
+  let drain_found e =
+    let l = List.rev e.fresh_found in
+    e.fresh_found <- [];
+    l
+
+  let execs e = e.execs
+  let crashes e = e.crashes
+  let corpus_size e = Corpus.size e.corpus
+  let coverage e = Corpus.coverage e.corpus
+  let unmatched e = List.sort_uniq compare e.unmatched
+
+  (* Retired guest instructions so far, credited across snapshot rollbacks
+     and reboots exactly as [result] reports them. *)
+  let insns_now e = e.insns + (e.inst.machine.total_insns - e.insns_base)
+
+  let result e =
+    e.insns <- e.insns + (e.inst.machine.total_insns - e.insns_base);
+    e.insns_base <- e.inst.machine.total_insns;
+    {
+      r_fw = e.cfg.fw;
+      r_found = Hashtbl.fold (fun _ f acc -> f :: acc) e.found [];
+      r_execs = e.execs;
+      r_crashes = e.crashes;
+      r_corpus = Corpus.size e.corpus;
+      r_coverage = Corpus.coverage e.corpus;
+      r_insns = e.insns;
+      r_unmatched = List.sort_uniq compare e.unmatched;
+      r_corpus_progs = Corpus.programs e.corpus;
+    }
+end
+
+let run (cfg : config) : result =
+  let e = Engine.create cfg in
+  while not (Engine.finished e) do
+    Engine.step e
   done;
-  insns := !insns + (!inst.machine.total_insns - !insns_base);
-  {
-    r_fw = cfg.fw;
-    r_found = Hashtbl.fold (fun _ f acc -> f :: acc) found [];
-    r_execs = !execs;
-    r_crashes = !crashes;
-    r_corpus = Corpus.size corpus;
-    r_coverage = Corpus.coverage corpus;
-    r_insns = !insns;
-    r_unmatched = List.sort_uniq compare !unmatched;
-    r_corpus_progs = Corpus.programs corpus;
-  }
+  Engine.result e
 
 (* The overhead experiment (Figure 2) replays the merged corpus; programs
    that trigger sanitizer reports or crashes are excluded so the workload

@@ -41,6 +41,54 @@ type result = {
       (** the merged corpus (the overhead experiment's workload) *)
 }
 
+(** The steppable per-worker fuzzing engine behind {!run}.  One engine
+    owns one booted instance (machine, runtime, post-boot snapshot),
+    corpus and coverage map — shared-nothing, so the campaign
+    orchestrator ([lib/orch]) can drive one engine per domain.  {!run}
+    is exactly [create]; [step] until [finished]; [result] — which is
+    what makes a single-worker orchestrated campaign bit-identical to
+    {!run} for the same seed. *)
+module Engine : sig
+  type t
+
+  (** [create ?rng cfg] boots a fresh instance and returns an idle
+      engine.  [rng] defaults to [Rng.create ~seed:cfg.seed]; the
+      orchestrator passes [Rng.split]-derived per-shard streams. *)
+  val create : ?rng:Rng.t -> config -> t
+
+  (** Budget exhausted, or all registered bugs found (when
+      [stop_when_all_found]). *)
+  val finished : t -> bool
+
+  (** One fuzzing iteration: generate or mutate a program, execute it,
+      triage coverage/reports/crashes, recover from architectural
+      crashes. *)
+  val step : t -> unit
+
+  (** Execute a frontier program received from another worker.  Counts
+      as one execution and goes through the same corpus-admission and
+      triage path as a generated program. *)
+  val inject : t -> Prog.t -> unit
+
+  (** New corpus entries (with the coverage signature that admitted
+      them) since the last drain, oldest first. *)
+  val drain_frontier : t -> (Prog.t * (int * int) list) list
+
+  (** Newly found (confirmed/unconfirmed) bugs since the last drain,
+      oldest first. *)
+  val drain_found : t -> found list
+
+  val execs : t -> int
+  val crashes : t -> int
+  val corpus_size : t -> int
+  val coverage : t -> int
+  val insns_now : t -> int
+  val unmatched : t -> string list
+
+  (** Final result; also flushes the instruction accounting. *)
+  val result : t -> result
+end
+
 val run : config -> result
 
 (** Filter the corpus to programs that neither report nor crash, iterated

@@ -19,6 +19,27 @@ let range t lo hi = lo + below t (hi - lo + 1)
 
 let chance t ~percent = below t 100 < percent
 
+(* Splittable streams: each campaign shard fuzzes under its own
+   deterministic sub-stream derived from the campaign seed, so a
+   multi-domain orchestrator stays reproducible without the workers
+   sharing (or locking) one generator.  The derivation is a two-round
+   64-bit avalanche over (state, shard) with constants distinct from the
+   step mixer above, so a sub-stream never collides with its parent
+   stream or with a sibling shard's (pinned by QCheck tests). *)
+
+let split_mix z =
+  let z = (z lxor (z lsr 32)) * 0x2545F4914F6CDD1D land max_int in
+  let z = (z lxor (z lsr 29)) * 0x27D4EB2F165667C5 land max_int in
+  z lxor (z lsr 32)
+
+let split_seed ~seed ~shard =
+  split_mix (((seed * 0x9E3779B9) lor 1) + ((shard + 1) * 0x165667B19E3779F9))
+
+(** [split t ~shard] derives an independent stream for shard index
+    [shard] without advancing [t]: deterministic in (current state,
+    shard), distinct across shards. *)
+let split t ~shard = { state = split_seed ~seed:t.state ~shard lor 1 }
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty"
   | l -> List.nth l (below t (List.length l))

@@ -12,6 +12,17 @@ val below : t -> int -> int
 val range : t -> int -> int -> int
 
 val chance : t -> percent:int -> bool
+
+(** [split t ~shard] derives a new independent stream for shard index
+    [shard] from [t]'s current state, without advancing [t].  The
+    derivation is deterministic (same state and shard give the same
+    stream) and collision-resistant (distinct shards give distinct
+    streams, all distinct from continuing [t] itself) — the per-worker
+    seeding primitive of the campaign orchestrator ([lib/orch]). *)
+val split : t -> shard:int -> t
+
+(** The raw sub-seed derivation behind {!split}, exposed for tests. *)
+val split_seed : seed:int -> shard:int -> int
 val pick : t -> 'a list -> 'a
 val pick_arr : t -> 'a array -> 'a
 

@@ -7,8 +7,15 @@ open Embsan_isa
 module Codegen = Embsan_minic.Codegen
 
 (* Firmware image builds are deterministic; memoize them so replay-heavy
-   benches do not recompile the same kernel hundreds of times. *)
+   benches do not recompile the same kernel hundreds of times.  The cache
+   is process-global toplevel state reached concurrently by the campaign
+   orchestrator's worker domains (every boot and every ground-truth
+   symbolization builds through here), so lookup-or-build is one mutex
+   critical section.  Built images are immutable, so handing the same
+   [Image.t] to several domains is safe: [Machine.load_image] copies the
+   sections into machine-private RAM. *)
 let build_cache : (string, Image.t) Hashtbl.t = Hashtbl.create 64
+let build_lock = Mutex.create ()
 
 let memo_build name f ~kcov mode =
   let key =
@@ -19,12 +26,13 @@ let memo_build name f ~kcov mode =
       | Inline_kasan -> "ikasan"
       | Inline_kcsan -> "ikcsan")
   in
-  match Hashtbl.find_opt build_cache key with
-  | Some img -> img
-  | None ->
-      let img = f ~kcov mode in
-      Hashtbl.add build_cache key img;
-      img
+  Mutex.protect build_lock (fun () ->
+      match Hashtbl.find_opt build_cache key with
+      | Some img -> img
+      | None ->
+          let img = f ~kcov mode in
+          Hashtbl.add build_cache key img;
+          img)
 
 type fuzzer = Syzkaller | Tardis
 

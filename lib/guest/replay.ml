@@ -64,8 +64,15 @@ let run_to_ready machine =
   | Some stop -> bootf "firmware did not reach ready: %a" Machine.pp_stop stop
 
 (* Sessions are memoized per (firmware, sanitizers): the probing phase is
-   per-firmware work, not per-replay work. *)
+   per-firmware work, not per-replay work.  The cache is process-global
+   and the orchestrator's worker domains all boot through here, so the
+   lookup-or-build is one critical section: the first domain to ask for a
+   key runs the probing phase, the others block and share the result.  A
+   session is immutable after [prepare] (spec, platform, image), so
+   sharing it read-only across domains is safe — each worker builds its
+   own machine and runtime from it. *)
 let session_cache : (string, Embsan.session) Hashtbl.t = Hashtbl.create 16
+let session_lock = Mutex.create ()
 
 let session_for ?(kcov = false) ?forced_mode (fw : Firmware_db.firmware)
     sanitizers =
@@ -74,20 +81,23 @@ let session_for ?(kcov = false) ?forced_mode (fw : Firmware_db.firmware)
       sanitizers.Embsan.kcsan kcov
       (match forced_mode with Some `C -> "C" | Some `D -> "D" | None -> "-")
   in
-  match Hashtbl.find_opt session_cache key with
-  | Some s -> s
-  | None ->
-      let firmware =
-        match forced_mode with
-        | None -> Firmware_db.embsan_firmware ~kcov fw
-        | Some mode -> (
-            match Firmware_db.embsan_firmware_mode ~kcov fw mode with
-            | Some f -> f
-            | None -> bootf "%s cannot run in that mode (closed source)" fw.fw_name)
-      in
-      let s = Embsan.prepare ~sanitizers ~firmware () in
-      Hashtbl.add session_cache key s;
-      s
+  Mutex.protect session_lock (fun () ->
+      match Hashtbl.find_opt session_cache key with
+      | Some s -> s
+      | None ->
+          let firmware =
+            match forced_mode with
+            | None -> Firmware_db.embsan_firmware ~kcov fw
+            | Some mode -> (
+                match Firmware_db.embsan_firmware_mode ~kcov fw mode with
+                | Some f -> f
+                | None ->
+                    bootf "%s cannot run in that mode (closed source)"
+                      fw.fw_name)
+          in
+          let s = Embsan.prepare ~sanitizers ~firmware () in
+          Hashtbl.add session_cache key s;
+          s)
 
 let native_mode = function
   | Native_kasan -> Codegen.Inline_kasan

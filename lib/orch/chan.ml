@@ -1,0 +1,27 @@
+(* Unbounded blocking MPSC channel over a stdlib mutex + condition: the
+   message-passing substrate between the orchestrator's coordinator and
+   its worker domains.  OCaml 5.1 ships Domain/Mutex/Condition but no
+   channel, and pulling in domainslib for two operations is not worth a
+   dependency, so this is the minimal correct queue: [send] never blocks,
+   [recv] parks on the condition until a message arrives. *)
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+}
+
+let create () =
+  { lock = Mutex.create (); nonempty = Condition.create (); q = Queue.create () }
+
+let send t v =
+  Mutex.protect t.lock (fun () ->
+      Queue.push v t.q;
+      Condition.signal t.nonempty)
+
+let recv t =
+  Mutex.protect t.lock (fun () ->
+      while Queue.is_empty t.q do
+        Condition.wait t.nonempty t.lock
+      done;
+      Queue.pop t.q)

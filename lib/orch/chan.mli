@@ -1,0 +1,9 @@
+(** Unbounded blocking channel between domains (mutex + condition).
+    [send] never blocks; [recv] blocks until a message is available.
+    Safe for any number of senders and receivers. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val send : 'a t -> 'a -> unit
+val recv : 'a t -> 'a

@@ -1,0 +1,14 @@
+(* Per-domain CPU time (see cputime_stubs.c).  Falls back to process CPU
+   time where the per-thread clock is unavailable — still monotonic, but
+   then shared across domains, so [available] lets callers label the
+   numbers honestly. *)
+
+external thread_cputime_ns : unit -> int64 = "embsan_orch_thread_cputime_ns"
+
+let available = lazy (Int64.compare (thread_cputime_ns ()) 0L >= 0)
+let available () = Lazy.force available
+
+(** CPU seconds consumed by the calling domain's thread. *)
+let thread_s () =
+  let ns = thread_cputime_ns () in
+  if Int64.compare ns 0L >= 0 then Int64.to_float ns /. 1e9 else Sys.time ()

@@ -1,0 +1,34 @@
+/* Per-thread CPU clock for worker-domain telemetry.  Each OCaml domain
+   runs on its own system thread, so CLOCK_THREAD_CPUTIME_ID read from
+   inside a domain is that domain's CPU time — the basis for the
+   orchestrator's per-worker utilization and throughput numbers, which
+   must not be polluted by sibling workers time-slicing on the same
+   core. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#ifdef _WIN32
+
+CAMLprim value embsan_orch_thread_cputime_ns(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(-1);
+}
+
+#else
+
+#include <time.h>
+
+CAMLprim value embsan_orch_thread_cputime_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+#ifdef CLOCK_THREAD_CPUTIME_ID
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  return caml_copy_int64(-1);
+}
+
+#endif

@@ -1,0 +1,322 @@
+(* Multi-domain campaign orchestrator (DESIGN.md "Campaign orchestrator").
+
+   N shared-nothing worker domains fuzz one firmware in parallel: each
+   worker owns a full [Campaign.Engine] — its own machine, runtime,
+   post-boot snapshot, corpus shard and coverage map — and draws from a
+   deterministic per-shard stream split off the campaign seed
+   ([Rng.split]).  No guest state is shared; coordination is pure message
+   passing over {!Chan}.
+
+   The exchange protocol is epoch-synchronous, which is what makes the
+   whole campaign deterministic for any worker count: every epoch the
+   coordinator sends each live worker an exec budget plus the frontier
+   programs other workers discovered, waits for all epoch reports, and
+   merges them in worker-index order.  A worker's behavior is a function
+   of (its shard stream, the injections it was sent), and the injections
+   are a function of earlier merged epochs — so the merged unique-bug
+   set, corpus and coverage are reproducible across runs regardless of
+   how the domains were actually scheduled (pinned in test/test_orch.ml).
+
+   Frontier-exchange policy: a worker exports exactly the programs its
+   own corpus admitted (new local coverage), with the admitting
+   signature.  The coordinator replays the admission decision against a
+   global [Corpus] — entries whose signature contains a globally-new
+   (edge, bucket) pair join the merged frontier and are rebroadcast to
+   every other live worker; the rest are dropped as duplicates.  Global
+   triage is the same idea for bugs: deduplication by registered bug id
+   in (epoch, worker-index, report-order), so a bug two workers trip
+   counts once, credited to the first finder in merge order.
+
+   With [jobs = 1] the single worker uses the campaign stream unsplit
+   and no exchange ever happens, so the orchestrated campaign reduces to
+   [Campaign.run] bit-for-bit — the determinism contract the acceptance
+   tests pin. *)
+
+module Campaign = Embsan_fuzz.Campaign
+module Corpus = Embsan_fuzz.Corpus
+module Prog = Embsan_fuzz.Prog
+module Rng = Embsan_fuzz.Rng
+module Firmware_db = Embsan_guest.Firmware_db
+
+(* --- telemetry --------------------------------------------------------------- *)
+
+type worker_stat = {
+  w_id : int;
+  w_execs : int;
+  w_crashes : int;
+  w_corpus : int;  (** worker-local corpus shard size *)
+  w_coverage : int;  (** worker-local coverage pairs *)
+  w_insns : int;
+  w_cpu_s : float;  (** CPU seconds of the worker's own domain *)
+  w_rate : float;  (** execs/sec over the worker's own CPU time *)
+  w_done : bool;
+}
+
+type telemetry = {
+  t_epoch : int;
+  t_wall_s : float;
+  t_execs : int;  (** total executions across workers *)
+  t_unique_bugs : int;  (** globally deduplicated *)
+  t_frontier : int;  (** merged frontier entries *)
+  t_coverage : int;  (** merged coverage pairs *)
+  t_workers : worker_stat array;
+}
+
+(* --- configuration ----------------------------------------------------------- *)
+
+type config = {
+  campaign : Campaign.config;  (** per-worker campaign config; [max_execs]
+                                   is each worker's budget *)
+  jobs : int;
+  epoch_execs : int;  (** execs per worker between frontier exchanges *)
+  on_telemetry : (telemetry -> unit) option;
+}
+
+let default_config ?(jobs = 1) ?(epoch_execs = 100) fw =
+  { campaign = Campaign.default_config fw; jobs; epoch_execs; on_telemetry = None }
+
+type result = {
+  o_campaign : Campaign.result;  (** merged, [Campaign.run]-compatible *)
+  o_workers : worker_stat array;
+  o_epochs : int;
+  o_wall_s : float;
+  o_aggregate_rate : float;
+      (** sum of per-worker CPU-time exec rates: the host-core-count
+          independent scaling figure BENCH_orch.json reports *)
+}
+
+(* --- protocol ---------------------------------------------------------------- *)
+
+type to_worker = Run of { budget : int; injections : Prog.t list } | Quit
+
+type epoch_report = {
+  ep_fresh : (Prog.t * (int * int) list) list;  (** newly admitted, oldest first *)
+  ep_found : Campaign.found list;  (** newly found, oldest first *)
+  ep_unmatched : string list;  (** cumulative *)
+  ep_execs : int;  (** cumulative *)
+  ep_crashes : int;
+  ep_corpus : int;
+  ep_coverage : int;
+  ep_insns : int;
+  ep_cpu_s : float;
+  ep_done : bool;
+}
+
+type from_worker = Epoch of epoch_report | Failed of string
+
+(* --- worker ------------------------------------------------------------------ *)
+
+let worker_rng (cfg : config) shard =
+  (* jobs = 1 keeps the campaign stream unsplit: bit-identical to
+     [Campaign.run].  With several workers, shard [i] gets the i-th
+     sub-stream of the campaign seed. *)
+  let root = Rng.create ~seed:cfg.campaign.Campaign.seed in
+  if cfg.jobs = 1 then root else Rng.split root ~shard
+
+let worker_main (cfg : config) shard (inbox : to_worker Chan.t)
+    (outbox : from_worker Chan.t) =
+  let engine =
+    match Campaign.Engine.create ~rng:(worker_rng cfg shard) cfg.campaign with
+    | e -> Ok e
+    | exception exn -> Error (Printexc.to_string exn)
+  in
+  let rec loop () =
+    match Chan.recv inbox with
+    | Quit -> ()
+    | Run { budget; injections } ->
+        (match engine with
+        | Error msg -> Chan.send outbox (Failed msg)
+        | Ok e -> (
+            match
+              let module E = Campaign.Engine in
+              List.iter
+                (fun p -> if not (E.finished e) then E.inject e p)
+                injections;
+              let steps = ref 0 in
+              while (not (E.finished e)) && !steps < budget do
+                E.step e;
+                incr steps
+              done;
+              {
+                ep_fresh = E.drain_frontier e;
+                ep_found = E.drain_found e;
+                ep_unmatched = E.unmatched e;
+                ep_execs = E.execs e;
+                ep_crashes = E.crashes e;
+                ep_corpus = E.corpus_size e;
+                ep_coverage = E.coverage e;
+                ep_insns = E.insns_now e;
+                ep_cpu_s = Cputime.thread_s ();
+                ep_done = E.finished e;
+              }
+            with
+            | ep -> Chan.send outbox (Epoch ep)
+            | exception exn ->
+                Chan.send outbox (Failed (Printexc.to_string exn))));
+        loop ()
+  in
+  loop ()
+
+(* --- coordinator ------------------------------------------------------------- *)
+
+let rate ~execs ~cpu_s = if cpu_s > 0. then float_of_int execs /. cpu_s else 0.
+
+let stat_of last done_ i =
+  match last.(i) with
+  | None ->
+      {
+        w_id = i;
+        w_execs = 0;
+        w_crashes = 0;
+        w_corpus = 0;
+        w_coverage = 0;
+        w_insns = 0;
+        w_cpu_s = 0.;
+        w_rate = 0.;
+        w_done = done_.(i);
+      }
+  | Some ep ->
+      {
+        w_id = i;
+        w_execs = ep.ep_execs;
+        w_crashes = ep.ep_crashes;
+        w_corpus = ep.ep_corpus;
+        w_coverage = ep.ep_coverage;
+        w_insns = ep.ep_insns;
+        w_cpu_s = ep.ep_cpu_s;
+        w_rate = rate ~execs:ep.ep_execs ~cpu_s:ep.ep_cpu_s;
+        w_done = done_.(i);
+      }
+
+let run (cfg : config) : result =
+  if cfg.jobs < 1 || cfg.jobs > 64 then
+    invalid_arg "Orch.run: jobs must be in 1..64";
+  if cfg.epoch_execs < 1 then invalid_arg "Orch.run: epoch_execs must be >= 1";
+  let n = cfg.jobs in
+  let t0 = Unix.gettimeofday () in
+  let inboxes = Array.init n (fun _ -> Chan.create ()) in
+  let outboxes = Array.init n (fun _ -> Chan.create ()) in
+  let domains =
+    Array.init n (fun i ->
+        Domain.spawn (fun () -> worker_main cfg i inboxes.(i) outboxes.(i)))
+  in
+  let merged = Corpus.create () in
+  let found : (string, Campaign.found) Hashtbl.t = Hashtbl.create 16 in
+  let last : epoch_report option array = Array.make n None in
+  let done_ = Array.make n false in
+  let pending : Prog.t list array = Array.make n [] in (* newest first *)
+  let failure = ref None in
+  let epochs = ref 0 in
+  let total_bugs = List.length cfg.campaign.Campaign.fw.Firmware_db.fw_bugs in
+  let stop_globally () =
+    (* a bug found by any worker releases the others once the whole
+       registry is covered — the orchestrator-level [stop_when_all_found] *)
+    cfg.campaign.Campaign.stop_when_all_found
+    && Hashtbl.length found >= total_bugs
+  in
+  while
+    (not (Array.for_all Fun.id done_))
+    && !failure = None
+    && not (stop_globally ())
+  do
+    incr epochs;
+    (* dispatch: exec budget plus the frontier queued for each worker *)
+    for i = 0 to n - 1 do
+      if not done_.(i) then begin
+        Chan.send inboxes.(i)
+          (Run { budget = cfg.epoch_execs; injections = List.rev pending.(i) });
+        pending.(i) <- []
+      end
+    done;
+    (* collect and merge in worker-index order: the merge is deterministic
+       no matter how the domains were scheduled *)
+    for i = 0 to n - 1 do
+      if not done_.(i) then begin
+        match Chan.recv outboxes.(i) with
+        | Failed msg ->
+            done_.(i) <- true;
+            if !failure = None then failure := Some (i, msg)
+        | Epoch ep ->
+            last.(i) <- Some ep;
+            done_.(i) <- ep.ep_done;
+            List.iter
+              (fun (prog, signature) ->
+                if Corpus.consider merged prog signature then
+                  for j = 0 to n - 1 do
+                    if j <> i && not done_.(j) then
+                      pending.(j) <- prog :: pending.(j)
+                  done)
+              ep.ep_fresh;
+            List.iter
+              (fun (f : Campaign.found) ->
+                let id = f.Campaign.f_bug.Embsan_guest.Defs.b_id in
+                if not (Hashtbl.mem found id) then Hashtbl.replace found id f)
+              ep.ep_found
+      end
+    done;
+    match cfg.on_telemetry with
+    | None -> ()
+    | Some emit ->
+        let workers = Array.init n (stat_of last done_) in
+        emit
+          {
+            t_epoch = !epochs;
+            t_wall_s = Unix.gettimeofday () -. t0;
+            t_execs = Array.fold_left (fun a w -> a + w.w_execs) 0 workers;
+            t_unique_bugs = Hashtbl.length found;
+            t_frontier = Corpus.size merged;
+            t_coverage = Corpus.coverage merged;
+            t_workers = workers;
+          }
+  done;
+  Array.iter (fun inbox -> Chan.send inbox Quit) inboxes;
+  Array.iter Domain.join domains;
+  (match !failure with
+  | Some (i, msg) -> Fmt.failwith "Orch.run: worker %d failed: %s" i msg
+  | None -> ());
+  let workers = Array.init n (stat_of last done_) in
+  let sum f = Array.fold_left (fun acc w -> acc + f w) 0 workers in
+  let wall = Unix.gettimeofday () -. t0 in
+  {
+    o_campaign =
+      {
+        Campaign.r_fw = cfg.campaign.Campaign.fw;
+        r_found = Hashtbl.fold (fun _ f acc -> f :: acc) found [];
+        r_execs = sum (fun w -> w.w_execs);
+        r_crashes = sum (fun w -> w.w_crashes);
+        r_corpus = Corpus.size merged;
+        r_coverage = Corpus.coverage merged;
+        r_insns = sum (fun w -> w.w_insns);
+        r_unmatched =
+          List.sort_uniq compare
+            (Array.to_list last
+            |> List.concat_map (function
+                 | None -> []
+                 | Some ep -> ep.ep_unmatched));
+        r_corpus_progs = Corpus.programs merged;
+      };
+    o_workers = workers;
+    o_epochs = !epochs;
+    o_wall_s = wall;
+    o_aggregate_rate =
+      Array.fold_left (fun acc w -> acc +. w.w_rate) 0. workers;
+  }
+
+(* --- pretty printing --------------------------------------------------------- *)
+
+let pp_worker fmt w =
+  Fmt.pf fmt
+    "worker %d: %6d execs  %4d crashes  corpus %3d  cov %4d  %7.1f e/s (cpu \
+     %.2fs)%s"
+    w.w_id w.w_execs w.w_crashes w.w_corpus w.w_coverage w.w_rate w.w_cpu_s
+    (if w.w_done then "  done" else "")
+
+let pp_telemetry fmt t =
+  Fmt.pf fmt "epoch %3d  %6.1fs  %6d execs  %d bugs  frontier %d  cov %d"
+    t.t_epoch t.t_wall_s t.t_execs t.t_unique_bugs t.t_frontier t.t_coverage
+
+let pp_result fmt r =
+  Fmt.pf fmt "@[<v>%a@,%a@,%d epochs in %.2fs, aggregate %.1f execs/sec@]"
+    Campaign.pp_result r.o_campaign
+    (Fmt.array ~sep:Fmt.cut pp_worker)
+    r.o_workers r.o_epochs r.o_wall_s r.o_aggregate_rate

@@ -1,0 +1,76 @@
+(** Multi-domain campaign orchestrator: N shared-nothing worker domains
+    (each owning its own machine, runtime, post-boot snapshot, corpus
+    shard and coverage map) fuzz one firmware under deterministic
+    per-shard seed streams, exchanging their coverage frontier through a
+    coordinator that also runs global crash dedup/triage.
+
+    The exchange protocol is epoch-synchronous and merged in
+    worker-index order, so the campaign is deterministic for any worker
+    count; with [jobs = 1] it reduces bit-for-bit to [Campaign.run].
+    See DESIGN.md "Campaign orchestrator ([lib/orch])". *)
+
+module Campaign = Embsan_fuzz.Campaign
+
+(** Live per-worker statistics (rates are over the worker domain's own
+    CPU time, so they are meaningful even when workers time-slice on
+    fewer cores). *)
+type worker_stat = {
+  w_id : int;
+  w_execs : int;
+  w_crashes : int;
+  w_corpus : int;
+  w_coverage : int;
+  w_insns : int;
+  w_cpu_s : float;
+  w_rate : float;
+  w_done : bool;
+}
+
+(** One epoch's merged view, delivered to [on_telemetry]. *)
+type telemetry = {
+  t_epoch : int;
+  t_wall_s : float;
+  t_execs : int;
+  t_unique_bugs : int;
+  t_frontier : int;
+  t_coverage : int;
+  t_workers : worker_stat array;
+}
+
+type config = {
+  campaign : Campaign.config;
+      (** per-worker campaign config; [max_execs] is each worker's
+          budget and [seed] the campaign seed the shard streams split
+          from *)
+  jobs : int;  (** worker domains, 1..64 *)
+  epoch_execs : int;  (** execs per worker between frontier exchanges *)
+  on_telemetry : (telemetry -> unit) option;
+}
+
+val default_config :
+  ?jobs:int ->
+  ?epoch_execs:int ->
+  Embsan_guest.Firmware_db.firmware ->
+  config
+
+type result = {
+  o_campaign : Campaign.result;
+      (** merged result, compatible with [Campaign.run]'s: globally
+          deduplicated bugs, merged frontier corpus and coverage,
+          summed exec/crash/instruction counters *)
+  o_workers : worker_stat array;
+  o_epochs : int;
+  o_wall_s : float;
+  o_aggregate_rate : float;
+      (** sum of per-worker CPU-time exec rates — the host-core-count
+          independent scaling figure *)
+}
+
+(** Run the orchestrated campaign.  Raises [Invalid_argument] on a bad
+    [jobs]/[epoch_execs], [Failure] if a worker domain fails (e.g. boot
+    failure). *)
+val run : config -> result
+
+val pp_worker : Format.formatter -> worker_stat -> unit
+val pp_telemetry : Format.formatter -> telemetry -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -32,6 +32,56 @@ let rng_ranges =
       let v = Rng.range rng lo (lo + d) in
       v >= lo && v <= lo + d)
 
+(* --- splittable streams (the orchestrator's per-worker seeding) ------------------ *)
+
+let stream rng n = List.init n (fun _ -> Rng.next rng)
+
+let split_reproducible =
+  QCheck2.Test.make ~name:"Rng.split: same (seed, shard) same stream" ~count:200
+    QCheck2.Gen.(pair int (int_range 0 1024))
+    (fun (seed, shard) ->
+      let a = Rng.split (Rng.create ~seed) ~shard in
+      let b = Rng.split (Rng.create ~seed) ~shard in
+      stream a 16 = stream b 16)
+
+let split_distinct_shards =
+  QCheck2.Test.make ~name:"Rng.split: distinct shards distinct streams"
+    ~count:500
+    QCheck2.Gen.(triple int (int_range 0 4096) (int_range 0 4096))
+    (fun (seed, i, j) ->
+      QCheck2.assume (i <> j);
+      let a = Rng.split (Rng.create ~seed) ~shard:i in
+      let b = Rng.split (Rng.create ~seed) ~shard:j in
+      stream a 16 <> stream b 16)
+
+let split_independent_of_parent =
+  QCheck2.Test.make ~name:"Rng.split: child differs from parent, parent intact"
+    ~count:200
+    QCheck2.Gen.(pair int (int_range 0 64))
+    (fun (seed, shard) ->
+      let parent = Rng.create ~seed in
+      let child = Rng.split parent ~shard in
+      (* splitting must not advance the parent stream *)
+      let parent' = Rng.create ~seed in
+      stream child 16 <> stream parent' 16
+      && stream parent 16 = stream (Rng.create ~seed) 16)
+
+let split_seed_collision_free () =
+  (* exhaustive within a small grid: the campaign-seed x shard plane the
+     orchestrator actually uses must be collision-free *)
+  let seen = Hashtbl.create 4096 in
+  for seed = 0 to 63 do
+    for shard = 0 to 63 do
+      let s = Rng.split_seed ~seed ~shard in
+      (match Hashtbl.find_opt seen s with
+      | Some (seed', shard') ->
+          Alcotest.failf "collision: (%d,%d) and (%d,%d) -> %d" seed shard
+            seed' shard' s
+      | None -> ());
+      Hashtbl.add seen s (seed, shard)
+    done
+  done
+
 (* --- program generation / mutation ----------------------------------------------- *)
 
 let prog_gen_valid =
@@ -185,6 +235,11 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick rng_deterministic;
           QCheck_alcotest.to_alcotest rng_ranges;
+          QCheck_alcotest.to_alcotest split_reproducible;
+          QCheck_alcotest.to_alcotest split_distinct_shards;
+          QCheck_alcotest.to_alcotest split_independent_of_parent;
+          Alcotest.test_case "split_seed collision-free grid" `Quick
+            split_seed_collision_free;
         ] );
       ( "prog",
         [
