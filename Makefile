@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke check check-diff check-snap check-modes \
-	check-orch clean
+	check-orch check-toggle clean
 
 all: build
 
@@ -18,9 +18,9 @@ bench-smoke: build
 
 # Bounded differential-oracle run over the dual execution engines (fixed
 # seed, small exec budget): fast-vs-baseline, probe transparency,
-# flush-anytime and chain-epoch invalidation on random programs per arch
-# flavor.  Exits non-zero on any divergence.  `embsan_cli check` with the
-# default --execs 1000 is the full campaign.
+# flush-anytime, subscription churn and toggle storm on random programs
+# per arch flavor.  Exits non-zero on any divergence.  `embsan_cli check`
+# with the default --execs 1000 is the full campaign.
 check-diff: build
 	./_build/default/bin/embsan_cli.exe check --seed 1 --execs 250
 
@@ -39,6 +39,14 @@ check-modes: build
 	./_build/default/bin/embsan_cli.exe check --oracle mode-agreement \
 	  --seed 1 --execs 250
 
+# Toggle-storm oracle on a bounded seeded campaign: random run-time
+# toggling of probe subscriptions, dirty tracking, cmplog and superblock
+# formation must be architecturally invisible AND translation-flush-free
+# (the retranslation-free property; flushes_invalidate must stay 0).
+check-toggle: build
+	./_build/default/bin/embsan_cli.exe check --oracle toggle-storm \
+	  --oracle subscription-churn --seed 1 --execs 250
+
 # Orchestrator smoke: a short 2-worker campaign over one RTOS image with
 # frontier exchange and per-epoch telemetry.  Exercises the multi-domain
 # path end-to-end (worker boot, epoch barrier, merge, global triage).
@@ -46,7 +54,8 @@ check-orch: build
 	./_build/default/bin/embsan_cli.exe campaign OpenHarmony-stm32f407 \
 	  --jobs 2 --execs 400 --seed 3 --exchange 100 --telemetry
 
-check: build test bench-smoke check-diff check-snap check-modes check-orch
+check: build test bench-smoke check-diff check-snap check-modes check-toggle \
+	check-orch
 
 clean:
 	dune clean

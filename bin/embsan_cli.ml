@@ -18,6 +18,7 @@ let find_fw name =
   | Some fw -> Ok fw
   | None ->
       if String.equal name "syzbot-suite" then Ok Firmware_db.syzbot_suite_fw
+      else if String.equal name "cmplog-gate" then Ok Firmware_db.cmplog_gate_fw
       else
         Error
           (Fmt.str "unknown firmware %S; try `embsan list` for the inventory"
@@ -133,16 +134,30 @@ let fuzz_cmd =
     Arg.(value & opt int 2000 & info [ "execs" ] ~doc:"Execution budget.")
   in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed.") in
-  let run fw execs seed =
+  let cmplog =
+    Arg.(
+      value & flag
+      & info [ "cmplog" ]
+          ~doc:
+            "Compare-operand coverage: guest compares feed frontier \
+             features and an operand dictionary for input-to-state \
+             mutation (solves magic-value guards).")
+  in
+  let run fw execs seed cmplog =
     let cfg =
-      { (Embsan_fuzz.Campaign.default_config fw) with max_execs = execs; seed }
+      {
+        (Embsan_fuzz.Campaign.default_config fw) with
+        max_execs = execs;
+        seed;
+        use_cmplog = cmplog;
+      }
     in
     let r = Embsan_fuzz.Campaign.run cfg in
     Fmt.pr "%a@." Embsan_fuzz.Campaign.pp_result r
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a coverage-guided fuzzing campaign with EmbSan")
-    Term.(const run $ fw_arg $ execs $ seed)
+    Term.(const run $ fw_arg $ execs $ seed $ cmplog)
 
 (* --- campaign ---------------------------------------------------------------- *)
 
@@ -174,9 +189,22 @@ let campaign_cmd =
       value & flag
       & info [ "telemetry" ] ~doc:"Print per-epoch merged telemetry lines.")
   in
-  let run fw jobs execs seed exchange telemetry =
+  let cmplog =
+    Arg.(
+      value & flag
+      & info [ "cmplog" ]
+          ~doc:
+            "Compare-operand coverage in every worker (see `fuzz \
+             --cmplog').")
+  in
+  let run fw jobs execs seed exchange telemetry cmplog =
     let campaign =
-      { (Embsan_fuzz.Campaign.default_config fw) with max_execs = execs; seed }
+      {
+        (Embsan_fuzz.Campaign.default_config fw) with
+        max_execs = execs;
+        seed;
+        use_cmplog = cmplog;
+      }
     in
     let cfg =
       {
@@ -200,7 +228,8 @@ let campaign_cmd =
        ~doc:
          "Run an orchestrated fuzzing campaign over N worker domains with \
           frontier exchange and global triage")
-    Term.(const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry)
+    Term.(
+      const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry $ cmplog)
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -266,8 +295,9 @@ let check_cmd =
       & info [ "oracle" ] ~docv:"NAME"
           ~doc:
             "Run only this oracle (repeatable): fast-vs-baseline, \
-             probe-transparency, flush-anytime, chain-epoch-invalidation, \
-             restore-transparency or mode-agreement.  Default: all.")
+             probe-transparency, flush-anytime, subscription-churn, \
+             toggle-storm, restore-transparency or mode-agreement.  \
+             Default: all.")
   in
   let run execs seed sync max_insns arch oracles =
     let archs =
@@ -304,10 +334,10 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:
          "Differential-oracle check of the dual execution engines \
-          (fast-vs-baseline, probe transparency, flush-anytime, chain-epoch \
-          invalidation, restore transparency) and of the dual \
-          instrumentation backends (mode-agreement); exits 1 on any \
-          divergence")
+          (fast-vs-baseline, probe transparency, flush-anytime, \
+          subscription churn, toggle storm, restore transparency) and of \
+          the dual instrumentation backends (mode-agreement); exits 1 on \
+          any divergence")
     Term.(const run $ execs $ seed $ sync $ max_insns $ arch $ oracle)
 
 (* --- disasm ----------------------------------------------------------------- *)

@@ -9,20 +9,27 @@
      granularity (16 chained blocks vs 1 block per hart turn) differs by
      design, so multi-hart interleavings are not comparable;
    - probe-transparency: the fast engine with no-op probes on all four
-     probe kinds vs no probes.  Probes force the record-allocating
-     templates and the probe-epoch block tags, none of which may leak into
-     guest state (paper section 3.3's transparency claim);
+     probe kinds vs no probes.  Probes steer translated code through the
+     event-building probed paths, none of which may leak into guest state
+     (paper section 3.3's transparency claim);
    - flush-anytime: random [flush_tcg] between sync points must be
      invisible;
-   - chain-epoch-invalidation: alternately subscribing and clearing
-     probes between sync points bumps the probe epoch mid-run, so cached
-     blocks and chain links die while the guest is in flight;
+   - subscription-churn: alternately subscribing and clearing probes
+     between sync points patches the shared site table while the guest is
+     in flight -- cached blocks and chain links survive, but every
+     already-translated site must see the new subscriber list immediately;
+   - toggle-storm: seeded random toggling of every run-time
+     instrumentation knob (probe subscriptions, dirty tracking, cmplog,
+     superblock formation) between sync points, against an unperturbed
+     fast machine.  Doubles as the retranslation-free pin: after the run,
+     [flushes_invalidate] must be exactly 0 -- no toggle is allowed to
+     flush the translation cache;
    - restore-transparency: between sync points [mb] is checkpointed, run
      for a throwaway chunk (scribbling on RAM, registers, devices and
      counters), then reverted by [Snap.restore] — the revert must be
      architecturally invisible.  Exercised under all four engine/probe
      configurations (Fast/Baseline x probed/unprobed), since restore
-     interacts with the translation cache and probe epochs.
+     interacts with the translation cache and the probe site table.
 
    Chunked [Machine.run] is a sound sync mechanism because both engines
    stop at the first block boundary past the deadline and block
@@ -131,11 +138,11 @@ let flush_anytime ~cfg (p : Progen.t) =
   lockstep ~name:"flush-anytime" ~cfg p ma mb ~between:(fun mb ->
       if Rng.chance rng ~percent:60 then Machine.flush_tcg mb)
 
-let epoch_invalidation ~cfg (p : Progen.t) =
+let subscription_churn ~cfg (p : Progen.t) =
   let ma = machine_of p in
   let mb = machine_of p in
   let attached = ref false in
-  lockstep ~name:"chain-epoch-invalidation" ~cfg p ma mb ~between:(fun mb ->
+  lockstep ~name:"subscription-churn" ~cfg p ma mb ~between:(fun mb ->
       if !attached then begin
         Probe.clear mb.probes;
         attached := false
@@ -144,6 +151,65 @@ let epoch_invalidation ~cfg (p : Progen.t) =
         no_op_probes mb;
         attached := true
       end)
+
+(* Every run-time instrumentation knob, toggled at random between sync
+   points, against an untouched fast machine.  Two claims at once: the
+   toggles are architecturally invisible, and none of them costs a
+   translation-cache flush (the retranslation-free property this engine
+   is built around). *)
+let toggle_storm ~cfg (p : Progen.t) =
+  let rng = Rng.create ~seed:(p.p_seed + 0x7066) in
+  let ma = machine_of p in
+  let mb = machine_of p in
+  (* low threshold so superblock formation actually happens in-run *)
+  Machine.set_super_threshold mb 4;
+  let subs = ref [] in
+  let storm mb =
+    for _ = 1 to Rng.range rng 1 4 do
+      match Rng.below rng 5 with
+      | 0 -> Machine.set_dirty_tracking mb (Rng.chance rng ~percent:50)
+      | 1 -> Machine.set_cmplog mb (Rng.chance rng ~percent:50)
+      | 2 -> Machine.set_superblocks mb (Rng.chance rng ~percent:50)
+      | 3 ->
+          let s =
+            match Rng.below rng 4 with
+            | 0 -> Probe.subscribe_mem mb.Machine.probes (fun _ -> ())
+            | 1 -> Probe.subscribe_call mb.Machine.probes (fun _ -> ())
+            | 2 -> Probe.subscribe_ret mb.Machine.probes (fun _ -> ())
+            | _ -> Probe.subscribe_block mb.Machine.probes (fun _ -> ())
+          in
+          subs := s :: !subs
+      | _ -> (
+          match !subs with
+          | [] -> ()
+          | s :: rest ->
+              Probe.unsubscribe s;
+              subs := rest)
+    done
+  in
+  let res, stop = lockstep ~name:"toggle-storm" ~cfg p ma mb ~between:storm in
+  match res with
+  | Some _ -> (res, stop)
+  | None ->
+      let fi = mb.Machine.stats.Engine_stats.flushes_invalidate in
+      if fi = 0 then (None, stop)
+      else
+        ( Some
+            {
+              d_oracle = "toggle-storm";
+              d_arch = p.p_arch;
+              d_seed = p.p_seed;
+              d_sync = -1;
+              d_diff =
+                [
+                  Printf.sprintf
+                    "instrumentation toggles flushed the translation cache %d \
+                     times (expected 0)"
+                    fi;
+                ];
+              d_listing = Progen.listing p;
+            },
+          stop )
 
 let restore_transparency ~cfg (p : Progen.t) =
   let rng = Rng.create ~seed:(p.p_seed + 0x51AB) in
@@ -186,6 +252,7 @@ let all =
     ("fast-vs-baseline", fast_vs_baseline);
     ("probe-transparency", probe_transparency);
     ("flush-anytime", flush_anytime);
-    ("chain-epoch-invalidation", epoch_invalidation);
+    ("subscription-churn", subscription_churn);
+    ("toggle-storm", toggle_storm);
     ("restore-transparency", restore_transparency);
   ]

@@ -40,7 +40,18 @@ val probe_transparency :
 val flush_anytime :
   cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
 
-val epoch_invalidation :
+(** Alternately subscribe and clear probes between sync points: site-table
+    patches must be visible to already-translated code immediately and
+    leak nothing into guest state. *)
+val subscription_churn :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
+(** Seeded random toggling of every run-time instrumentation knob (probe
+    subscriptions, dirty tracking, cmplog, superblock formation) between
+    sync points.  Also pins the retranslation-free property: a non-zero
+    [flushes_invalidate] count after the run is reported as a divergence
+    (at sync point -1) even when guest state never split. *)
+val toggle_storm :
   cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
 
 (** Between sync points the variant machine is checkpointed, run for a

@@ -53,8 +53,8 @@ let full_ram_digest (m : Machine.t) =
 
 (* Incremental digest state: cached per-page digests, refreshed from the
    dirty-page bitmap's digest channel between sync points.  Creating one
-   enables dirty tracking on the machine (first enable flushes the
-   translation cache — transparent, like any flush). *)
+   enables dirty tracking on the machine (an O(1), flush-free site
+   patch). *)
 type digester = { d_machine : Machine.t; d_pages : string array }
 
 let digester (m : Machine.t) =

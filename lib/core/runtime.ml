@@ -121,6 +121,10 @@ type t = {
   plan_index : (Api_spec.point * string list) list;
   event_units : int; (* per-event cost of this mode's delivery mechanism *)
   mutable ready : bool;
+  mutable active : bool; (* {!set_enabled}: event-delivery gate *)
+  (* D-mode probe subscription handles, kept so {!set_enabled} can detach
+     and re-attach by patching the site table -- never by flushing *)
+  mutable subs : Probe.sub list;
   pending : pending;
   (* pc ranges of intercepted allocator functions: accesses from inside are
      legal metadata traffic and exempt from checks (the compile-time analog
@@ -175,13 +179,18 @@ let run_event_plan plan ev = Array.iter (fun f -> f ev) plan
 let broadcast t ev = Array.iter (fun i -> Sanitizer.event i ev) t.instances
 
 let dispatch_access t ~pc ~addr ~size ~is_write ~is_atomic ~hart =
-  t.mem_events <- t.mem_events + 1;
-  charge t t.event_units;
-  if not (pc_exempt t pc) then begin
-    let plan = if is_write then t.store_plan else t.load_plan in
-    for i = 0 to Array.length plan - 1 do
-      (Array.unsafe_get plan i) ~pc ~addr ~size ~is_write ~is_atomic ~hart
-    done
+  (* [active] gates delivery for EmbSan-C, whose callout traps stay
+     installed while disabled; EmbSan-D unsubscribes its probes outright,
+     so this check is vacuously true there *)
+  if t.active then begin
+    t.mem_events <- t.mem_events + 1;
+    charge t t.event_units;
+    if not (pc_exempt t pc) then begin
+      let plan = if is_write then t.store_plan else t.load_plan in
+      for i = 0 to Array.length plan - 1 do
+        (Array.unsafe_get plan i) ~pc ~addr ~size ~is_write ~is_atomic ~hart
+      done
+    end
   end
 
 (* --- Init routine ------------------------------------------------------------- *)
@@ -217,10 +226,13 @@ let on_ready t () =
 (* --- Backends ------------------------------------------------------------------ *)
 
 let install_mem_probes t =
-  Probe.on_mem t.machine.probes (fun (ev : Probe.mem_event) ->
-      if t.ready then
-        dispatch_access t ~pc:ev.pc ~addr:ev.addr ~size:ev.size
-          ~is_write:ev.is_write ~is_atomic:ev.is_atomic ~hart:ev.hart)
+  let s =
+    Probe.subscribe_mem t.machine.probes (fun (ev : Probe.mem_event) ->
+        if t.ready then
+          dispatch_access t ~pc:ev.pc ~addr:ev.addr ~size:ev.size
+            ~is_write:ev.is_write ~is_atomic:ev.is_atomic ~hart:ev.hart)
+  in
+  t.subs <- t.subs @ [ s ]
 
 let install_call_interception t =
   let allocs = Hashtbl.create 16 and frees = Hashtbl.create 16 in
@@ -231,7 +243,8 @@ let install_call_interception t =
       | `Free ptr_arg -> Hashtbl.replace frees f.f_addr ptr_arg)
     t.spec.Dsl.functions;
   if Hashtbl.length allocs > 0 || Hashtbl.length frees > 0 then begin
-    Probe.on_call t.machine.probes (fun (ev : Probe.call_event) ->
+    let sc =
+      Probe.subscribe_call t.machine.probes (fun (ev : Probe.call_event) ->
         match Hashtbl.find_opt allocs ev.c_target with
         | Some size_arg ->
             t.intercepted_calls <- t.intercepted_calls + 1;
@@ -247,8 +260,10 @@ let install_call_interception t =
                 let ptr = Cpu.get t.machine.harts.(ev.c_hart) Reg.args.(ptr_arg) in
                 run_event_plan t.free_plan
                   (Sanitizer.Free { ptr; pc = ev.c_pc; hart = ev.c_hart })
-            | None -> ()));
-    Probe.on_ret t.machine.probes (fun (ev : Probe.ret_event) ->
+            | None -> ()))
+    in
+    let sr =
+      Probe.subscribe_ret t.machine.probes (fun (ev : Probe.ret_event) ->
         match pending_pop t.pending ~hart:ev.r_hart ~ra:ev.r_target with
         | Some size ->
             (* attribute the allocation to its call site, not to the
@@ -262,6 +277,8 @@ let install_call_interception t =
                    now = t.machine.total_insns;
                  })
         | None -> ())
+    in
+    t.subs <- t.subs @ [ sc; sr ]
   end
 
 let install_callout_traps t =
@@ -280,9 +297,11 @@ let install_callout_traps t =
     [ 16; 17; 18; 19; 20; 21 ];
   let update num f =
     Machine.set_trap_handler m num (fun _m cpu ->
-        t.callouts <- t.callouts + 1;
-        charge t Cost_model.embsan_c_hypercall;
-        f cpu)
+        if t.active then begin
+          t.callouts <- t.callouts + 1;
+          charge t Cost_model.embsan_c_hypercall;
+          f cpu
+        end)
   in
   (* the trap sits in the san_* glue called from the allocator, so walk two
      frames up to attribute the event to the kernel function itself *)
@@ -439,6 +458,8 @@ let attach ~spec ~mode ?image ?(sink = Report.create_sink ()) ?(tuning = [])
         | C -> Cost_model.embsan_c_hypercall
         | D -> Cost_model.embsan_d_probe);
       ready = false;
+      active = true;
+      subs = [];
       pending = pending_create ~harts:(Array.length machine.Machine.harts);
       exempt_lo;
       exempt_hi;
@@ -460,6 +481,32 @@ let attach ~spec ~mode ?image ?(sink = Report.create_sink ()) ?(tuning = [])
       install_call_interception t;
       machine.mailbox.on_ready <- on_ready t);
   t
+
+(** Pause/resume sanitizer event delivery.  O(1) and flush-free in both
+    modes: EmbSan-D detaches/re-attaches its probe subscriptions by
+    patching the shared site table (zero translation-cache flushes), and
+    EmbSan-C gates its installed callout traps on the [active] flag.
+    No-op when the requested state is current.  While disabled,
+    state-maintenance events are paused too, so long disabled windows can
+    leave shadow state stale -- this is for toggle-style A/B measurement,
+    not partial sanitizing. *)
+let set_enabled t on =
+  if on <> t.active then begin
+    t.active <- on;
+    match t.mode with
+    | C -> ()
+    | D ->
+        if on then begin
+          install_mem_probes t;
+          install_call_interception t
+        end
+        else begin
+          List.iter Probe.unsubscribe t.subs;
+          t.subs <- []
+        end
+  end
+
+let enabled t = t.active
 
 (* --- Introspection ------------------------------------------------------------- *)
 

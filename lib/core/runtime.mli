@@ -38,6 +38,9 @@ type t = {
   plan_index : (Api_spec.point * string list) list;
   event_units : int;
   mutable ready : bool;
+  mutable active : bool;  (** {!set_enabled}: event-delivery gate *)
+  mutable subs : Embsan_emu.Probe.sub list;
+      (** D-mode probe handles, detached/re-attached by {!set_enabled} *)
   pending : pending;
   exempt_lo : int array;  (** sorted disjoint exempt ranges (parallel) *)
   exempt_hi : int array;
@@ -64,6 +67,17 @@ val attach :
   ?tuning:(string * int) list ->
   Embsan_emu.Machine.t ->
   t
+
+(** Pause/resume sanitizer event delivery.  O(1) and flush-free in both
+    modes: EmbSan-D detaches/re-attaches its probe subscriptions by
+    patching the shared site table (zero translation-cache flushes);
+    EmbSan-C gates its installed callout traps.  No-op when the requested
+    state is current.  State-maintenance events pause too, so long
+    disabled windows can leave shadow state stale -- intended for
+    toggle-style A/B measurement, not partial sanitizing. *)
+val set_enabled : t -> bool -> unit
+
+val enabled : t -> bool
 
 (** Sanitizer names in the compiled dispatch plan of [point], in dispatch
     order (the DSL handler order, deduplicated, filtered to instantiated

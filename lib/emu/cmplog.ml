@@ -1,0 +1,173 @@
+(* Compare-operand coverage (cmplog), Icicle/AFL++-style.
+
+   Branch and compare sites in the fast engine's translated blocks record
+   (pc, lhs, rhs) operand triples here when [enabled] -- the field is read
+   at run time by the compiled site, so toggling costs one store and no
+   translation-cache flush.
+
+   Two artifacts come out of a recording window:
+
+   - *frontier features*: each distinct (pc, operand-agreement level)
+     observed since the last [reset] becomes an (index, bucket) pair in
+     the same feature space as {!Coverage.signature}, offset above the
+     64 KiB edge bitmap so the two never collide.  The agreement level is
+     the number of equal low-order bytes between lhs and rhs (0..4,
+     "how close is the guard to passing"), which keeps the feature space
+     bounded per compare site while still rewarding partial progress
+     toward a magic constant -- the corpus admits an input that matches
+     one more byte of the guard, exactly the laf-intel gradient;
+   - *operand dictionary*: distinct compared-against values accumulate in
+     a bounded table that the mutator substitutes into syscall arguments,
+     plus a bounded counterpart map ([counterpart]) from each observed
+     operand to the value it was compared against -- AFL++'s
+     input-to-state stage: when a mutated argument's current value shows
+     up as one side of a recorded compare, substituting the other side is
+     what actually solves [x == MAGIC] guards.
+
+   Everything is deterministic: tables are fixed-size and open-addressed,
+   features are emitted in ascending slot order, and the dictionary
+   preserves first-insertion order. *)
+
+(* Feature indices live at [feature_base + slot] so they can be appended
+   to a {!Coverage.signature} (indices < 65536) without collision. *)
+let feature_base = 1 lsl 16
+
+let feature_slots = 4096 (* per-window (pc, agreement) feature table *)
+let triple_slots = 8192 (* per-window (pc, lhs, rhs) dedup table *)
+let dict_cap = 256
+let pair_slots = 2048 (* counterpart map: operand -> compared-against *)
+
+type t = {
+  mutable enabled : bool;
+  (* per-window dedup of exact (pc, lhs, rhs) triples: a triple is
+     processed once per recording window, everything after the first hit
+     is a one-probe table lookup.  Open-addressed; keys are pre-mixed and
+     never 0 (0 = empty). *)
+  triples : int array;
+  (* per-window feature presence, indexed by (pc, agreement) slot *)
+  features : Bytes.t;
+  (* bounded operand dictionary, first-insertion order *)
+  dict : int array;
+  mutable dict_n : int;
+  dict_seen : (int, unit) Hashtbl.t;
+  (* counterpart map: hashed single-slot cache from an operand value to
+     the value it was most recently compared against.  Overwrite on
+     collision -- recent compares (the ones involving live corpus
+     arguments) win, and the map stays O(1) and bounded forever. *)
+  pair_key : int array;
+  pair_val : int array;
+}
+
+let create () =
+  {
+    enabled = false;
+    triples = Array.make triple_slots 0;
+    features = Bytes.make feature_slots '\000';
+    dict = Array.make dict_cap 0;
+    dict_n = 0;
+    dict_seen = Hashtbl.create 64;
+    pair_key = Array.make pair_slots 0;
+    pair_val = Array.make pair_slots 0;
+  }
+
+(* splitmix-flavored finalizer; cheap and good enough for table slotting *)
+let mix h =
+  let h = h lxor (h lsr 16) in
+  let h = h * 0x7FEB_352D land 0x3FFF_FFFF_FFFF in
+  let h = h lxor (h lsr 15) in
+  h * 0x846C_A68B land 0x3FFF_FFFF_FFFF
+
+let triple_key pc lhs rhs =
+  let k = mix (pc + mix (lhs + mix rhs)) in
+  if k = 0 then 1 else k
+
+(* Number of equal low-order bytes of [lhs]/[rhs] (0..4): the
+   "how many guard bytes already match" gradient. *)
+let agreement lhs rhs =
+  let x = (lhs lxor rhs) land 0xFFFF_FFFF in
+  if x = 0 then 4
+  else if x land 0xFF_FFFF = 0 then 3
+  else if x land 0xFFFF = 0 then 2
+  else if x land 0xFF = 0 then 1
+  else 0
+
+let dict_add t v =
+  if t.dict_n < dict_cap && v <> 0 && not (Hashtbl.mem t.dict_seen v) then begin
+    Hashtbl.replace t.dict_seen v ();
+    t.dict.(t.dict_n) <- v;
+    t.dict_n <- t.dict_n + 1
+  end
+
+let pair_put t k v =
+  if k <> 0 && v <> 0 then begin
+    let s = mix k land (pair_slots - 1) in
+    Array.unsafe_set t.pair_key s k;
+    Array.unsafe_set t.pair_val s v
+  end
+
+(* What was [v] most recently compared against?  [None] when [v] was never
+   seen (or its slot was overwritten).  The input-to-state lookup: the
+   mutator asks about an argument's current value and substitutes the
+   answer. *)
+let counterpart t v =
+  if v = 0 then None
+  else
+    let s = mix v land (pair_slots - 1) in
+    if Array.unsafe_get t.pair_key s = v then Some (Array.unsafe_get t.pair_val s)
+    else None
+
+(* Record one compare: dedup the exact triple, mark the (pc, agreement)
+   feature, feed both operands to the dictionary.  Called from translated
+   sites, so the fast path (triple already seen this window) is one mix +
+   one probe.  The probe sequence is bounded: past [max_probes] collisions
+   the triple is dropped for this window, which keeps the site O(1) even
+   when a compare-heavy window saturates the table. *)
+let max_probes = 8
+
+let record t ~pc ~lhs ~rhs =
+  let key = triple_key pc lhs rhs in
+  let mask = triple_slots - 1 in
+  let i = ref (key land mask) in
+  let probes = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let cur = Array.unsafe_get t.triples !i in
+    if cur = key then continue := false (* seen this window *)
+    else if cur = 0 then begin
+      Array.unsafe_set t.triples !i key;
+      let slot = mix ((pc * 8) + agreement lhs rhs) land (feature_slots - 1) in
+      Bytes.unsafe_set t.features slot '\001';
+      dict_add t lhs;
+      dict_add t rhs;
+      pair_put t lhs rhs;
+      pair_put t rhs lhs;
+      continue := false
+    end
+    else begin
+      incr probes;
+      if !probes >= max_probes then continue := false (* saturated: drop *)
+      else i := (!i + 1) land mask
+    end
+  done
+
+(* Start a new recording window (per fuzzing execution).  The dictionary
+   persists across windows -- operands stay useful for later mutations. *)
+let reset t =
+  Array.fill t.triples 0 triple_slots 0;
+  Bytes.fill t.features 0 feature_slots '\000'
+
+(** The window's features as (index, bucket) pairs in ascending index
+    order, disjoint from {!Coverage.signature} indices.  Deterministic:
+    presence-only (bucket = 1), ascending slots. *)
+let features t =
+  let acc = ref [] in
+  for i = feature_slots - 1 downto 0 do
+    if Bytes.unsafe_get t.features i <> '\000' then
+      acc := (feature_base + i, 1) :: !acc
+  done;
+  !acc
+
+(** Dictionary values in first-insertion order. *)
+let dict_values t = Array.sub t.dict 0 t.dict_n
+
+let dict_size t = t.dict_n

@@ -5,7 +5,11 @@
      Tardis mechanism (works on any firmware, including closed-source);
    - [attach_kcov]: kernel-assisted coverage where the *guest* reports
      covered PCs through a kcov-style hypercall, the Syzkaller mechanism
-     (requires guest support compiled in). *)
+     (requires guest support compiled in).
+
+   Signature indices live below 65536 (the bitmap size); {!Cmplog}
+   compare features are emitted at [Cmplog.feature_base] and above, so a
+   campaign can append them to the same signature without collision. *)
 
 type t = {
   bitmap : Bytes.t; (* 64 KiB edge bitmap, AFL-style *)

@@ -1,6 +1,6 @@
-(* Execution-engine counters: translation-cache behaviour and block
-   chaining effectiveness.  One instance lives in each {!Machine.t}; the
-   bench pipeline serializes them into BENCH_emu.json so engine
+(* Execution-engine counters: translation-cache behaviour, block chaining
+   and superblock effectiveness.  One instance lives in each {!Machine.t};
+   the bench pipeline serializes them into BENCH_emu.json so engine
    regressions show up as a trajectory, not an anecdote. *)
 
 type t = {
@@ -8,41 +8,83 @@ type t = {
   mutable cache_hits : int;  (* hashtable lookups that found a live block *)
   mutable cache_misses : int;  (* lookups that had to (re)translate *)
   mutable chained : int;  (* control transfers served by a chain link *)
-  mutable flushes : int;  (* flush_tcg calls (incl. load_image) *)
+  (* [flushes_load] counts the unavoidable flush on [load_image];
+     [flushes_invalidate] counts everything else ([flush_tcg],
+     [set_engine], snapshot restore).  Probe subscribe/unsubscribe and
+     dirty-tracking toggles patch sites in place and count as neither --
+     "~0 invalidation flushes under a probe-toggle storm" is the pinned
+     property. *)
+  mutable flushes_load : int;
+  mutable flushes_invalidate : int;
+  (* superblock formation: hot chain heads fused into single closure
+     arrays.  [super_transfers] counts the block-to-block control
+     transfers that happened *inside* a fused block (they skip both the
+     hashtable and the chain links), [super_exits] the guard-detected
+     mispredicts that bailed back to the dispatcher. *)
+  mutable superblocks_formed : int;
+  mutable super_execs : int;
+  mutable super_exits : int;
+  mutable super_transfers : int;
 }
 
 let create () =
-  { translations = 0; cache_hits = 0; cache_misses = 0; chained = 0; flushes = 0 }
+  {
+    translations = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+    chained = 0;
+    flushes_load = 0;
+    flushes_invalidate = 0;
+    superblocks_formed = 0;
+    super_execs = 0;
+    super_exits = 0;
+    super_transfers = 0;
+  }
 
 let reset t =
   t.translations <- 0;
   t.cache_hits <- 0;
   t.cache_misses <- 0;
   t.chained <- 0;
-  t.flushes <- 0
+  t.flushes_load <- 0;
+  t.flushes_invalidate <- 0;
+  t.superblocks_formed <- 0;
+  t.super_execs <- 0;
+  t.super_exits <- 0;
+  t.super_transfers <- 0
+
+(** Total flushes of either kind (the pre-split [flushes] counter). *)
+let flushes t = t.flushes_load + t.flushes_invalidate
 
 (** Fraction of non-chained block lookups served from the cache. *)
 let hit_rate t =
   let total = t.cache_hits + t.cache_misses in
   if total = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int total
 
-(** Fraction of all block-to-block transfers that skipped the hashtable. *)
+(** Fraction of all block-to-block transfers that skipped the hashtable
+    (served by a chain link or fused into a superblock). *)
 let chain_rate t =
-  let total = t.cache_hits + t.cache_misses + t.chained in
-  if total = 0 then 0.0 else float_of_int t.chained /. float_of_int total
+  let fast = t.chained + t.super_transfers in
+  let total = t.cache_hits + t.cache_misses + fast in
+  if total = 0 then 0.0 else float_of_int fast /. float_of_int total
 
 let pp fmt t =
   Fmt.pf fmt
-    "translations=%d cache_hits=%d cache_misses=%d chained=%d flushes=%d \
-     hit_rate=%.3f chain_rate=%.3f"
-    t.translations t.cache_hits t.cache_misses t.chained t.flushes (hit_rate t)
-    (chain_rate t)
+    "translations=%d cache_hits=%d cache_misses=%d chained=%d \
+     flushes_load=%d flushes_invalidate=%d superblocks=%d super_execs=%d \
+     super_exits=%d super_transfers=%d hit_rate=%.3f chain_rate=%.3f"
+    t.translations t.cache_hits t.cache_misses t.chained t.flushes_load
+    t.flushes_invalidate t.superblocks_formed t.super_execs t.super_exits
+    t.super_transfers (hit_rate t) (chain_rate t)
 
 (** Render as a JSON object (used by the bench pipeline). *)
 let to_json t =
   Printf.sprintf
     "{\"translations\": %d, \"cache_hits\": %d, \"cache_misses\": %d, \
-     \"chained_transfers\": %d, \"flushes\": %d, \"hit_rate\": %.4f, \
-     \"chain_rate\": %.4f}"
-    t.translations t.cache_hits t.cache_misses t.chained t.flushes (hit_rate t)
-    (chain_rate t)
+     \"chained_transfers\": %d, \"flushes_load\": %d, \
+     \"flushes_invalidate\": %d, \"superblocks_formed\": %d, \
+     \"super_execs\": %d, \"super_exits\": %d, \"super_transfers\": %d, \
+     \"hit_rate\": %.4f, \"chain_rate\": %.4f}"
+    t.translations t.cache_hits t.cache_misses t.chained t.flushes_load
+    t.flushes_invalidate t.superblocks_formed t.super_execs t.super_exits
+    t.super_transfers (hit_rate t) (chain_rate t)

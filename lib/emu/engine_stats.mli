@@ -1,21 +1,33 @@
-(** Execution-engine counters: translation-cache behaviour and block
-    chaining effectiveness (serialized into BENCH_emu.json). *)
+(** Execution-engine counters: translation-cache behaviour, block chaining
+    and superblock effectiveness (serialized into BENCH_emu.json). *)
 
 type t = {
   mutable translations : int;  (** blocks translated (misses + stale) *)
   mutable cache_hits : int;  (** lookups that found a live block *)
   mutable cache_misses : int;  (** lookups that had to (re)translate *)
   mutable chained : int;  (** transfers served by a chain link *)
-  mutable flushes : int;  (** flush_tcg calls (incl. load_image) *)
+  mutable flushes_load : int;  (** [load_image] flushes *)
+  mutable flushes_invalidate : int;
+      (** [flush_tcg] / [set_engine] / restore flushes.  Probe and
+          dirty-tracking toggles patch sites in place and count as neither
+          kind. *)
+  mutable superblocks_formed : int;  (** hot chains fused *)
+  mutable super_execs : int;  (** entries into a fused block *)
+  mutable super_exits : int;  (** guard mispredicts out of a fused block *)
+  mutable super_transfers : int;  (** transfers fused away inside supers *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 
+(** Total flushes of either kind (the pre-split [flushes] counter). *)
+val flushes : t -> int
+
 (** Fraction of non-chained block lookups served from the cache. *)
 val hit_rate : t -> float
 
-(** Fraction of all block-to-block transfers that skipped the hashtable. *)
+(** Fraction of all block-to-block transfers that skipped the hashtable
+    (chain links + superblock-internal transfers). *)
 val chain_rate : t -> float
 
 val pp : Format.formatter -> t -> unit

@@ -1,12 +1,24 @@
 (* Full-system machine: RAM, MMIO bus, harts, hypercall table, and a
    TCG-like execution engine that translates basic blocks into closure
-   arrays with instrumentation probes baked in at translation time.
+   arrays with *patchable instrumentation sites*.
 
-   Engine hot-path design (see DESIGN.md "Execution engine"):
+   Engine hot-path design (see DESIGN.md "Execution engine" and
+   "Fuzzing-first engine"):
 
+   - patchable probe sites: every translated op that can be instrumented
+     (mem/call/ret/compare, plus dirty-page tracking) compiles in a site
+     that consults the shared site table ({!Probe.t} subscriber arrays,
+     [Ram.track_dirty], [Cmplog.enabled]) at run time.  Toggling any of
+     them is an O(1) mutation observed by already-translated code on its
+     next dispatch -- no retranslation, no flush (Icicle's
+     "instrumentation without recompilation");
    - block chaining: each translated block caches up to two successor
-     links (epoch- and generation-tagged), so straight-line code and loops
-     transfer control without touching the block hashtable;
+     links (generation-tagged), so straight-line code and loops transfer
+     control without touching the block hashtable;
+   - superblock formation: chain heads that stay hot are fused with their
+     chained successors into a single closure array, with per-boundary
+     guard ops that keep scheduling, probe events and accounting exactly
+     what the unfused chain would produce;
    - allocation-free RAM fast path: load/store templates are specialized
      at translation time per width and bounds-check straight into
      [Ram.bytes]; the {!Fault.access} record is only constructed on the
@@ -39,19 +51,32 @@ let pp_stop fmt = function
   | Budget_exhausted -> Fmt.string fmt "budget-exhausted"
   | Deadlock -> Fmt.string fmt "deadlock"
 
-(* A translated block.  [b_epoch]/[b_gen] tag the probe configuration and
-   translation-cache generation the block (and anything it links to) was
-   built under; a mismatch on either invalidates the block and every chain
-   link pointing at it.  [b_insns]/[b_cost] are the translate-time totals
-   charged on entry; [b_cost_pfx.(i)] is the cost of ops 0..i inclusive,
-   used to correct the pre-charge when op [i] raises. *)
+(* A translated block.  [b_gen] tags the translation-cache generation the
+   block (and anything it links to) was built under; a mismatch
+   invalidates the block and every chain link pointing at it.  Probe
+   state is NOT baked in -- ops carry patchable sites -- so there is no
+   probe epoch.  [b_insns]/[b_cost] are the translate-time totals charged
+   on entry; [b_cost_pfx.(i)] / [b_insn_pfx.(i)] are the cost / retired
+   insns of ops 0..i inclusive, used to correct the pre-charge when op
+   [i] raises (superblocks make the op->insn mapping non-trivial, so the
+   insn side needs its own prefix array too).
+
+   [b_execs]/[b_super] drive superblock formation: when a chain head
+   stays hot, its chained successors are fused into [b_super], a block
+   whose ops are the concatenation of freshly translated constituents
+   with guard ops at the boundaries ([b_blocks] counts constituents, and
+   is the fused block's cost against the per-turn chain budget). *)
 type block = {
-  b_epoch : int;
+  b_base : int; (* guest pc this block was translated from *)
   b_gen : int;
   b_ops : (Cpu.t -> unit) array;
   b_insns : int;
   b_cost : int;
   b_cost_pfx : int array;
+  b_insn_pfx : int array;
+  b_blocks : int; (* chain-budget cost: 1, or fused constituent count *)
+  mutable b_execs : int; (* hotness counter for superblock formation *)
+  mutable b_super : block option; (* fused [this + chained successors] *)
   mutable l0_pc : int;
   mutable l0 : block option;
   mutable l1_pc : int;
@@ -68,11 +93,15 @@ type t = {
   mailbox : Devices.mailbox;
   harts : Cpu.t array;
   probes : Probe.t;
+  cmplog : Cmplog.t;
   block_cache : (int, block) Hashtbl.t;
   trap_handlers : (int, handler) Hashtbl.t;
   stats : Engine_stats.t;
   mutable engine : engine;
+  mutable superblocks : bool; (* substitute fused blocks when available *)
+  mutable super_threshold : int; (* execs before fusing; power of two *)
   mutable tcg_gen : int; (* bumped by flush_tcg; invalidates chain links *)
+  mutable deadline : int; (* current run_slice deadline, for fused guards *)
   mutable total_insns : int;
   mutable cost : int; (* modeled guest cycles, Cost_model weights *)
   mutable external_cost : int; (* host-side sanitizer cost units *)
@@ -115,11 +144,15 @@ let create ?(harts = 2) ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
         mailbox = mailbox_state;
         harts = Array.init harts Cpu.create;
         probes = Probe.create ();
+        cmplog = Cmplog.create ();
         block_cache = Hashtbl.create 1024;
         trap_handlers = Hashtbl.create 16;
         stats = Engine_stats.create ();
         engine = Fast;
+        superblocks = true;
+        super_threshold = 64;
         tcg_gen = 0;
+        deadline = max_int;
         total_insns = 0;
         cost = 0;
         external_cost = 0;
@@ -132,12 +165,21 @@ let create ?(harts = 2) ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
 let add_device t dev =
   t.devices <- sort_devices (Array.append t.devices [| dev |])
 
-let flush_tcg t =
+let flush_raw t =
   Hashtbl.reset t.block_cache;
-  (* chained links inside still-referenced blocks survive the hashtable
-     reset; bumping the generation invalidates them *)
-  t.tcg_gen <- t.tcg_gen + 1;
-  t.stats.flushes <- t.stats.flushes + 1
+  (* chained links and fused superblocks inside still-referenced blocks
+     survive the hashtable reset; bumping the generation invalidates
+     them *)
+  t.tcg_gen <- t.tcg_gen + 1
+
+(* Explicit invalidation (self-modifying code, engine switch, snapshot
+   restore).  Instrumentation toggles do NOT come through here any more:
+   probe subscribe/unsubscribe, dirty tracking and cmplog all patch live
+   sites, which is what keeps [flushes_invalidate] at ~0 under a
+   probe-toggle storm (the toggle-storm oracle pins this). *)
+let flush_tcg t =
+  flush_raw t;
+  t.stats.flushes_invalidate <- t.stats.flushes_invalidate + 1
 
 let set_engine t engine =
   if t.engine <> engine then begin
@@ -145,14 +187,25 @@ let set_engine t engine =
     flush_tcg t
   end
 
-(* Dirty-page tracking is baked into the translated store templates, so
-   toggling it invalidates the translation cache, exactly like a probe
-   change.  Enabling is idempotent and cheap when already on. *)
-let set_dirty_tracking t on =
-  if Ram.track_dirty t.ram <> on then begin
-    Ram.set_track_dirty t.ram on;
-    flush_tcg t
-  end
+(* Dirty-page tracking is a patchable site in the translated store
+   templates: stores consult [Ram.track_dirty] at run time, so toggling
+   is one boolean write -- no flush, and a no-op toggle is free. *)
+let set_dirty_tracking t on = Ram.set_track_dirty t.ram on
+
+(* Compare-operand recording is a patchable site in branch/compare
+   templates; same O(1), flush-free toggle. *)
+let set_cmplog t on = t.cmplog.Cmplog.enabled <- on
+
+(** Enable/disable hot-chain fusion.  O(1): existing fused blocks are
+    kept but not substituted while off. *)
+let set_superblocks t on = t.superblocks <- on
+
+(** Executions of a chain head before fusion is attempted; must be a
+    power of two (the hotness check is a mask). *)
+let set_super_threshold t n =
+  if n < 2 || n land (n - 1) <> 0 then
+    invalid_arg "Machine.set_super_threshold: power of two >= 2 expected";
+  t.super_threshold <- n
 
 let set_trap_handler t num handler = Hashtbl.replace t.trap_handlers num handler
 
@@ -169,7 +222,10 @@ let load_image t (image : Image.t) =
   if image.arch <> t.arch then invalid_arg "Machine.load_image: arch mismatch";
   Ram.load_image t.ram image;
   t.entry <- image.entry;
-  flush_tcg t
+  (* loading replaces guest code: an unavoidable flush, accounted apart
+     from invalidation flushes so toggle-storm measurements start at 0 *)
+  flush_raw t;
+  t.stats.flushes_load <- t.stats.flushes_load + 1
 
 let start_hart t id ~pc ~sp = Cpu.reset t.harts.(id) ~pc ~sp
 
@@ -326,16 +382,24 @@ let collect_block t base =
   collect base [] 0
 
 (* Translate one basic block starting at [base] for the fast engine.
-   Instrumentation probes are specialized in at translation time: with no
-   memory probe subscribed the generated load/store ops bounds-check
-   straight into RAM bytes and contain no callback and no allocation,
-   exactly like an uninstrumented TCG template.  Ops do not touch the
+   Instrumentation points compile to *patchable sites*: each op that can
+   be instrumented captures the machine's shared probe/cmplog/dirty state
+   records and checks the armed condition (one field load and branch) at
+   run time, dispatching to a probed or an uninstrumented closure both
+   built here.  Toggling a probe therefore patches every translated block
+   at once, with zero flushes; the unarmed path still bounds-checks
+   straight into RAM bytes with no callback and no allocation, exactly
+   like an uninstrumented TCG template.  Ops do not touch the
    retired-insn/cost counters; those are charged per-block by the run
-   loop. *)
-let translate_fast t base =
-  let mem_probes = Probe.has_mem t.probes in
-  let call_probes = Probe.has_calls t.probes in
-  let ret_probes = Probe.has_rets t.probes in
+   loop.
+
+   [pad_insns] supports superblock formation: a constituent re-translated
+   into a fused block sits [pad_insns] retired instructions before the
+   fused block's end, so every op's [over] rewind distance is shifted by
+   it (the fused pre-charge covers the whole superblock). *)
+let translate_fast ?(pad_insns = 0) t base =
+  let p = t.probes in
+  let cl = t.cmplog in
   let ram = t.ram in
   (* Register indices, arithmetic ops and RAM bounds are all resolved at
      translation time; the generated closures touch [cpu.regs] and the RAM
@@ -345,12 +409,10 @@ let translate_fast t base =
   let bytes = ram.Ram.bytes in
   let rbase = ram.Ram.base in
   let rlim = rbase + Bytes.length bytes in
-  (* Dirty-page tracking is specialized in at translation time like the
-     probes: [track] is captured here, so toggling it must flush the
-     translation cache ({!set_dirty_tracking}).  The tracked store path
-     adds one unconditional byte write per store (two when the access
-     straddles a page boundary) and no allocation. *)
-  let track = ram.Ram.track_dirty in
+  (* Dirty-page tracking is a patchable site too: stores read
+     [ram.track_dirty] at run time.  The tracked store path adds one
+     byte write per store (two when the access straddles a page
+     boundary) and no allocation. *)
   let dirtyb = ram.Ram.dirty in
   let pshift = Ram.page_shift in
   let mark off n =
@@ -384,6 +446,14 @@ let translate_fast t base =
               (f (Array.unsafe_get r a) (Array.unsafe_get r b)
               land 0xFFFF_FFFF)
           in
+          (* reg-reg compares carry a cmplog site: when recording is
+             enabled the operand pair feeds compare-operand coverage *)
+          let cbin f cpu =
+            let r = cpu.Cpu.regs in
+            let x = Array.unsafe_get r a and y = Array.unsafe_get r b in
+            if cl.Cmplog.enabled then Cmplog.record cl ~pc ~lhs:x ~rhs:y;
+            Array.unsafe_set r d (f x y land 0xFFFF_FFFF)
+          in
           (match (op : Insn.alu_op) with
           | Add -> bin (fun x y -> x + y)
           | Sub -> bin (fun x y -> x - y)
@@ -396,10 +466,10 @@ let translate_fast t base =
           | Shl -> bin (fun x y -> x lsl (y land 31))
           | Shru -> bin (fun x y -> x lsr (y land 31))
           | Shrs -> bin (fun x y -> sgn x asr (y land 31))
-          | Slt -> bin (fun x y -> if sgn x < sgn y then 1 else 0)
-          | Sltu -> bin (fun x y -> if x < y then 1 else 0)
-          | Seq -> bin (fun x y -> if x = y then 1 else 0)
-          | Sne -> bin (fun x y -> if x <> y then 1 else 0))
+          | Slt -> cbin (fun x y -> if sgn x < sgn y then 1 else 0)
+          | Sltu -> cbin (fun x y -> if x < y then 1 else 0)
+          | Seq -> cbin (fun x y -> if x = y then 1 else 0)
+          | Sne -> cbin (fun x y -> if x <> y then 1 else 0))
     | Alui (op, rd, rs1, imm) ->
         let d = ri rd and a = ri rs1 in
         if d = 0 then fun _cpu -> ()
@@ -409,6 +479,14 @@ let translate_fast t base =
             Array.unsafe_set r d (f (Array.unsafe_get r a) land 0xFFFF_FFFF)
           in
           let w = Word32.wrap imm in
+          (* immediate-compare cmplog site: the immediate is the value the
+             guest is comparing against (a magic constant, when large) *)
+          let cunary f cpu =
+            let r = cpu.Cpu.regs in
+            let x = Array.unsafe_get r a in
+            if cl.Cmplog.enabled then Cmplog.record cl ~pc ~lhs:x ~rhs:w;
+            Array.unsafe_set r d (f x land 0xFFFF_FFFF)
+          in
           (match (op : Insn.alu_op) with
           | Add -> unary (fun x -> x + imm)
           | Sub -> unary (fun x -> x - imm)
@@ -417,7 +495,14 @@ let translate_fast t base =
           | Remu -> unary (fun x -> if w = 0 then x else x mod w)
           | And -> unary (fun x -> x land imm)
           | Or -> unary (fun x -> x lor imm)
-          | Xor -> unary (fun x -> x lxor imm)
+          | Xor ->
+              (* [x == CONST] compiles to [xor rd, rs, CONST; sltu rd, rd,
+                 1] (no Seq immediate form), so a large xor immediate IS
+                 an equality guard's magic constant -- record it.  Small
+                 immediates are overwhelmingly bit-twiddling; skip them to
+                 bound the noise. *)
+              if w > 0xFF then cunary (fun x -> x lxor imm)
+              else unary (fun x -> x lxor imm)
           | Shl -> unary (fun x -> x lsl (imm land 31))
           | Shru -> unary (fun x -> x lsr (imm land 31))
           | Shrs -> unary (fun x -> sgn x asr (imm land 31))
@@ -425,15 +510,16 @@ let translate_fast t base =
               let si = sgn w in
               unary (fun x -> if sgn x < si then 1 else 0)
           | Sltu -> unary (fun x -> if x < w then 1 else 0)
-          | Seq -> unary (fun x -> if x = w then 1 else 0)
-          | Sne -> unary (fun x -> if x <> w then 1 else 0))
+          | Seq -> cunary (fun x -> if x = w then 1 else 0)
+          | Sne -> cunary (fun x -> if x <> w then 1 else 0))
     | Load (w, signed, rd, rs1, imm) ->
         let size = Insn.width_bytes w in
-        let over = n_insns - 1 - idx in
-        if mem_probes then (fun cpu ->
+        let over = pad_insns + n_insns - 1 - idx in
+        (* probed path, taken when the mem site is armed at run time *)
+        let probed cpu =
           rewound t ~over (fun () ->
               let addr = Word32.add (Cpu.get cpu rs1) imm in
-              Probe.fire_mem t.probes
+              Probe.fire_mem p
                 {
                   hart = cpu.id;
                   pc;
@@ -446,11 +532,12 @@ let translate_fast t base =
               let raw =
                 bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
               in
-              Cpu.set cpu rd (load_result w signed raw)))
-        else begin
-          (* allocation-free fast path, width-specialized at translate time *)
-          let d = ri rd and a = ri rs1 in
-          let set (r : int array) v = if d <> 0 then Array.unsafe_set r d v in
+              Cpu.set cpu rd (load_result w signed raw))
+        in
+        (* allocation-free fast path, width-specialized at translate time *)
+        let d = ri rd and a = ri rs1 in
+        let set (r : int array) v = if d <> 0 then Array.unsafe_set r d v in
+        let fast : Cpu.t -> unit =
           match (w : Insn.width) with
           | W32 ->
               fun cpu ->
@@ -484,15 +571,18 @@ let translate_fast t base =
                   else slow_read t ~hart:cpu.id ~pc ~addr ~size:1 ~over
                 in
                 set r (if signed then Word32.sext raw 8 else raw land 0xFF)
-        end
+        in
+        (* the patchable site: one subscriber-array load and branch *)
+        fun cpu ->
+          if Array.length p.Probe.mem = 0 then fast cpu else probed cpu
     | Store (w, rs1, rs2, imm) ->
         let size = Insn.width_bytes w in
-        let over = n_insns - 1 - idx in
-        if mem_probes then (fun cpu ->
+        let over = pad_insns + n_insns - 1 - idx in
+        let probed cpu =
           rewound t ~over (fun () ->
               let addr = Word32.add (Cpu.get cpu rs1) imm in
               let value = Cpu.get cpu rs2 in
-              Probe.fire_mem t.probes
+              Probe.fire_mem p
                 {
                   hart = cpu.id;
                   pc;
@@ -504,9 +594,12 @@ let translate_fast t base =
                 };
               bus_write t
                 { hart = cpu.id; pc; addr; size; is_write = true }
-                value))
-        else begin
-          let a = ri rs1 and v = ri rs2 in
+                value)
+        in
+        (* dirty marking consults [ram.track_dirty] at run time: the
+           dirty-track site of the store template *)
+        let a = ri rs1 and v = ri rs2 in
+        let fast : Cpu.t -> unit =
           match (w : Insn.width) with
           | W32 ->
               fun cpu ->
@@ -516,7 +609,7 @@ let translate_fast t base =
                   let off = addr - rbase in
                   Bytes.set_int32_le bytes off
                     (Int32.of_int (Array.unsafe_get r v));
-                  if track then mark off 4
+                  if ram.Ram.track_dirty then mark off 4
                 end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over
@@ -529,7 +622,7 @@ let translate_fast t base =
                   let off = addr - rbase in
                   Bytes.set_uint16_le bytes off
                     (Array.unsafe_get r v land 0xFFFF);
-                  if track then mark off 2
+                  if ram.Ram.track_dirty then mark off 2
                 end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:2 ~over
@@ -542,19 +635,21 @@ let translate_fast t base =
                   let off = addr - rbase in
                   Bytes.unsafe_set bytes off
                     (Char.unsafe_chr (Array.unsafe_get r v land 0xFF));
-                  if track then
+                  if ram.Ram.track_dirty then
                     Bytes.unsafe_set dirtyb (off lsr pshift) '\xFF'
                 end
                 else
                   slow_write t ~hart:cpu.id ~pc ~addr ~size:1 ~over
                     (Array.unsafe_get r v)
-        end
+        in
+        fun cpu ->
+          if Array.length p.Probe.mem = 0 then fast cpu else probed cpu
     | Amo (op, rd, rs1, rs2) ->
-        let over = n_insns - 1 - idx in
-        if mem_probes then (fun cpu ->
+        let over = pad_insns + n_insns - 1 - idx in
+        let probed cpu =
           rewound t ~over (fun () ->
               let addr = Cpu.get cpu rs1 in
-              Probe.fire_mem t.probes
+              Probe.fire_mem p
                 {
                   hart = cpu.id;
                   pc;
@@ -574,43 +669,47 @@ let translate_fast t base =
                 | Amo_swap -> Cpu.get cpu rs2
               in
               bus_write t acc next;
-              Cpu.set cpu rd old))
-        else
-          let d = ri rd and a = ri rs1 and v = ri rs2 in
-          let is_add = match op with Amo_add -> true | Amo_swap -> false in
-          fun cpu ->
-            let r = cpu.Cpu.regs in
-            let addr = Array.unsafe_get r a in
-            if addr >= rbase && addr + 4 <= rlim then begin
-              let off = addr - rbase in
-              let old =
-                Int32.to_int (Bytes.get_int32_le bytes off) land 0xFFFF_FFFF
-              in
-              let next =
-                if is_add then (old + Array.unsafe_get r v) land 0xFFFF_FFFF
-                else Array.unsafe_get r v
-              in
-              Bytes.set_int32_le bytes off (Int32.of_int next);
-              if track then mark off 4;
-              if d <> 0 then Array.unsafe_set r d old
-            end
-            else begin
-              let old = slow_read t ~hart:cpu.id ~pc ~addr ~size:4 ~over in
-              let next =
-                if is_add then Word32.add old (Array.unsafe_get r v)
-                else Array.unsafe_get r v
-              in
-              slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over next;
-              if d <> 0 then Array.unsafe_set r d (Word32.wrap old)
-            end
+              Cpu.set cpu rd old)
+        in
+        let d = ri rd and a = ri rs1 and v = ri rs2 in
+        let is_add = match op with Amo_add -> true | Amo_swap -> false in
+        let fast cpu =
+          let r = cpu.Cpu.regs in
+          let addr = Array.unsafe_get r a in
+          if addr >= rbase && addr + 4 <= rlim then begin
+            let off = addr - rbase in
+            let old =
+              Int32.to_int (Bytes.get_int32_le bytes off) land 0xFFFF_FFFF
+            in
+            let next =
+              if is_add then (old + Array.unsafe_get r v) land 0xFFFF_FFFF
+              else Array.unsafe_get r v
+            in
+            Bytes.set_int32_le bytes off (Int32.of_int next);
+            if ram.Ram.track_dirty then mark off 4;
+            if d <> 0 then Array.unsafe_set r d old
+          end
+          else begin
+            let old = slow_read t ~hart:cpu.id ~pc ~addr ~size:4 ~over in
+            let next =
+              if is_add then Word32.add old (Array.unsafe_get r v)
+              else Array.unsafe_get r v
+            in
+            slow_write t ~hart:cpu.id ~pc ~addr ~size:4 ~over next;
+            if d <> 0 then Array.unsafe_set r d (Word32.wrap old)
+          end
+        in
+        fun cpu ->
+          if Array.length p.Probe.mem = 0 then fast cpu else probed cpu
     | Branch (c, rs1, rs2, imm) ->
         let a = ri rs1 and b = ri rs2 in
         let taken = Word32.add pc imm and ft = pc + Insn.size in
+        (* the branch's cmplog site records the compared operand pair *)
         let br test cpu =
           let r = cpu.Cpu.regs in
-          cpu.Cpu.pc <-
-            (if test (Array.unsafe_get r a) (Array.unsafe_get r b) then taken
-             else ft)
+          let x = Array.unsafe_get r a and y = Array.unsafe_get r b in
+          if cl.Cmplog.enabled then Cmplog.record cl ~pc ~lhs:x ~rhs:y;
+          cpu.Cpu.pc <- (if test x y then taken else ft)
         in
         (match (c : Insn.cond) with
         | Eq -> br (fun x y -> x = y)
@@ -623,11 +722,13 @@ let translate_fast t base =
         let target = Word32.add pc imm in
         let link = pc + Insn.size in
         let d = ri rd in
-        if Reg.equal rd Reg.ra && call_probes then (fun cpu ->
+        if Reg.equal rd Reg.ra then (fun cpu ->
+          (* call site: armed check after the architectural effects so the
+             event observes the post-transfer state, as before *)
           Cpu.set cpu rd link;
           cpu.pc <- target;
-          Probe.fire_call t.probes
-            { c_hart = cpu.id; c_pc = pc; c_target = target })
+          if Array.length p.Probe.calls > 0 then
+            Probe.fire_call p { c_hart = cpu.id; c_pc = pc; c_target = target })
         else fun cpu ->
           if d <> 0 then Array.unsafe_set cpu.Cpu.regs d link;
           cpu.Cpu.pc <- target
@@ -635,23 +736,24 @@ let translate_fast t base =
         let is_call = Reg.equal rd Reg.ra in
         let is_ret = Reg.equal rd Reg.zero && Reg.equal rs1 Reg.ra in
         let link = pc + Insn.size in
-        if is_call && call_probes then (fun cpu ->
+        if is_call then (fun cpu ->
           let target = Word32.add (Cpu.get cpu rs1) imm in
           Cpu.set cpu rd link;
           cpu.pc <- target;
-          Probe.fire_call t.probes
-            { c_hart = cpu.id; c_pc = pc; c_target = target })
-        else if is_ret && ret_probes then (fun cpu ->
+          if Array.length p.Probe.calls > 0 then
+            Probe.fire_call p { c_hart = cpu.id; c_pc = pc; c_target = target })
+        else if is_ret then (fun cpu ->
           let target = Word32.add (Cpu.get cpu rs1) imm in
           Cpu.set cpu rd link;
           cpu.pc <- target;
-          Probe.fire_ret t.probes
-            {
-              r_hart = cpu.id;
-              r_pc = pc;
-              r_target = target;
-              r_retval = Cpu.get cpu Reg.a0;
-            })
+          if Array.length p.Probe.rets > 0 then
+            Probe.fire_ret p
+              {
+                r_hart = cpu.id;
+                r_pc = pc;
+                r_target = target;
+                r_retval = Cpu.get cpu Reg.a0;
+              })
         else
           let d = ri rd and a = ri rs1 in
           fun cpu ->
@@ -680,25 +782,34 @@ let translate_fast t base =
     total := !total + cost_pfx.(i);
     cost_pfx.(i) <- !total
   done;
+  (* retired insns of ops 0..i inclusive: 1:1 for decoded insns, flat for
+     the synthetic fall-through pc-setter *)
+  let n_ops = Array.length cost_pfx in
+  let insn_pfx = Array.init n_ops (fun i -> min (i + 1) n_insns) in
   {
-    b_epoch = t.probes.epoch;
+    b_base = base;
     b_gen = t.tcg_gen;
     b_ops = Array.of_list ops;
-    b_insns = List.length insns;
+    b_insns = n_insns;
     b_cost = !total;
     b_cost_pfx = cost_pfx;
+    b_insn_pfx = insn_pfx;
+    b_blocks = 1;
+    b_execs = 0;
+    b_super = None;
     l0_pc = min_int;
     l0 = None;
     l1_pc = min_int;
     l1 = None;
   }
 
-(* The pre-overhaul engine, kept verbatim: per-instruction accounting,
-   record-allocating bus accesses, hashtable lookup on every block, no
-   chaining.  It is the reference for the semantics-equivalence tests and
-   the measured "baseline" row of BENCH_emu.json. *)
+(* The pre-overhaul engine, kept close to verbatim: per-instruction
+   accounting, record-allocating bus accesses, hashtable lookup on every
+   block, no chaining.  It is the reference for the semantics-equivalence
+   tests and the measured "baseline" row of BENCH_emu.json.  Probe state
+   is consulted at run time here too (the site-table contract applies to
+   both engines), so baseline blocks also survive probe toggles. *)
 let translate_baseline t base =
-  let mem_probes = Probe.has_mem t.probes in
   let tick_alu cpu =
     cpu.Cpu.insns <- cpu.Cpu.insns + 1;
     t.total_insns <- t.total_insns + 1;
@@ -731,58 +842,47 @@ let translate_baseline t base =
           Cpu.set cpu rd (alu_eval op (Cpu.get cpu rs1) imm)
     | Load (w, signed, rd, rs1, imm) ->
         let size = Insn.width_bytes w in
-        if mem_probes then (fun cpu ->
+        fun cpu ->
           tick_mem cpu;
           let addr = Word32.add (Cpu.get cpu rs1) imm in
-          Probe.fire_mem t.probes
-            {
-              hart = cpu.id;
-              pc;
-              addr;
-              size;
-              is_write = false;
-              is_atomic = false;
-              value = 0;
-            };
-          let raw =
-            bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
-          in
-          Cpu.set cpu rd (load_result w signed raw))
-        else fun cpu ->
-          tick_mem cpu;
-          let addr = Word32.add (Cpu.get cpu rs1) imm in
+          if Probe.has_mem t.probes then
+            Probe.fire_mem t.probes
+              {
+                hart = cpu.id;
+                pc;
+                addr;
+                size;
+                is_write = false;
+                is_atomic = false;
+                value = 0;
+              };
           let raw =
             bus_read t { hart = cpu.id; pc; addr; size; is_write = false }
           in
           Cpu.set cpu rd (load_result w signed raw)
     | Store (w, rs1, rs2, imm) ->
         let size = Insn.width_bytes w in
-        if mem_probes then (fun cpu ->
+        fun cpu ->
           tick_mem cpu;
           let addr = Word32.add (Cpu.get cpu rs1) imm in
           let value = Cpu.get cpu rs2 in
-          Probe.fire_mem t.probes
-            {
-              hart = cpu.id;
-              pc;
-              addr;
-              size;
-              is_write = true;
-              is_atomic = false;
-              value;
-            };
-          bus_write t { hart = cpu.id; pc; addr; size; is_write = true } value)
-        else fun cpu ->
-          tick_mem cpu;
-          let addr = Word32.add (Cpu.get cpu rs1) imm in
-          bus_write t
-            { hart = cpu.id; pc; addr; size; is_write = true }
-            (Cpu.get cpu rs2)
+          if Probe.has_mem t.probes then
+            Probe.fire_mem t.probes
+              {
+                hart = cpu.id;
+                pc;
+                addr;
+                size;
+                is_write = true;
+                is_atomic = false;
+                value;
+              };
+          bus_write t { hart = cpu.id; pc; addr; size; is_write = true } value
     | Amo (op, rd, rs1, rs2) ->
         fun cpu ->
           tick_mem cpu;
           let addr = Cpu.get cpu rs1 in
-          if mem_probes then
+          if Probe.has_mem t.probes then
             Probe.fire_mem t.probes
               {
                 hart = cpu.id;
@@ -857,12 +957,16 @@ let translate_baseline t base =
   (* baseline ops self-tick, so block totals are zero: the batched
      pre-charge in the fast run loop must not double-count them *)
   {
-    b_epoch = t.probes.epoch;
+    b_base = base;
     b_gen = t.tcg_gen;
     b_ops = Array.of_list ops;
     b_insns = 0;
     b_cost = 0;
     b_cost_pfx = [||];
+    b_insn_pfx = [||];
+    b_blocks = 1;
+    b_execs = 0;
+    b_super = None;
     l0_pc = min_int;
     l0 = None;
     l1_pc = min_int;
@@ -877,7 +981,7 @@ let translate t base =
 
 let lookup_block t pc =
   match Hashtbl.find_opt t.block_cache pc with
-  | Some b when b.b_epoch = t.probes.epoch && b.b_gen = t.tcg_gen ->
+  | Some b when b.b_gen = t.tcg_gen ->
       t.stats.cache_hits <- t.stats.cache_hits + 1;
       b
   | Some _ | None ->
@@ -908,7 +1012,7 @@ let exec_ops t (b : block) (cpu : Cpu.t) =
       incr i
     done
   with e ->
-    let ran_insns = min (!i + 1) b.b_insns in
+    let ran_insns = b.b_insn_pfx.(!i) in
     let ran_cost = b.b_cost_pfx.(!i) in
     t.total_insns <- t.total_insns - b.b_insns + ran_insns;
     t.cost <- t.cost - b.b_cost + ran_cost;
@@ -919,17 +1023,17 @@ let exec_ops t (b : block) (cpu : Cpu.t) =
    schedule depends only on guest control flow and retired-insn counts --
    never on probe subscriptions or translation-cache state -- which is
    what makes probed and unprobed executions architecturally identical
-   (the differential-semantics test pins this). *)
+   (the differential-semantics test pins this).  Superblocks count
+   against the same budget as their constituent blocks ([b_blocks]), so
+   fusion never changes the schedule either. *)
 let chain_limit = 16
 
-let link_lookup (b : block) pc epoch gen =
+let link_lookup (b : block) pc gen =
   match b.l0 with
-  | Some nb when b.l0_pc = pc && nb.b_epoch = epoch && nb.b_gen = gen ->
-      Some nb
+  | Some nb when b.l0_pc = pc && nb.b_gen = gen -> Some nb
   | _ -> (
       match b.l1 with
-      | Some nb when b.l1_pc = pc && nb.b_epoch = epoch && nb.b_gen = gen ->
-          Some nb
+      | Some nb when b.l1_pc = pc && nb.b_gen = gen -> Some nb
       | _ -> None)
 
 let link_set (b : block) pc nb =
@@ -943,8 +1047,144 @@ let link_set (b : block) pc nb =
       b.l1_pc <- pc;
       b.l1 <- Some nb
 
+(* --- Superblock formation -------------------------------------------------- *)
+
+let super_max_blocks = 4
+
+(* Fuse a hot chain head with its l0-linked successors into one closure
+   array.  Every constituent is RE-translated with [pad_insns] = the
+   retired insns of the constituents after it, so the [over] rewind
+   distances baked into its memory ops stay exact under the fused
+   pre-charge (devices and probe callbacks observe per-instruction-exact
+   counters, same as unfused).
+
+   A guard op sits at each boundary and re-establishes exactly the
+   conditions the unfused dispatcher would have checked between blocks --
+   predicted pc, running status, deadline, stall window -- on the exact
+   (rewound) counter, firing the block probe when armed and bailing out
+   with [Fault.Retry_at] on any mismatch, which the run loop already
+   treats as "end the turn here" with prefix-exact rollback.  The result
+   is architecturally indistinguishable from the unfused chain. *)
+let form_super t (head : block) =
+  (* follow l0 links through live, unfused constituents *)
+  let rec follow acc b n =
+    if n >= super_max_blocks then List.rev acc
+    else
+      match b.l0 with
+      | Some nb
+        when nb.b_gen = t.tcg_gen && nb.b_blocks = 1 && nb.b_insns > 0 ->
+          follow (nb :: acc) nb (n + 1)
+      | _ -> List.rev acc
+  in
+  let chain = follow [ head ] head 1 in
+  let k = List.length chain in
+  if k >= 2 then begin
+    (* pad for constituent i = retired insns of constituents i+1.. *)
+    let insns = List.map (fun b -> b.b_insns) chain in
+    let total_insns = List.fold_left ( + ) 0 insns in
+    let pads =
+      let rec go = function
+        | [] -> []
+        | n :: rest ->
+            let tail = List.fold_left ( + ) 0 rest in
+            ignore n;
+            tail :: go rest
+      in
+      go insns
+    in
+    let parts =
+      List.map2
+        (fun (b : block) pad -> (translate_fast ~pad_insns:pad t b.b_base, pad))
+        chain pads
+    in
+    let ops = ref [] and cost_pfx = ref [] and insn_pfx = ref [] in
+    let cost_base = ref 0 and insn_base = ref 0 in
+    List.iteri
+      (fun i ((part : block), pad) ->
+        if i > 0 then begin
+          (* boundary guard into this constituent *)
+          let next_base = part.b_base in
+          let rem = pad + part.b_insns in
+          let guard (cpu : Cpu.t) =
+            let eff = t.total_insns - rem in
+            if
+              cpu.Cpu.pc <> next_base
+              || cpu.Cpu.status <> Cpu.Running
+              || eff >= t.deadline
+              || cpu.Cpu.stall_until > eff
+            then begin
+              t.stats.super_exits <- t.stats.super_exits + 1;
+              raise (Fault.Retry_at cpu.Cpu.pc)
+            end;
+            t.stats.super_transfers <- t.stats.super_transfers + 1;
+            if Array.length t.probes.Probe.blocks > 0 then
+              rewound t ~over:rem (fun () ->
+                  Probe.fire_block t.probes
+                    { b_hart = cpu.Cpu.id; b_pc = next_base })
+          in
+          ops := guard :: !ops;
+          cost_pfx := !cost_base :: !cost_pfx;
+          insn_pfx := !insn_base :: !insn_pfx
+        end;
+        Array.iteri
+          (fun j op ->
+            ops := op :: !ops;
+            cost_pfx := (!cost_base + part.b_cost_pfx.(j)) :: !cost_pfx;
+            insn_pfx := (!insn_base + part.b_insn_pfx.(j)) :: !insn_pfx)
+          part.b_ops;
+        cost_base := !cost_base + part.b_cost;
+        insn_base := !insn_base + part.b_insns)
+      parts;
+    let sb =
+      {
+        b_base = head.b_base;
+        b_gen = t.tcg_gen;
+        b_ops = Array.of_list (List.rev !ops);
+        b_insns = total_insns;
+        b_cost = !cost_base;
+        b_cost_pfx = Array.of_list (List.rev !cost_pfx);
+        b_insn_pfx = Array.of_list (List.rev !insn_pfx);
+        b_blocks = k;
+        b_execs = 0;
+        b_super = None;
+        l0_pc = min_int;
+        l0 = None;
+        l1_pc = min_int;
+        l1 = None;
+      }
+    in
+    head.b_super <- Some sb;
+    t.stats.superblocks_formed <- t.stats.superblocks_formed + 1
+  end
+
+(* Pick the block to actually execute for chain head [b]: its fused
+   superblock when formed, live, and affordable within the remaining
+   chain [budget] (so the schedule is budget-identical to unfused). *)
+let effective_block t (b : block) budget =
+  if not (t.superblocks && t.engine = Fast) then b
+  else begin
+    b.b_execs <- b.b_execs + 1;
+    (match b.b_super with
+    | Some sb when sb.b_gen = t.tcg_gen -> ()
+    | _ ->
+        (* periodic formation attempt once the head is hot: links may
+           appear (or die with a flush) at any time, so retry on a cheap
+           mask instead of exactly once *)
+        if
+          b.b_blocks = 1 && b.b_insns > 0
+          && b.b_execs land (t.super_threshold - 1) = 0
+        then form_super t b);
+    match b.b_super with
+    | Some sb when sb.b_gen = t.tcg_gen && budget >= sb.b_blocks ->
+        t.stats.super_execs <- t.stats.super_execs + 1;
+        sb
+    | _ -> b
+  end
+
 let rec chain_exec t (cpu : Cpu.t) b budget ~deadline =
-  exec_ops t b cpu;
+  let eb = effective_block t b budget in
+  exec_ops t eb cpu;
+  let budget = budget - eb.b_blocks in
   if
     budget > 0
     && t.total_insns < deadline
@@ -955,16 +1195,16 @@ let rec chain_exec t (cpu : Cpu.t) b budget ~deadline =
     if Probe.has_blocks t.probes then
       Probe.fire_block t.probes { b_hart = cpu.id; b_pc = pc };
     let nb =
-      match link_lookup b pc t.probes.epoch t.tcg_gen with
+      match link_lookup eb pc t.tcg_gen with
       | Some nb ->
           t.stats.chained <- t.stats.chained + 1;
           nb
       | None ->
           let nb = lookup_block t pc in
-          link_set b pc nb;
+          link_set eb pc nb;
           nb
     in
-    chain_exec t cpu nb (budget - 1) ~deadline
+    chain_exec t cpu nb budget ~deadline
   end
 
 let exec_turn t (cpu : Cpu.t) ~deadline =
@@ -998,6 +1238,9 @@ let runnable t (cpu : Cpu.t) =
     when [until] fired or all work is done without halting. *)
 let run_slice t ~max_insns ~(until : unit -> bool) =
   let deadline = t.total_insns + max_insns in
+  (* published for superblock boundary guards, which must observe the
+     same deadline the chain dispatcher would have checked *)
+  t.deadline <- deadline;
   let n = Array.length t.harts in
   let rec loop idle_rounds =
     if until () then None

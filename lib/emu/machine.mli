@@ -1,12 +1,20 @@
 (** Full-system machine: RAM, MMIO bus, harts, hypercall table, and a
     TCG-like execution engine that translates basic blocks into closure
-    arrays with instrumentation probes baked in at translation time.
+    arrays with {e patchable instrumentation sites}.
 
-    The fast engine chains translated blocks (epoch/generation-tagged
-    successor links), specializes allocation-free RAM load/store templates
-    at translation time, and batches retired-insn/cost accounting per
-    block; see DESIGN.md "Execution engine" for the invariants probes may
-    rely on. *)
+    Every op that can be instrumented (mem/call/ret/compare, plus
+    dirty-page tracking) compiles in a site that consults the shared site
+    table ({!Probe.t} subscriber arrays, [Ram.track_dirty],
+    [Cmplog.enabled]) at run time, so toggling instrumentation is an O(1)
+    mutation observed by already-translated code -- no retranslation, no
+    flush.
+
+    The fast engine chains translated blocks (generation-tagged successor
+    links), fuses hot chains into superblocks, specializes
+    allocation-free RAM load/store templates at translation time, and
+    batches retired-insn/cost accounting per block; see DESIGN.md
+    "Execution engine" and "Fuzzing-first engine" for the invariants
+    probes may rely on. *)
 
 type stop =
   | Halted of int
@@ -23,7 +31,8 @@ type block
 (** [Fast] is the chained, allocation-free, batch-accounted engine;
     [Baseline] is the pre-overhaul per-instruction interpreter kept as the
     semantics reference and bench baseline.  Both retire identical
-    architectural state. *)
+    architectural state, and both consult the probe site table at run
+    time. *)
 type engine = Fast | Baseline
 
 type t = {
@@ -34,11 +43,15 @@ type t = {
   mailbox : Devices.mailbox;
   harts : Cpu.t array;
   probes : Probe.t;
+  cmplog : Cmplog.t;  (** compare-operand coverage sink (see {!Cmplog}) *)
   block_cache : (int, block) Hashtbl.t;
   trap_handlers : (int, handler) Hashtbl.t;
   stats : Engine_stats.t;
   mutable engine : engine;
+  mutable superblocks : bool;  (** substitute fused blocks when available *)
+  mutable super_threshold : int;  (** execs before fusing; power of two *)
   mutable tcg_gen : int;  (** bumped by flush_tcg; invalidates chain links *)
+  mutable deadline : int;  (** current run_slice deadline, for fused guards *)
   mutable total_insns : int;
   mutable cost : int;  (** modeled guest cycles ({!Cost_model} weights) *)
   mutable external_cost : int;  (** host-side sanitizer cost units *)
@@ -64,20 +77,37 @@ val create :
 
 val add_device : t -> Device.t -> unit
 
-(** Flush the translation cache and invalidate all chained successor links
-    (probe changes do this implicitly via the probe epoch). *)
+(** Explicitly flush the translation cache and invalidate all chained
+    successor links and superblocks (self-modifying code, snapshot
+    restore).  Instrumentation toggles never flush: probe
+    subscribe/unsubscribe, dirty tracking and cmplog all patch live
+    sites.  Counted in [stats.flushes_invalidate]. *)
 val flush_tcg : t -> unit
 
 (** Switch execution engines; flushes the translation cache when the mode
     actually changes (blocks of the two engines are not interchangeable). *)
 val set_engine : t -> engine -> unit
 
-(** Toggle dirty-page tracking in RAM (see {!Ram}).  The marking is
-    specialized into the translated store templates, so an actual toggle
-    flushes the translation cache; enabling when already on is free.
-    Consumers (snapshot service, incremental digests) own one dirty-bitmap
-    channel each and clear only their own bits. *)
+(** Toggle dirty-page tracking in RAM (see {!Ram}).  The marking is a
+    patchable site in the translated store templates (stores consult
+    [Ram.track_dirty] at run time), so toggling is O(1) and flush-free,
+    and a no-op toggle is free.  Consumers (snapshot service, incremental
+    digests) own one dirty-bitmap channel each and clear only their own
+    bits. *)
 val set_dirty_tracking : t -> bool -> unit
+
+(** Toggle compare-operand recording (see {!Cmplog}); O(1), flush-free
+    patch of the branch/compare sites. *)
+val set_cmplog : t -> bool -> unit
+
+(** Enable/disable hot-chain superblock fusion.  O(1): existing fused
+    blocks are kept but not substituted while off. *)
+val set_superblocks : t -> bool -> unit
+
+(** Executions of a chain head before fusion is attempted; must be a
+    power of two >= 2 (the hotness check is a mask).  Raises
+    [Invalid_argument] otherwise. *)
+val set_super_threshold : t -> int -> unit
 
 val set_trap_handler : t -> int -> handler -> unit
 val remove_trap_handler : t -> int -> unit

@@ -1,16 +1,19 @@
-(* Instrumentation probes inserted into translated code templates.
+(* Patchable instrumentation probe sites for the translated code
+   templates.
 
    This is the mechanism EmbSan's Common Sanitizer Runtime relies on
-   (S3.3): callbacks are *inserted at translation time* into the ops of a
-   basic block, so subscribing or unsubscribing bumps [epoch] and flushes
-   the translation cache (the machine also drops chained-successor links
-   through the same epoch check).
+   (S3.3), redesigned Icicle-style ("instrumentation without
+   recompilation"): translated blocks compile in per-kind *sites* that
+   consult the subscriber arrays below at run time.  The arrays ARE the
+   shared site table -- subscribing or unsubscribing swaps an array in
+   O(1) and every already-translated block observes the change on its
+   next dispatch.  No epoch, no translation-cache flush, no
+   retranslation.
 
    Subscribers are stored in arrays, appended in registration order.
-   Registration is rare and cold; dispatch is the hot path, so [fire_*]
-   special-cases the common one-sanitizer case into a direct closure call
-   and the no-subscriber case is compiled out of the templates entirely
-   (the machine consults [has_*] at translation time). *)
+   Registration is rare and cold; dispatch is the hot path, so a site's
+   armed check is one array-length load and [fire_*] special-cases the
+   common one-sanitizer case into a direct closure call. *)
 
 type mem_event = {
   hart : int;
@@ -33,13 +36,13 @@ type t = {
   mutable calls : (call_event -> unit) array;
   mutable rets : (ret_event -> unit) array;
   mutable blocks : (block_event -> unit) array;
-  mutable epoch : int;
 }
 
-let create () =
-  { mem = [||]; calls = [||]; rets = [||]; blocks = [||]; epoch = 0 }
+(* A subscription handle: an idempotent removal thunk closing over the
+   exact subscriber it added. *)
+type sub = { mutable live : bool; remove : unit -> unit }
 
-let bump t = t.epoch <- t.epoch + 1
+let create () = { mem = [||]; calls = [||]; rets = [||]; blocks = [||] }
 
 (* Append preserving registration (fire) order.  O(n) copy, but n is the
    number of *subscribers* (a handful), not events, and registration is
@@ -47,28 +50,49 @@ let bump t = t.epoch <- t.epoch + 1
    keeps dispatch allocation-free and cache-friendly. *)
 let append a f = Array.append a [| f |]
 
-let on_mem t f =
+(* Remove the first physical occurrence of [f], preserving the order of
+   everything else; the array swap is the whole "unpatch" -- sites see
+   the new table on their next check. *)
+let remove_first a f =
+  let rec go = function
+    | [] -> []
+    | g :: rest -> if g == f then rest else g :: go rest
+  in
+  Array.of_list (go (Array.to_list a))
+
+let subscribe_mem t f =
   t.mem <- append t.mem f;
-  bump t
+  { live = true; remove = (fun () -> t.mem <- remove_first t.mem f) }
 
-let on_call t f =
+let subscribe_call t f =
   t.calls <- append t.calls f;
-  bump t
+  { live = true; remove = (fun () -> t.calls <- remove_first t.calls f) }
 
-let on_ret t f =
+let subscribe_ret t f =
   t.rets <- append t.rets f;
-  bump t
+  { live = true; remove = (fun () -> t.rets <- remove_first t.rets f) }
 
-let on_block t f =
+let subscribe_block t f =
   t.blocks <- append t.blocks f;
-  bump t
+  { live = true; remove = (fun () -> t.blocks <- remove_first t.blocks f) }
+
+let unsubscribe (s : sub) =
+  if s.live then begin
+    s.live <- false;
+    s.remove ()
+  end
+
+(* Handle-free subscription, kept for callers that never detach. *)
+let on_mem t f = ignore (subscribe_mem t f : sub)
+let on_call t f = ignore (subscribe_call t f : sub)
+let on_ret t f = ignore (subscribe_ret t f : sub)
+let on_block t f = ignore (subscribe_block t f : sub)
 
 let clear t =
   t.mem <- [||];
   t.calls <- [||];
   t.rets <- [||];
-  t.blocks <- [||];
-  bump t
+  t.blocks <- [||]
 
 let has_mem t = Array.length t.mem > 0
 let has_calls t = Array.length t.calls > 0

@@ -1,12 +1,14 @@
-(** Instrumentation probes inserted into translated code templates
-    (EmbSan's core mechanism, paper section 3.3).  Subscribing bumps
-    [epoch], which invalidates cached translations *and* chained-successor
-    links so callbacks are baked into freshly generated code.
+(** Patchable instrumentation probe sites (EmbSan's core mechanism, paper
+    section 3.3, Icicle-style "instrumentation without recompilation").
 
-    Subscribers live in arrays in registration order; [fire_*] has a
-    dedicated single-subscriber fast path (the common one-sanitizer case)
-    and the no-subscriber case is specialized out of the templates at
-    translation time via [has_*]. *)
+    Translated blocks compile in per-kind sites that consult the
+    subscriber arrays at run time; the arrays are the shared site table,
+    so subscribing/unsubscribing is an O(1) array swap observed by all
+    already-translated code -- no translation-cache flush, no epoch.
+
+    Subscribers live in arrays in registration order; a site's armed
+    check is one array-length load, and [fire_*] has a dedicated
+    single-subscriber fast path (the common one-sanitizer case). *)
 
 type mem_event = {
   hart : int;
@@ -27,20 +29,33 @@ type t = {
   mutable calls : (call_event -> unit) array;
   mutable rets : (ret_event -> unit) array;
   mutable blocks : (block_event -> unit) array;
-  mutable epoch : int;
 }
+
+(** Subscription handle for {!unsubscribe}. *)
+type sub
 
 val create : unit -> t
 
-(** [on_*] append a subscriber (fire order = registration order) and bump
-    the epoch. *)
+(** [subscribe_*] append a subscriber (fire order = registration order)
+    and return a handle; O(1) site patch, zero flushes. *)
+
+val subscribe_mem : t -> (mem_event -> unit) -> sub
+val subscribe_call : t -> (call_event -> unit) -> sub
+val subscribe_ret : t -> (ret_event -> unit) -> sub
+val subscribe_block : t -> (block_event -> unit) -> sub
+
+(** Remove exactly the subscriber the handle added; idempotent, O(1)
+    patch, zero flushes.  A no-op on an already-dead handle. *)
+val unsubscribe : sub -> unit
+
+(** [on_*]: handle-free subscription for callers that never detach. *)
 
 val on_mem : t -> (mem_event -> unit) -> unit
 val on_call : t -> (call_event -> unit) -> unit
 val on_ret : t -> (ret_event -> unit) -> unit
 val on_block : t -> (block_event -> unit) -> unit
 
-(** Unsubscribe everything (bumps the epoch like a subscription does). *)
+(** Unsubscribe everything (also an O(1) site patch). *)
 val clear : t -> unit
 
 val has_mem : t -> bool

@@ -13,6 +13,7 @@ open Embsan_guest
 module Embsan = Embsan_core.Embsan
 module Report = Embsan_core.Report
 module Coverage = Embsan_emu.Coverage
+module Cmplog = Embsan_emu.Cmplog
 module Machine = Embsan_emu.Machine
 module Image = Embsan_isa.Image
 module Snap = Embsan_snap.Snap
@@ -24,6 +25,10 @@ type config = {
   seed : int;
   stop_when_all_found : bool;
   use_snapshots : bool;
+  use_cmplog : bool;
+      (* compare-operand coverage: per-exec cmplog features join the
+         frontier signature, and the operand dictionary feeds mutation.
+         Off by default so existing seeded trajectories stay pinned. *)
 }
 
 let default_config fw =
@@ -34,6 +39,7 @@ let default_config fw =
     seed = 1;
     stop_when_all_found = true;
     use_snapshots = true;
+    use_cmplog = false;
   }
 
 type found = {
@@ -85,6 +91,7 @@ let boot_with_coverage cfg cov =
   in
   (if uses_kcov cfg.fw then Coverage.attach_kcov cov inst.machine
    else Coverage.attach_tcg cov inst.machine);
+  if cfg.use_cmplog then Machine.set_cmplog inst.machine true;
   inst
 
 (* Confirm a finding by replay from pristine post-boot state.  Bugs with
@@ -242,6 +249,7 @@ module Engine = struct
      from other workers). *)
   let execute e prog =
     Coverage.reset_edges e.cov;
+    if e.cfg.use_cmplog then Cmplog.reset e.inst.machine.Machine.cmplog;
     e.history <-
       prog
       ::
@@ -249,7 +257,16 @@ module Engine = struct
          List.filteri (fun i _ -> i < 3) e.history
        else e.history);
     let outcome = Replay.replay e.inst (Prog.to_reproducer prog) in
-    let signature = Coverage.signature e.cov in
+    (* frontier signature: edge features (ascending, < 2^16) then cmplog
+       compare features (ascending, >= Cmplog.feature_base) -- the
+       recording window dedups exact (pc, lhs, rhs) triples, so admission
+       sees a deterministic, duplicate-free feature list *)
+    let signature =
+      let edges = Coverage.signature e.cov in
+      if e.cfg.use_cmplog then
+        edges @ Cmplog.features e.inst.machine.Machine.cmplog
+      else edges
+    in
     if Corpus.consider e.corpus prog signature then
       e.fresh_frontier <- (prog, signature) :: e.fresh_frontier;
     (* new sanitizer reports? *)
@@ -293,8 +310,15 @@ module Engine = struct
     e.execs <- e.execs + 1;
     let prog =
       if Corpus.size e.corpus > 0 && Rng.chance e.rng ~percent:70 then
+        let dict =
+          if e.cfg.use_cmplog then
+            Cmplog.dict_values e.inst.machine.Machine.cmplog
+          else [||]
+        in
         Prog.mutate e.rng e.cfg.fw.fw_syscalls
           ~corpus_pick:(fun () -> Corpus.pick e.rng e.corpus)
+          ~dict
+          ~i2s:(Cmplog.counterpart e.inst.machine.Machine.cmplog)
           (Option.value ~default:[] (Corpus.pick e.rng e.corpus))
       else Prog.gen e.rng e.cfg.fw.fw_syscalls
     in

@@ -17,6 +17,12 @@ type config = {
           cleaning) by restoring a post-boot checkpoint instead of
           rebooting; on by default — the restore-transparency oracle in
           [lib/check] pins the equivalence *)
+  use_cmplog : bool;
+      (** compare-operand coverage ({!Embsan_emu.Cmplog}): per-exec
+          compare features join the frontier signature and the operand
+          dictionary feeds mutation, which is what solves magic-value
+          guards.  Off by default so existing seeded trajectories stay
+          pinned. *)
 }
 
 val default_config : Firmware_db.firmware -> config

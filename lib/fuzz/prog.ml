@@ -47,7 +47,15 @@ let gen rng descs =
 
 let desc_of descs nr = List.find_opt (fun d -> d.Defs.sc_nr = nr) descs
 
-let mutate_call rng descs (c : call) =
+(* [dict] is the cmplog operand dictionary and [i2s] the counterpart
+   lookup (input-to-state mutation, AFL++'s cmplog stage).  When the
+   argument's current value was itself one side of an observed guest
+   compare, [i2s] returns the other side and we substitute it verbatim --
+   that is what solves [x == MAGIC] guards; otherwise a random dictionary
+   value stands in.  The empty dictionary draws NOTHING from the rng, so
+   campaigns without cmplog keep their exact pre-dictionary
+   trajectories. *)
+let mutate_call rng descs ?(dict = [||]) ?(i2s = fun _ -> None) (c : call) =
   match desc_of descs c.nr with
   | None -> gen_call rng descs
   | Some d ->
@@ -55,17 +63,25 @@ let mutate_call rng descs (c : call) =
       let n = List.length d.sc_args in
       if n > 0 then begin
         let i = Rng.below rng (min 3 n) in
-        args.(i) <- gen_arg rng (List.nth d.sc_args i)
+        args.(i) <-
+          (if Array.length dict > 0 && Rng.chance rng ~percent:40 then
+             match i2s args.(i) with
+             | Some v -> v
+             | None -> dict.(Rng.below rng (Array.length dict))
+           else gen_arg rng (List.nth d.sc_args i))
       end;
       { c with args }
 
-let mutate rng descs ?(corpus_pick = fun () -> None) (p : t) : t =
+let mutate rng descs ?(corpus_pick = fun () -> None) ?(dict = [||])
+    ?(i2s = fun _ -> None) (p : t) : t =
   let p = if p = [] then [ gen_call rng descs ] else p in
   match Rng.below rng 5 with
   | 0 ->
       (* mutate one call's argument *)
       let i = Rng.below rng (List.length p) in
-      List.mapi (fun j c -> if i = j then mutate_call rng descs c else c) p
+      List.mapi
+        (fun j c -> if i = j then mutate_call rng descs ~dict ~i2s c else c)
+        p
   | 1 when List.length p < max_len ->
       (* insert a fresh call at a random position *)
       let i = Rng.below rng (List.length p + 1) in
@@ -97,4 +113,6 @@ let mutate rng descs ?(corpus_pick = fun () -> None) (p : t) : t =
           else List.filteri (fun j _ -> j < max_len) spliced
       | None ->
           let i = Rng.below rng (List.length p) in
-          List.mapi (fun j c -> if i = j then mutate_call rng descs c else c) p)
+          List.mapi
+            (fun j c -> if i = j then mutate_call rng descs ~dict ~i2s c else c)
+            p)

@@ -25,10 +25,18 @@ val gen_call : Rng.t -> Defs.syscall_desc list -> call
 val gen : Rng.t -> Defs.syscall_desc list -> t
 
 (** One mutation step: argument tweak, insert, delete, duplicate or splice
-    with a corpus program. *)
+    with a corpus program.  [dict] is the cmplog operand dictionary and
+    [i2s] the counterpart lookup ({!Embsan_emu.Cmplog.counterpart}):
+    when an argument's current value was one side of an observed guest
+    compare, the other side is substituted verbatim (AFL++'s
+    input-to-state stage), else a random dictionary value stands in.  An
+    empty [dict] draws nothing from the rng, so non-cmplog campaigns keep
+    their exact trajectories. *)
 val mutate :
   Rng.t ->
   Defs.syscall_desc list ->
   ?corpus_pick:(unit -> t option) ->
+  ?dict:int array ->
+  ?i2s:(int -> int option) ->
   t ->
   t

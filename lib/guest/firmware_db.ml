@@ -257,6 +257,67 @@ let syzbot_suite_fw =
     ~fuzzer:Syzkaller
     [ Syzbot_suite.suite ]
 
+(* The compare-coverage demo: a heap bug behind a hard-coded 32-bit token.
+   Random [Any32] draws essentially never produce the token, so the gated
+   branch is unreachable for the plain mutator; with cmplog the guest's
+   own [token == MAGIC] compare donates the constant to the operand
+   dictionary (and the agreement-gradient features reward each matched
+   byte), so the gate falls.  The bench's cmplog off/on A/B workload. *)
+let magic_token = 0x51EC7A3D
+
+let magic_gate_module : Defs.module_def =
+  {
+    m_name = "drv_magicgate";
+    m_source =
+      Printf.sprintf
+        {|
+var gate_obj = 0;
+
+// BUG (drivers/magicgate, use after free): the privileged unlock path is
+// guarded by a hard-coded 32-bit token; once entered it tears the gate
+// object down and then reads its state word back.
+fun magicgate_unlock(token) {
+  if (gate_obj == 0) { gate_obj = kmalloc(32); store32(gate_obj, 7); }
+  if (token == %d) {
+    kfree(gate_obj);
+    var v = load32(gate_obj);
+    gate_obj = 0;
+    return v;
+  }
+  return 0 - 1;
+}
+
+fun sys_magicgate(a, b, c) { return magicgate_unlock(a); }
+
+fun drv_magicgate_init() {
+  syscall_table[9] = &sys_magicgate;
+  return 0;
+}
+|}
+        magic_token;
+    m_init = Some "drv_magicgate_init";
+    m_syscalls =
+      [ { sc_nr = 9; sc_name = "magicgate"; sc_args = [ Defs.Any32 ] } ];
+    m_bugs =
+      [
+        {
+          b_id = "demo/magicgate_unlock";
+          b_paper_location = "drivers/magicgate";
+          b_symbol = "magicgate_unlock";
+          b_alt_symbols = [];
+          b_kind = Embsan_core.Report.Use_after_free;
+          b_class = Defs.Heap_bug;
+          b_syscalls = [ (9, [| magic_token; 0; 0 |]) ];
+          b_benign = [ (9, [| 1; 0; 0 |]) ];
+        };
+      ];
+  }
+
+let cmplog_gate_fw =
+  linux_fw ~name:"cmplog-gate" ~arch:Arch.Arm_ev ~inst:EmbSan_C
+    ~fuzzer:Syzkaller
+    [ magic_gate_module ]
+
 (** Prepare an EmbSan session for a firmware image in its Table-1 mode.
     [kcov] compiles guest coverage callouts in (the Syzkaller setup). *)
 let embsan_firmware ?(kcov = false) fw =

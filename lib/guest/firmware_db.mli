@@ -36,6 +36,16 @@ val find : string -> firmware option
 (** The Table-2 bug-suite firmware (the 25 syzbot replays). *)
 val syzbot_suite_fw : firmware
 
+(** The 32-bit token guarding {!cmplog_gate_fw}'s gated branch. *)
+val magic_token : int
+
+(** The compare-coverage demo firmware: one syscall whose use-after-free
+    sits behind a [token == magic_token] guard that random argument draws
+    essentially never satisfy — solvable only with the cmplog operand
+    dictionary ({!Embsan_emu.Cmplog}).  The bench's cmplog off/on A/B
+    workload. *)
+val cmplog_gate_fw : firmware
+
 (** The firmware value [Embsan.prepare] expects, in the image's Table-1
     instrumentation mode. *)
 val embsan_firmware : ?kcov:bool -> firmware -> Embsan_core.Embsan.firmware

@@ -15,7 +15,7 @@
    latest snapshot repeatedly is supported and is the persistent-fuzzing
    hot path.
 
-   What is deliberately NOT captured: probe subscribers and epochs, trap
+   What is deliberately NOT captured: probe subscribers and site state, trap
    handlers, device callbacks (mailbox on_ready/on_complete), the
    translation cache and engine statistics — all host-side wiring or
    caches whose contents are semantically transparent.  Restore calls
@@ -62,10 +62,10 @@ let restore_hart (cpu : Cpu.t) (h : hart_state) =
   cpu.Cpu.insns <- h.h_insns
 
 (** Checkpoint [machine] (and [runtime]'s host-side sanitizer state, when
-    given).  Enables dirty-page tracking — the first capture on a machine
-    flushes the translation cache to specialize the marking into the store
-    templates — and clears the snapshot dirty channel, so the write set
-    accumulated afterwards is exactly "pages to revert". *)
+    given).  Enables dirty-page tracking — an O(1), flush-free site patch
+    (store sites read the flag at run time) — and clears the snapshot
+    dirty channel, so the write set accumulated afterwards is exactly
+    "pages to revert". *)
 let capture ?runtime (machine : Machine.t) =
   Machine.set_dirty_tracking machine true;
   Ram.clear_dirty machine.Machine.ram ~channel:Ram.snap_channel;

@@ -14,8 +14,8 @@
 type t
 
 (** Checkpoint the machine (and the runtime's sanitizer state, when
-    given).  Enables dirty-page tracking; the first capture on a machine
-    flushes the translation cache to specialize store-template marking. *)
+    given).  Enables dirty-page tracking — an O(1), flush-free site patch
+    (translated store sites read the tracking flag at run time). *)
 val capture : ?runtime:Embsan_core.Runtime.t -> Embsan_emu.Machine.t -> t
 
 (** Pages written since the last capture — the volume the next {!restore}

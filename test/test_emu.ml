@@ -145,20 +145,48 @@ let mem_probe_events () =
       Alcotest.(check int) "load size" 4 ld.size
   | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs)
 
-let probe_subscription_flushes_cache () =
-  (* run once with no probes (blocks get cached without callbacks), then
-     subscribe and re-run: events must appear, proving retranslation *)
+let probe_subscription_patches_live_blocks () =
+  (* run once with no probes (blocks get cached with unarmed sites), then
+     subscribe and re-run: events must appear WITHOUT any flush or
+     retranslation -- the cached blocks' patchable sites observe the new
+     subscriber table *)
   let open Asm in
   let text =
     [ Label "main"; la Reg.t0 "buf"; load W32 Reg.t1 Reg.t0 0; halt ]
   in
   let m, _ = assemble_and_load [ unit_ text [ Label "buf"; Words [ 1 ] ] ] in
   ignore (Machine.run m ~max_insns:100);
+  let translations0 = m.stats.translations in
   let count = ref 0 in
   Probe.on_mem m.probes (fun _ -> incr count);
   Machine.boot m;
   ignore (Machine.run m ~max_insns:100);
-  Alcotest.(check int) "event after re-subscription" 1 !count
+  Alcotest.(check int) "event after subscription" 1 !count;
+  Alcotest.(check int) "no flush" 0 m.stats.flushes_invalidate;
+  Alcotest.(check int) "no retranslation" translations0 m.stats.translations
+
+let probe_unsubscribe_idempotent () =
+  (* unsubscribing detaches exactly the handle's subscriber (others keep
+     firing, in order) and is idempotent *)
+  let open Asm in
+  let text =
+    [ Label "main"; la Reg.t0 "buf"; load W32 Reg.t1 Reg.t0 0; halt ]
+  in
+  let m, _ = assemble_and_load [ unit_ text [ Label "buf"; Words [ 1 ] ] ] in
+  let order = ref [] in
+  let _s1 = Probe.subscribe_mem m.probes (fun _ -> order := 1 :: !order) in
+  let s2 = Probe.subscribe_mem m.probes (fun _ -> order := 2 :: !order) in
+  let _s3 = Probe.subscribe_mem m.probes (fun _ -> order := 3 :: !order) in
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check (list int)) "all fire in order" [ 1; 2; 3 ] (List.rev !order);
+  Probe.unsubscribe s2;
+  Probe.unsubscribe s2;
+  order := [];
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:100);
+  Alcotest.(check (list int)) "s2 detached, order kept" [ 1; 3 ]
+    (List.rev !order);
+  Alcotest.(check int) "zero flushes throughout" 0 m.stats.flushes_invalidate
 
 let call_ret_probes () =
   let open Asm in
@@ -580,21 +608,54 @@ let loop_text =
     halt;
   ]
 
-let chain_invalidation_on_epoch_bump () =
+let chained_blocks_observe_probe_patch () =
   (* run once with no probes so chained successor links form between the
-     loop blocks; then subscribe a counting mem probe (epoch bump, no
-     explicit flush) and re-run: every access must be observed, proving
-     neither the block cache nor any stale chained link bypassed
-     retranslation *)
+     loop blocks; then subscribe a counting mem probe (site patch, no
+     flush) and re-run: every access must be observed even through cached
+     chain links, proving the patch reaches already-chained code with
+     zero retranslation *)
   let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in
   ignore (Machine.run m ~max_insns:1000);
   Alcotest.(check bool) "chains formed" true (m.stats.chained > 0);
+  let translations0 = m.stats.translations in
   let count = ref 0 in
   Probe.on_mem m.probes (fun _ -> incr count);
   Machine.boot m;
   ignore (Machine.run m ~max_insns:1000);
   (* 10 iterations x (load + store) + final load = 21 accesses *)
-  Alcotest.(check int) "all accesses observed after epoch bump" 21 !count
+  Alcotest.(check int) "all accesses observed through chains" 21 !count;
+  Alcotest.(check int) "no flush on subscribe" 0 m.stats.flushes_invalidate;
+  Alcotest.(check int) "no retranslation" translations0 m.stats.translations
+
+let toggle_storm_is_flush_free () =
+  (* the satellite regression: a storm of probe subscribe/unsubscribe,
+     dirty-tracking and cmplog toggles (including no-op re-toggles) must
+     leave the invalidation-flush counter at exactly 0, and the machine
+     must still run correctly from its warm cache *)
+  let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in
+  ignore (Machine.run m ~max_insns:1000);
+  let translations0 = m.stats.translations in
+  for _ = 1 to 50 do
+    let s = Probe.subscribe_mem m.probes (fun _ -> ()) in
+    Probe.unsubscribe s;
+    Machine.set_dirty_tracking m true;
+    Machine.set_dirty_tracking m true (* no-op toggle: must also be free *);
+    Machine.set_dirty_tracking m false;
+    Machine.set_dirty_tracking m false;
+    Machine.set_cmplog m true;
+    Machine.set_cmplog m false;
+    Probe.clear m.probes
+  done;
+  Machine.boot m;
+  (* buf persists across the re-run: 10 increments on top of the first
+     run's 10 *)
+  (match Machine.run m ~max_insns:1000 with
+  | Machine.Halted 20 -> ()
+  | s -> Alcotest.failf "expected halted(20), got %a" Machine.pp_stop s);
+  Alcotest.(check int) "zero invalidation flushes" 0
+    m.stats.flushes_invalidate;
+  Alcotest.(check int) "zero retranslations" translations0
+    m.stats.translations
 
 let chain_invalidation_on_flush () =
   (* cache a halt block (and chains to it), then patch its Li immediate in
@@ -617,7 +678,7 @@ let chain_invalidation_on_flush () =
   let m, img = assemble_and_load [ unit_ text [] ] in
   Alcotest.check check_stop "first run" (Machine.Halted 11)
     (Machine.run m ~max_insns:1000);
-  let flushes0 = m.stats.flushes in
+  let flushes0 = m.stats.flushes_invalidate in
   (* patch the "li a0, 11" immediate (bytes 4..7, little-endian on Arm_ev) *)
   let li_addr = Image.symbol_addr_exn img "main" + (4 * Insn.size) in
   Machine.write_mem m ~addr:(li_addr + 4) ~width:4 ~value:22;
@@ -626,7 +687,9 @@ let chain_invalidation_on_flush () =
     (Machine.Halted 11)
     (Machine.run m ~max_insns:1000);
   Machine.flush_tcg m;
-  Alcotest.(check int) "flush counted" (flushes0 + 1) m.stats.flushes;
+  Alcotest.(check int) "invalidation flush counted" (flushes0 + 1)
+    m.stats.flushes_invalidate;
+  Alcotest.(check int) "image load counted apart" 1 m.stats.flushes_load;
   Machine.boot m;
   Alcotest.check check_stop "patched code after flush" (Machine.Halted 22)
     (Machine.run m ~max_insns:1000)
@@ -643,6 +706,135 @@ let engine_stats_counters () =
   ignore (Machine.run m ~max_insns:1000);
   Alcotest.(check int) "second run fully cached/chained" translations0
     m.stats.translations
+
+(* A 500-iteration self-loop: hot enough that the chain head fuses. *)
+let hot_loop_text =
+  let open Asm in
+  [
+    Label "main";
+    la Reg.t0 "buf";
+    li Reg.t1 0;
+    li Reg.t2 500;
+    Label "loop";
+    load W32 Reg.t3 Reg.t0 0;
+    addi Reg.t3 Reg.t3 1;
+    store W32 Reg.t0 Reg.t3 0;
+    addi Reg.t1 Reg.t1 1;
+    bltu Reg.t1 Reg.t2 "loop";
+    load W32 Reg.a0 Reg.t0 0;
+    halt;
+  ]
+
+let superblock_formation_and_transparency () =
+  (* hot-chain fusion must be architecturally invisible: same stop, same
+     fingerprint, same probe-event stream as the unfused run -- while the
+     fused run actually forms and executes superblocks *)
+  let run ~super =
+    let m, _ =
+      assemble_and_load ~harts:1
+        [ unit_ hot_loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ]
+    in
+    Machine.set_superblocks m super;
+    Machine.set_super_threshold m 4;
+    let blocks = ref 0 in
+    Probe.on_block m.probes (fun _ -> incr blocks);
+    let stop = Machine.run m ~max_insns:100_000 in
+    (stop, fingerprint m, !blocks, m.stats)
+  in
+  let stop_off, fp_off, blocks_off, _ = run ~super:false in
+  let stop_on, fp_on, blocks_on, stats_on = run ~super:true in
+  Alcotest.check check_stop "same stop" stop_off stop_on;
+  Alcotest.check check_stop "halted with count" (Machine.Halted 500) stop_on;
+  Alcotest.(check string) "identical architectural state" fp_off fp_on;
+  Alcotest.(check int) "identical block-probe stream" blocks_off blocks_on;
+  Alcotest.(check bool) "superblocks formed" true
+    (stats_on.superblocks_formed > 0);
+  Alcotest.(check bool) "superblocks executed" true (stats_on.super_execs > 0);
+  Alcotest.(check bool) "boundary transfers counted" true
+    (stats_on.super_transfers > 0)
+
+let superblock_toggle_is_flush_free () =
+  (* toggling fusion on/off mid-run is an O(1) patch like everything else *)
+  let m, _ =
+    assemble_and_load ~harts:1
+      [ unit_ hot_loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ]
+  in
+  Machine.set_super_threshold m 4;
+  for _ = 1 to 10 do
+    Machine.set_superblocks m false;
+    Machine.set_superblocks m true
+  done;
+  (match Machine.run m ~max_insns:100_000 with
+  | Machine.Halted 500 -> ()
+  | s -> Alcotest.failf "expected halted(500), got %a" Machine.pp_stop s);
+  Alcotest.(check int) "zero invalidation flushes" 0
+    m.stats.flushes_invalidate
+
+let cmplog_compare_coverage () =
+  (* branch/compare sites record operand triples when enabled: the magic
+     constant of an equality guard must land in the operand dictionary,
+     and the per-window features must be deterministic across identical
+     re-runs *)
+  let open Asm in
+  let magic = 0xDEAD_BEE in
+  let text =
+    [
+      Label "main";
+      la Reg.t0 "input";
+      load W32 Reg.t1 Reg.t0 0;
+      (* MiniC-style equality synthesis: xor against the magic, sltu 1 *)
+      Ins (Alui (Xor, Reg.t2, Reg.t1, magic));
+      Ins (Alui (Sltu, Reg.t2, Reg.t2, 1));
+      (* and a direct reg-reg compare against the same constant *)
+      li Reg.t3 magic;
+      beq Reg.t1 Reg.t3 "win";
+      li Reg.a0 0;
+      halt;
+      Label "win";
+      li Reg.a0 1;
+      halt;
+    ]
+  in
+  let data = [ Label "input"; Words [ 3 ] ] in
+  let m, _ = assemble_and_load ~harts:1 [ unit_ text data ] in
+  Machine.set_cmplog m true;
+  Alcotest.check check_stop "guard not taken" (Machine.Halted 0)
+    (Machine.run m ~max_insns:1000);
+  let dict = Array.to_list (Cmplog.dict_values m.cmplog) in
+  Alcotest.(check bool) "magic in dictionary" true (List.mem magic dict);
+  let feats = Cmplog.features m.cmplog in
+  Alcotest.(check bool) "features recorded" true (feats <> []);
+  List.iter
+    (fun (i, b) ->
+      Alcotest.(check bool) "disjoint from edge space" true
+        (i >= Cmplog.feature_base);
+      Alcotest.(check int) "presence bucket" 1 b)
+    feats;
+  (* new window, same execution -> identical features; dict persists *)
+  Cmplog.reset m.cmplog;
+  Alcotest.(check (list (pair int int))) "window cleared" []
+    (Cmplog.features m.cmplog);
+  Machine.boot m;
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check (list (pair int int))) "deterministic features" feats
+    (Cmplog.features m.cmplog);
+  Alcotest.(check bool) "dict persists across windows" true
+    (List.mem magic (Array.to_list (Cmplog.dict_values m.cmplog)));
+  Alcotest.(check int) "no flush from cmplog" 0 m.stats.flushes_invalidate;
+  (* sites stay silent when disabled *)
+  let m2, _ = assemble_and_load ~harts:1 [ unit_ text data ] in
+  ignore (Machine.run m2 ~max_insns:1000);
+  Alcotest.(check int) "disabled records nothing" 0 (Cmplog.dict_size m2.cmplog)
+
+let cmplog_agreement_gradient () =
+  Alcotest.(check int) "equal" 4 (Cmplog.agreement 0xDEAD_BEE 0xDEAD_BEE);
+  Alcotest.(check int) "three low bytes" 3
+    (Cmplog.agreement 0x11AD_BEEF 0xDEAD_BEEF);
+  Alcotest.(check int) "two low bytes" 2
+    (Cmplog.agreement 0x1111_BEEF 0xDEAD_BEEF);
+  Alcotest.(check int) "one low byte" 1
+    (Cmplog.agreement 0x1111_11EF 0xDEAD_BEEF);
+  Alcotest.(check int) "none" 0 (Cmplog.agreement 1 2)
 
 (* A deterministic two-hart workload mixing AMO, calls/rets, loads/stores
    and branches; both harts increment a shared counter 200 times and halt
@@ -900,19 +1092,31 @@ let () =
       ( "probes",
         [
           Alcotest.test_case "mem events" `Quick mem_probe_events;
-          Alcotest.test_case "subscription flushes TCG" `Quick
-            probe_subscription_flushes_cache;
+          Alcotest.test_case "subscription patches live blocks" `Quick
+            probe_subscription_patches_live_blocks;
+          Alcotest.test_case "unsubscribe idempotent" `Quick
+            probe_unsubscribe_idempotent;
           Alcotest.test_case "call/ret events" `Quick call_ret_probes;
           Alcotest.test_case "registration order" `Quick
             probe_registration_order;
         ] );
       ( "engine",
         [
-          Alcotest.test_case "chain invalidation on epoch bump" `Quick
-            chain_invalidation_on_epoch_bump;
+          Alcotest.test_case "chained blocks observe probe patch" `Quick
+            chained_blocks_observe_probe_patch;
+          Alcotest.test_case "toggle storm is flush-free" `Quick
+            toggle_storm_is_flush_free;
           Alcotest.test_case "chain invalidation on flush" `Quick
             chain_invalidation_on_flush;
           Alcotest.test_case "stats counters" `Quick engine_stats_counters;
+          Alcotest.test_case "superblock transparency" `Quick
+            superblock_formation_and_transparency;
+          Alcotest.test_case "superblock toggle flush-free" `Quick
+            superblock_toggle_is_flush_free;
+          Alcotest.test_case "cmplog compare coverage" `Quick
+            cmplog_compare_coverage;
+          Alcotest.test_case "cmplog agreement gradient" `Quick
+            cmplog_agreement_gradient;
           Alcotest.test_case "probed/unprobed differential" `Quick
             differential_probe_semantics;
           Alcotest.test_case "fast/baseline equivalence" `Quick

@@ -209,6 +209,56 @@ let coverage_survives_restore () =
   Alcotest.(check bool) "coverage flows after restore" true
     (Embsan_emu.Coverage.edge_count cov > 0)
 
+(* The compare-coverage A/B: the magic-gate firmware's use-after-free sits
+   behind a [token == 0x51EC7A3D] guard.  Without cmplog the mutator never
+   produces the token; with cmplog the guest's own compare donates it via
+   the input-to-state counterpart map and the bug falls within a few
+   hundred executions. *)
+let cmplog_solves_magic_gate () =
+  let fw = Firmware_db.cmplog_gate_fw in
+  let run use_cmplog =
+    let cfg =
+      {
+        (Campaign.default_config fw) with
+        max_execs = 2000;
+        seed = 7;
+        use_cmplog;
+      }
+    in
+    Campaign.run cfg
+  in
+  let off = run false and on = run true in
+  Alcotest.(check int) "plain mutator never passes the gate" 0
+    (List.length off.r_found);
+  Alcotest.(check int) "cmplog passes the gate" 1 (List.length on.r_found);
+  let f = List.hd on.r_found in
+  Alcotest.(check string) "the gated bug" "demo/magicgate_unlock"
+    f.f_bug.b_id;
+  Alcotest.(check bool) "confirmed" true f.f_confirmed;
+  (* compare features widen the frontier beyond plain edge coverage *)
+  Alcotest.(check bool) "compare features admitted" true
+    (on.r_coverage > off.r_coverage)
+
+let cmplog_campaign_deterministic () =
+  let fw = Firmware_db.cmplog_gate_fw in
+  let run () =
+    let cfg =
+      {
+        (Campaign.default_config fw) with
+        max_execs = 600;
+        seed = 11;
+        use_cmplog = true;
+      }
+    in
+    let r = Campaign.run cfg in
+    ( List.sort compare
+        (List.map (fun (f : Campaign.found) -> (f.f_bug.b_id, f.f_exec)) r.r_found),
+      r.r_coverage,
+      r.r_corpus )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool) "cmplog campaign is deterministic" true (a = b)
+
 let clean_corpus_filters_triggers () =
   let fw = small_fw () in
   let cfg =
@@ -258,5 +308,9 @@ let () =
           Alcotest.test_case "coverage survives restore" `Quick
             coverage_survives_restore;
           Alcotest.test_case "clean corpus" `Slow clean_corpus_filters_triggers;
+          Alcotest.test_case "cmplog solves the magic gate" `Slow
+            cmplog_solves_magic_gate;
+          Alcotest.test_case "cmplog campaign deterministic" `Slow
+            cmplog_campaign_deterministic;
         ] );
     ]

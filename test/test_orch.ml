@@ -94,6 +94,33 @@ let jobs4_stable_across_repetitions () =
   Alcotest.(check bool)
     "jobs=4 merged result stable across two repetitions" true (a = b)
 
+(* Cmplog adds per-worker mutable state (compare windows, operand
+   dictionary, counterpart map) to the sharded engines; this pins that an
+   orchestrated cmplog campaign is still bit-identical across
+   repetitions.  Uses the magic-gate firmware so the dictionary path is
+   actually exercised, not just enabled. *)
+let jobs2_cmplog_stable_across_repetitions () =
+  let fw = Firmware_db.cmplog_gate_fw in
+  let run () =
+    let cfg =
+      {
+        (Orch.default_config ~jobs:2 ~epoch_execs:50 fw) with
+        campaign =
+          {
+            (Campaign.default_config fw) with
+            max_execs = 300;
+            seed = 13;
+            use_cmplog = true;
+          };
+        jobs = 2;
+      }
+    in
+    orch_key (Orch.run cfg)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool)
+    "jobs=2 cmplog result stable across two repetitions" true (a = b)
+
 let distinct_shards_diverge () =
   (* shards fuzz different streams: with 2 workers their exec traces must
      not be mirror images (their per-worker corpora differ) *)
@@ -198,6 +225,8 @@ let () =
             (jobs1_equals_campaign_run (closed_fw ()));
           Alcotest.test_case "jobs=4 stable across repetitions" `Slow
             jobs4_stable_across_repetitions;
+          Alcotest.test_case "jobs=2 cmplog stable across repetitions" `Slow
+            jobs2_cmplog_stable_across_repetitions;
           Alcotest.test_case "shard streams diverge" `Slow
             distinct_shards_diverge;
         ] );
