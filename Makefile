@@ -1,5 +1,5 @@
 .PHONY: all build test bench-smoke check check-diff check-snap check-modes \
-	check-orch check-toggle clean
+	check-orch check-toggle check-sched check-race clean
 
 all: build
 
@@ -47,6 +47,22 @@ check-toggle: build
 	./_build/default/bin/embsan_cli.exe check --oracle toggle-storm \
 	  --oracle subscription-churn --seed 1 --execs 250
 
+# Sched-transparency oracle on a bounded seeded campaign: a two-hart
+# machine driven by a fuzzer-chosen schedule (identical draw streams)
+# must produce the same interleaving on the Fast and Baseline engines
+# (250 programs x 3 arch flavors = 750 seeded programs).
+check-sched: build
+	./_build/default/bin/embsan_cli.exe check --oracle sched-transparency \
+	  --seed 1 --execs 250
+
+# Race-detection bench with ratio guards: on the race-suite firmware,
+# fuzzed schedules must find strictly more of the seeded races than the
+# fixed round-robin rotation, and ftrace's happens-before tracking must
+# find at least as many as KCSAN's sampled watchpoints.  Writes
+# BENCH_race.json; exits non-zero on a guard violation.
+check-race: build
+	./_build/default/bench/main.exe race
+
 # Orchestrator smoke: a short 2-worker campaign over one RTOS image with
 # frontier exchange and per-epoch telemetry.  Exercises the multi-domain
 # path end-to-end (worker boot, epoch barrier, merge, global triage).
@@ -55,7 +71,7 @@ check-orch: build
 	  --jobs 2 --execs 400 --seed 3 --exchange 100 --telemetry
 
 check: build test bench-smoke check-diff check-snap check-modes check-toggle \
-	check-orch
+	check-sched check-race check-orch
 
 clean:
 	dune clean

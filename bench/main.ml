@@ -14,6 +14,8 @@
      snap      snapshot service: restore latency + campaign reboot-vs-restore
                (writes BENCH_snap.json)
      orch      multi-domain orchestrator scaling sweep (writes BENCH_orch.json)
+     race      race detection: ftrace vs KCSAN, fixed vs fuzzed schedules
+               (writes BENCH_race.json; exits 1 on ratio-guard violation)
      all       everything above (default)
 
    Options: --execs N (campaign budget, default 4000), --seed N. *)
@@ -47,7 +49,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "table3"; "table4"; "replay"; "fig2";
-            "ablation"; "bechamel"; "emu"; "snap"; "orch"; "all" ])
+            "ablation"; "bechamel"; "emu"; "snap"; "orch"; "race"; "all" ])
       args
   in
   let cmds = if cmds = [] then [ "all" ] else cmds in
@@ -70,4 +72,5 @@ let () =
   if want "emu" then Emu_bench.run ();
   if want "snap" then Snap_bench.run ();
   if want "orch" then Orch_bench.run ();
+  if want "race" then Race_bench.run ();
   Fmt.pr "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

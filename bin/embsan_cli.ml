@@ -19,6 +19,7 @@ let find_fw name =
   | None ->
       if String.equal name "syzbot-suite" then Ok Firmware_db.syzbot_suite_fw
       else if String.equal name "cmplog-gate" then Ok Firmware_db.cmplog_gate_fw
+      else if String.equal name "race-suite" then Ok Firmware_db.race_suite_fw
       else
         Error
           (Fmt.str "unknown firmware %S; try `embsan list` for the inventory"
@@ -42,7 +43,8 @@ let list_cmd =
       (fun fw ->
         Fmt.pr "%a %d@." Firmware_db.pp_table1_row fw
           (List.length fw.Firmware_db.fw_bugs))
-      (Firmware_db.all @ [ Firmware_db.syzbot_suite_fw ])
+      (Firmware_db.all
+      @ [ Firmware_db.syzbot_suite_fw; Firmware_db.race_suite_fw ])
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available firmware images")
     Term.(const run $ const ())
@@ -102,7 +104,25 @@ let repro_cmd =
       & pos 1 (some string) None
       & info [] ~docv:"BUG-ID" ~doc:"Bug id, e.g. linux/nf_setrule.")
   in
-  let run fw bug_id =
+  let ftrace =
+    Arg.(
+      value & flag
+      & info [ "ftrace" ]
+          ~doc:
+            "Also attach the happens-before race detector.  Required to \
+             reproduce race-suite bugs: sampled KCSAN misses them by design.")
+  in
+  let sched_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "sched-seed" ] ~docv:"N"
+          ~doc:
+            "Arm the interleaving scheduler with this seed during the \
+             replay (schedule-dependent races need the seed a campaign \
+             reported alongside the reproducer).")
+  in
+  let run fw bug_id ftrace sched_seed =
     match
       List.find_opt (fun b -> String.equal b.Defs.b_id bug_id) fw.Firmware_db.fw_bugs
     with
@@ -111,11 +131,19 @@ let repro_cmd =
           (String.concat ", " (List.map (fun b -> b.Defs.b_id) fw.fw_bugs));
         exit 1
     | Some bug ->
-        let o =
-          Replay.run_reproducer fw
-            (Replay.Embsan_cfg Embsan.all_sanitizers)
-            bug.b_syscalls
+        let sanitizers =
+          if ftrace then Embsan.with_ftrace Embsan.all_sanitizers
+          else Embsan.all_sanitizers
         in
+        let inst = Replay.boot fw (Replay.Embsan_cfg sanitizers) in
+        (match sched_seed with
+        | None -> ()
+        | Some seed ->
+            let ctl = Embsan_sched.Sched.create inst.Replay.machine in
+            let r = Embsan_fuzz.Rng.create ~seed in
+            Embsan_sched.Sched.arm ctl
+              ~draw:(fun n -> Embsan_fuzz.Rng.below r n));
+        let o = Replay.replay inst bug.b_syscalls in
         List.iter (fun r -> Fmt.pr "%a@." Report.pp r) o.o_reports;
         (match o.o_crash with
         | Some s -> Fmt.pr "machine stopped: %a@." Embsan_emu.Machine.pp_stop s
@@ -125,7 +153,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Replay a registered bug's reproducer under EmbSan")
-    Term.(const run $ fw_arg $ bug_id)
+    Term.(const run $ fw_arg $ bug_id $ ftrace $ sched_seed)
 
 (* --- fuzz ------------------------------------------------------------------- *)
 
@@ -143,13 +171,35 @@ let fuzz_cmd =
              features and an operand dictionary for input-to-state \
              mutation (solves magic-value guards).")
   in
-  let run fw execs seed cmplog =
+  let sched =
+    Arg.(
+      value & flag
+      & info [ "sched" ]
+          ~doc:
+            "Schedule fuzzing: run each execution under a fuzzer-chosen \
+             hart interleaving; the schedule seed is part of the corpus \
+             entry and of reproducers.")
+  in
+  let ftrace =
+    Arg.(
+      value & flag
+      & info [ "ftrace" ]
+          ~doc:
+            "Enable the happens-before race sanitizer (FastTrack vector \
+             clocks) alongside the default sanitizer set.")
+  in
+  let run fw execs seed cmplog sched ftrace =
+    let base = Embsan_fuzz.Campaign.default_config fw in
     let cfg =
       {
-        (Embsan_fuzz.Campaign.default_config fw) with
+        base with
         max_execs = execs;
         seed;
         use_cmplog = cmplog;
+        use_sched = sched;
+        sanitizers =
+          (if ftrace then Embsan.with_ftrace base.sanitizers
+           else base.sanitizers);
       }
     in
     let r = Embsan_fuzz.Campaign.run cfg in
@@ -157,7 +207,7 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a coverage-guided fuzzing campaign with EmbSan")
-    Term.(const run $ fw_arg $ execs $ seed $ cmplog)
+    Term.(const run $ fw_arg $ execs $ seed $ cmplog $ sched $ ftrace)
 
 (* --- campaign ---------------------------------------------------------------- *)
 
@@ -197,13 +247,32 @@ let campaign_cmd =
             "Compare-operand coverage in every worker (see `fuzz \
              --cmplog').")
   in
-  let run fw jobs execs seed exchange telemetry cmplog =
+  let sched =
+    Arg.(
+      value & flag
+      & info [ "sched" ]
+          ~doc:"Schedule fuzzing in every worker (see `fuzz --sched').")
+  in
+  let ftrace =
+    Arg.(
+      value & flag
+      & info [ "ftrace" ]
+          ~doc:
+            "Enable the happens-before race sanitizer in every worker \
+             (see `fuzz --ftrace').")
+  in
+  let run fw jobs execs seed exchange telemetry cmplog sched ftrace =
+    let base = Embsan_fuzz.Campaign.default_config fw in
     let campaign =
       {
-        (Embsan_fuzz.Campaign.default_config fw) with
+        base with
         max_execs = execs;
         seed;
         use_cmplog = cmplog;
+        use_sched = sched;
+        sanitizers =
+          (if ftrace then Embsan.with_ftrace base.sanitizers
+           else base.sanitizers);
       }
     in
     let cfg =
@@ -229,7 +298,8 @@ let campaign_cmd =
          "Run an orchestrated fuzzing campaign over N worker domains with \
           frontier exchange and global triage")
     Term.(
-      const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry $ cmplog)
+      const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry $ cmplog
+      $ sched $ ftrace)
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -296,8 +366,8 @@ let check_cmd =
           ~doc:
             "Run only this oracle (repeatable): fast-vs-baseline, \
              probe-transparency, flush-anytime, subscription-churn, \
-             toggle-storm, restore-transparency or mode-agreement.  \
-             Default: all.")
+             toggle-storm, restore-transparency, sched-transparency or \
+             mode-agreement.  Default: all.")
   in
   let run execs seed sync max_insns arch oracles =
     let archs =

@@ -24,6 +24,13 @@
      fast machine.  Doubles as the retranslation-free pin: after the run,
      [flushes_invalidate] must be exactly 0 -- no toggle is allowed to
      flush the translation cache;
+   - sched-transparency: a two-hart machine driven by an armed
+     fuzzer-controlled scheduler ({!Embsan_sched.Sched}) with identical
+     draw streams on [Machine.Fast] and [Machine.Baseline].  Scheduler
+     decisions are a pure function of the draw stream and engine-invariant
+     architectural progress, so any fuzzer-chosen schedule must replay
+     the same interleaving on both engines — the property that makes
+     schedule seeds meaningful corpus entries;
    - restore-transparency: between sync points [mb] is checkpointed, run
      for a throwaway chunk (scribbling on RAM, registers, devices and
      counters), then reverted by [Snap.restore] — the revert must be
@@ -211,6 +218,30 @@ let toggle_storm ~cfg (p : Progen.t) =
             },
           stop )
 
+(* Two harts running the generated program under a fuzzer-chosen schedule,
+   Fast vs Baseline.  Without an external scheduler the engines'
+   round-robin granularity differs by design (16 chained blocks vs 1
+   block per turn) and multi-hart state is not comparable; with one
+   armed, every turn boundary is a pure function of the draw stream and
+   retired-instruction counts, so the interleavings must coincide
+   exactly.  Each machine gets its own [Sched.t] and its own [Rng] with
+   the same seed: identical streams, independent state. *)
+let sched_transparency ~cfg (p : Progen.t) =
+  let machine_with_sched engine =
+    let m = machine_of ~harts:2 p in
+    (* hart 1: same entry, stack window disjoint from hart 0's *)
+    Machine.start_hart m 1 ~pc:m.Machine.entry
+      ~sp:(Ram.limit m.Machine.ram - 16 - 0x8000);
+    Machine.set_engine m engine;
+    let ctl = Embsan_sched.Sched.create m in
+    let r = Rng.create ~seed:(p.p_seed + 0x5C4ED) in
+    Embsan_sched.Sched.arm ctl ~draw:(fun n -> Rng.below r n);
+    m
+  in
+  let ma = machine_with_sched Machine.Fast in
+  let mb = machine_with_sched Machine.Baseline in
+  lockstep ~name:"sched-transparency" ~cfg p ma mb ~between:(fun _ -> ())
+
 let restore_transparency ~cfg (p : Progen.t) =
   let rng = Rng.create ~seed:(p.p_seed + 0x51AB) in
   let run_variant (engine, probed) =
@@ -254,5 +285,6 @@ let all =
     ("flush-anytime", flush_anytime);
     ("subscription-churn", subscription_churn);
     ("toggle-storm", toggle_storm);
+    ("sched-transparency", sched_transparency);
     ("restore-transparency", restore_transparency);
   ]

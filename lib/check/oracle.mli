@@ -54,6 +54,14 @@ val subscription_churn :
 val toggle_storm :
   cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
 
+(** A two-hart machine driven by a fuzzer-controlled scheduler
+    ({!Embsan_sched.Sched}) armed with identical draw streams, [Fast] vs
+    [Baseline]: any fuzzer-chosen schedule must replay the same
+    interleaving on both engines.  Pins the engine-invariance contract
+    that makes schedule seeds meaningful corpus entries. *)
+val sched_transparency :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
 (** Between sync points the variant machine is checkpointed, run for a
     throwaway chunk and reverted with [Snap.restore]; the revert must be
     architecturally invisible.  Runs all four engine/probe configurations

@@ -104,6 +104,20 @@ check  load(addr, size, pc) => check_align;
 check  store(addr, size, pc) => check_align;
 |}
 
+(* An EmbedSanitizer-style FastTrack happens-before race detector: precise
+   vector-clock race detection as a pure plugin (Ftrace).  Synchronization
+   edges arrive out-of-band through the guest's san_sync hypercall, so the
+   interface header only declares the two hot-path access checks. *)
+let ftrace_header =
+  {|
+/* FastTrack happens-before race detector - interception interface */
+sanitizer ftrace;
+resource vector_clocks;
+resource sync_objects;
+check  load(addr, size, pc) => hb_read;
+check  store(addr, size, pc) => hb_write;
+|}
+
 (* --- Header parser ----------------------------------------------------------------- *)
 
 exception Spec_error of string
@@ -160,3 +174,4 @@ let kasan () = parse_header kasan_header
 let kcsan () = parse_header kcsan_header
 let kmemleak () = parse_header kmemleak_header
 let ualign () = parse_header ualign_header
+let ftrace () = parse_header ftrace_header

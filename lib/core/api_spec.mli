@@ -35,6 +35,9 @@ val kmemleak_header : string
     {!Ualign}. *)
 val ualign_header : string
 
+(** The FastTrack happens-before race detector's header; see {!Ftrace}. *)
+val ftrace_header : string
+
 exception Spec_error of string
 
 (** Parse a header text; raises {!Spec_error} on malformed input. *)
@@ -44,3 +47,4 @@ val kasan : unit -> t
 val kcsan : unit -> t
 val kmemleak : unit -> t
 val ualign : unit -> t
+val ftrace : unit -> t

@@ -18,19 +18,24 @@ type sanitizers = {
   kcsan : bool;
   kmemleak : bool;
   ualign : bool;
+  ftrace : bool;
 }
 
 let kasan_only =
-  { kasan = true; kcsan = false; kmemleak = false; ualign = false }
+  { kasan = true; kcsan = false; kmemleak = false; ualign = false; ftrace = false }
 
 let kcsan_only =
-  { kasan = false; kcsan = true; kmemleak = false; ualign = false }
+  { kasan = false; kcsan = true; kmemleak = false; ualign = false; ftrace = false }
+
+let ftrace_only =
+  { kasan = false; kcsan = false; kmemleak = false; ualign = false; ftrace = true }
 
 let all_sanitizers =
-  { kasan = true; kcsan = true; kmemleak = false; ualign = false }
+  { kasan = true; kcsan = true; kmemleak = false; ualign = false; ftrace = false }
 
 let with_kmemleak s = { s with kmemleak = true }
 let with_ualign s = { s with ualign = true }
+let with_ftrace s = { s with ftrace = true }
 
 (** Firmware category, deciding the Prober mode (S3.2) and the runtime's
     instrumentation mode. *)
@@ -59,11 +64,16 @@ let prepare ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
     (if sanitizers.kasan then [ Api_spec.kasan () ] else [])
     @ (if sanitizers.kcsan then [ Api_spec.kcsan () ] else [])
     @ (if sanitizers.kmemleak then [ Api_spec.kmemleak () ] else [])
+    @ (if sanitizers.ualign then begin
+         (* a non-builtin plugin must be in the registry before attach *)
+         Ualign.register ();
+         [ Api_spec.ualign () ]
+       end
+       else [])
     @
-    if sanitizers.ualign then begin
-      (* a non-builtin plugin must be in the registry before attach *)
-      Ualign.register ();
-      [ Api_spec.ualign () ]
+    if sanitizers.ftrace then begin
+      Ftrace.register ();
+      [ Api_spec.ftrace () ]
     end
     else []
   in

@@ -14,10 +14,14 @@ type sanitizers = {
   kcsan : bool;
   kmemleak : bool;
   ualign : bool;
+  ftrace : bool;
 }
 
 val kasan_only : sanitizers
 val kcsan_only : sanitizers
+
+(** Only the FastTrack happens-before race detector ({!Ftrace}). *)
+val ftrace_only : sanitizers
 
 (** KASAN + KCSAN (the paper's evaluation set). *)
 val all_sanitizers : sanitizers
@@ -27,6 +31,9 @@ val with_kmemleak : sanitizers -> sanitizers
 
 (** Add the unaligned-access detector ({!Ualign}) to a selection. *)
 val with_ualign : sanitizers -> sanitizers
+
+(** Add the happens-before race detector ({!Ftrace}) to a selection. *)
+val with_ftrace : sanitizers -> sanitizers
 
 (** Firmware category, deciding the Prober mode and the runtime's
     instrumentation mode. *)

@@ -112,7 +112,9 @@ let probe_instrumented ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
   builtin_platform_traps m;
   let actions = ref [] in
   let record a = actions := a :: !actions in
-  let ignore_checks = [ 16; 17; 18; 19; 20; 21 ] in
+  (* access-check callouts, and sync-edge announcements (san_sync): inert
+     during the dry run — a sanitizer plugin may claim them at attach *)
+  let ignore_checks = [ 16; 17; 18; 19; 20; 21; Hypercall.san_sync ] in
   List.iter
     (fun n -> Machine.set_trap_handler m n (fun _ _ -> ()))
     ignore_checks;

@@ -32,5 +32,15 @@ val chain_rate : t -> float
 
 val pp : Format.formatter -> t -> unit
 
-(** Render as a JSON object (used by the bench pipeline). *)
+(** Version tag of the JSON rendering; bumped on any field change. *)
+val schema : string
+
+(** Render as one schema-versioned JSON object holding every raw counter
+    (chaining, split flush counts, superblock formation) plus the derived
+    rates (used by the bench pipeline). *)
 val to_json : t -> string
+
+(** Parse {!to_json} output back into a record ([to_json]/[of_json]
+    round-trips on all raw counters).  Raises [Invalid_argument] on a
+    missing field or a schema mismatch. *)
+val of_json : string -> t

@@ -55,6 +55,12 @@ let san_poison_region = 27 (* a0 = addr, a1 = size: poison a heap region *)
 let kasan_report = 28 (* a0 = addr, a1 = size, a2 = is_write *)
 let kcsan_report = 29 (* a0 = addr, a1 = size|is_write<<8, a2 = other pc *)
 
+(* Synchronization-edge callout: guest locking primitives announce
+   happens-before edges to host-side concurrency sanitizers.
+   a0 = op (0 = acquire, 1 = release, 2 = irq_off, 3 = irq_on),
+   a1 = sync object address (0 for the IRQ pseudo-lock). *)
+let san_sync = 30
+
 let name num =
   match num with
   | 1 -> "exit"
@@ -76,4 +82,5 @@ let name num =
   | 27 -> "san_poison_region"
   | 28 -> "kasan_report"
   | 29 -> "kcsan_report"
+  | 30 -> "san_sync"
   | n -> Printf.sprintf "trap%d" n

@@ -39,4 +39,9 @@ val san_poison_region : int
 val kasan_report : int
 val kcsan_report : int
 
+(** Synchronization-edge callout from guest locking primitives:
+    a0 = op (0 = acquire, 1 = release, 2 = irq_off, 3 = irq_on),
+    a1 = sync object address (0 for the IRQ pseudo-lock). *)
+val san_sync : int
+
 val name : int -> string

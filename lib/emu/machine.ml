@@ -107,9 +107,16 @@ type t = {
   mutable external_cost : int; (* host-side sanitizer cost units *)
   mutable next_hart : int;
   mutable entry : int;
+  mutable sched : scheduler option;
 }
 
 and handler = t -> Cpu.t -> unit
+
+(* External hart scheduler: pick the next hart to run and the absolute
+   [total_insns] deadline of its turn, or [None] when no hart is runnable
+   (the run loop then applies its usual stall/deadlock handling).  [None]
+   in the field selects the built-in round-robin rotation. *)
+and scheduler = t -> (Cpu.t * int) option
 
 exception Trap_unhandled of int * int (* pc, num *)
 
@@ -158,6 +165,7 @@ let create ?(harts = 2) ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
         external_cost = 0;
         next_hart = 0;
         entry = 0;
+        sched = None;
       }
   in
   Lazy.force m
@@ -1232,6 +1240,8 @@ let step t cpu ~deadline =
 let runnable t (cpu : Cpu.t) =
   cpu.status = Running && cpu.stall_until <= t.total_insns
 
+let set_sched t sched = t.sched <- sched
+
 (** Run until a stop condition.  [until] is checked between hart turns and
     makes the machine pause (reported as [Budget_exhausted]?  no: returns
     [None]).  Returns [Some stop] for a definitive machine stop, [None]
@@ -1246,17 +1256,30 @@ let run_slice t ~max_insns ~(until : unit -> bool) =
     if until () then None
     else if t.total_insns >= deadline then Some Budget_exhausted
     else begin
-      (* pick next runnable hart round-robin *)
-      let rec pick k =
-        if k >= n then None
-        else
-          let cpu = t.harts.((t.next_hart + k) mod n) in
-          if runnable t cpu then Some cpu else pick (k + 1)
+      (* pick next runnable hart: external scheduler when armed (with its
+         own per-turn deadline, clamped to the slice), else round-robin *)
+      let picked =
+        match t.sched with
+        | Some sched -> (
+            match sched t with
+            | Some (cpu, turn_end) -> Some (cpu, min turn_end deadline)
+            | None -> None)
+        | None ->
+            let rec pick k =
+              if k >= n then None
+              else
+                let cpu = t.harts.((t.next_hart + k) mod n) in
+                if runnable t cpu then Some (cpu, deadline) else pick (k + 1)
+            in
+            pick 0
       in
-      match pick 0 with
-      | Some cpu -> (
+      match picked with
+      | Some (cpu, turn_deadline) -> (
           t.next_hart <- (cpu.id + 1) mod n;
-          match step t cpu ~deadline with
+          (* published for superblock boundary guards, exactly as the
+             slice deadline is: a fused block must not overrun the turn *)
+          t.deadline <- turn_deadline;
+          match step t cpu ~deadline:turn_deadline with
           | () -> loop 0
           | exception Fault.Halted code -> Some (Halted code)
           | exception Fault.Memory_fault (acc, reason) -> Some (Fault (acc, reason))

@@ -57,9 +57,21 @@ type t = {
   mutable external_cost : int;  (** host-side sanitizer cost units *)
   mutable next_hart : int;
   mutable entry : int;
+  mutable sched : scheduler option;
+      (** external hart scheduler; [None] = built-in round-robin *)
 }
 
 and handler = t -> Cpu.t -> unit
+
+(** External hart scheduler: pick the next hart to run and the absolute
+    [total_insns] deadline of its turn (clamped to the enclosing slice
+    deadline), or [None] when no hart is runnable — the run loop then
+    applies its usual stall-advance/deadlock handling.  Both engines stop
+    a turn at the first block boundary at or past the turn deadline, and
+    block boundaries depend only on guest code, so a given scheduler
+    produces the same interleaving on [Fast] and [Baseline] (pinned by
+    the sched-transparency oracle). *)
+and scheduler = t -> (Cpu.t * int) option
 
 exception Trap_unhandled of int * int
 
@@ -111,6 +123,12 @@ val set_super_threshold : t -> int -> unit
 
 val set_trap_handler : t -> int -> handler -> unit
 val remove_trap_handler : t -> int -> unit
+
+(** Arm (or, with [None], disarm) the external hart scheduler. *)
+val set_sched : t -> scheduler option -> unit
+
+(** Is this hart able to execute right now (running and not stalled)? *)
+val runnable : t -> Cpu.t -> bool
 
 (** Add host-side sanitizer cost units (see {!Cost_model}). *)
 val add_external_cost : t -> int -> unit

@@ -17,6 +17,7 @@ module Cmplog = Embsan_emu.Cmplog
 module Machine = Embsan_emu.Machine
 module Image = Embsan_isa.Image
 module Snap = Embsan_snap.Snap
+module Sched = Embsan_sched.Sched
 
 type config = {
   fw : Firmware_db.firmware;
@@ -29,6 +30,13 @@ type config = {
       (* compare-operand coverage: per-exec cmplog features join the
          frontier signature, and the operand dictionary feeds mutation.
          Off by default so existing seeded trajectories stay pinned. *)
+  use_sched : bool;
+      (* fuzzer-controlled interleaving: each execution runs under a
+         schedule seed drawn from a dedicated Rng stream (or inherited
+         from the corpus entry being mutated), making the interleaving
+         part of the input.  Off by default: the schedule stream is
+         derived without advancing the main rng, so existing seeded
+         trajectories stay pinned either way. *)
 }
 
 let default_config fw =
@@ -40,12 +48,14 @@ let default_config fw =
     stop_when_all_found = true;
     use_snapshots = true;
     use_cmplog = false;
+    use_sched = false;
   }
 
 type found = {
   f_bug : Defs.bug;
   f_exec : int; (* executions until first detection *)
   f_prog : Prog.t;
+  f_sched : int option; (* schedule seed the reproducer needs, if any *)
   f_confirmed : bool; (* reproduced on a fresh instance *)
 }
 
@@ -104,19 +114,31 @@ let boot_with_coverage cfg cov =
    of rebooting — the restore-transparency oracle (lib/check) is what
    justifies treating the two as equivalent.  Without snapshots each
    attempt boots fresh, as before. *)
-let reboot_repro cfg bug calls =
-  match
-    Replay.run_reproducer cfg.fw (Replay.Embsan_cfg cfg.sanitizers) calls
-  with
-  | outcome -> Replay.detects bug outcome
-  | exception Replay.Boot_failed _ -> false
+(* Arm (or disarm) a throwaway scheduler on [machine] for one replay:
+   the schedule seed fully determines the draw stream. *)
+let arm_schedule machine = function
+  | None -> Machine.set_sched machine None
+  | Some seed ->
+      let ctl = Sched.create machine in
+      let r = Rng.create ~seed in
+      Sched.arm ctl ~draw:(fun n -> Rng.below r n)
 
-let confirm ~try_repro (bug : Defs.bug) ~history prog =
+let reboot_repro cfg bug ?sched calls =
+  match Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers) with
+  | exception Replay.Boot_failed _ -> false
+  | inst ->
+      arm_schedule inst.Replay.machine sched;
+      Replay.detects bug (Replay.replay inst calls)
+
+let confirm ~try_repro ?sched (bug : Defs.bug) ~history prog =
   let calls = Prog.to_reproducer prog in
-  if try_repro bug calls then Some prog
+  (* schedule minimization first: a reproducer that fires under the plain
+     round-robin rotation needs no schedule seed at all *)
+  if sched <> None && try_repro bug ?sched:None calls then Some (prog, None)
+  else if try_repro bug ?sched calls then Some (prog, sched)
   else begin
     let full = List.concat_map Prog.to_reproducer history @ calls in
-    if not (try_repro bug full) then None
+    if not (try_repro bug ?sched full) then None
     else begin
       (* greedy shrink: drop leading history programs while it reproduces *)
       let rec shrink hist =
@@ -124,10 +146,10 @@ let confirm ~try_repro (bug : Defs.bug) ~history prog =
         | [] -> hist
         | _ :: rest ->
             let candidate = List.concat_map Prog.to_reproducer rest @ calls in
-            if try_repro bug candidate then shrink rest else hist
+            if try_repro bug ?sched candidate then shrink rest else hist
       in
       let kept = shrink history in
-      Some (List.concat kept @ prog)
+      Some (List.concat kept @ prog, sched)
     end
   end
 
@@ -146,8 +168,10 @@ module Engine = struct
     cov : Coverage.t;
     symbolize : int -> string option;
     mutable inst : Replay.instance;
+    mutable sched_ctl : Sched.t option; (* interleaving control on [inst] *)
+    sched_rng : Rng.t option; (* dedicated schedule-seed stream *)
     snap : Snap.t option;
-    try_repro : Defs.bug -> (int * int array) list -> bool;
+    try_repro : Defs.bug -> ?sched:int -> (int * int array) list -> bool;
     total_bugs : int;
     mutable insns_base : int; (* total_insns already credited to [insns] *)
     mutable history : Prog.t list; (* recent programs, newest first *)
@@ -158,7 +182,7 @@ module Engine = struct
     mutable insns : int;
     mutable seen_reports : int;
     (* per-epoch harvest for the orchestrator, newest first *)
-    mutable fresh_frontier : (Prog.t * (int * int) list) list;
+    mutable fresh_frontier : (Prog.t * int option * (int * int) list) list;
     mutable fresh_found : found list;
   }
 
@@ -166,8 +190,18 @@ module Engine = struct
     let rng =
       match rng with Some r -> r | None -> Rng.create ~seed:cfg.seed
     in
+    (* derived WITHOUT advancing [rng], so the program-mutation trajectory
+       is bit-identical whether schedule fuzzing is on or off, and a
+       jobs=1 orchestrated campaign stays equal to [Campaign.run] *)
+    let sched_rng =
+      if cfg.use_sched then Some (Rng.split_stream rng ~shard:0 ~stream:"sched")
+      else None
+    in
     let cov = Coverage.create ~harts:2 in
     let inst = boot_with_coverage cfg cov in
+    let sched_ctl =
+      if cfg.use_sched then Some (Sched.create inst.Replay.machine) else None
+    in
     (* Persistent-mode checkpoint: capture once post-boot and revert to it
        on crash recovery instead of rebooting.  Coverage is fuzzer-owned
        host state, attached via probes — it survives restores by design
@@ -181,7 +215,7 @@ module Engine = struct
     let repro_state = ref None in
     let try_repro =
       if not cfg.use_snapshots then reboot_repro cfg
-      else fun bug calls ->
+      else fun bug ?sched calls ->
         match
           (match !repro_state with
           | Some is -> is
@@ -194,6 +228,7 @@ module Engine = struct
         | exception Replay.Boot_failed _ -> false
         | i, s ->
             ignore (Snap.restore s : int);
+            arm_schedule i.Replay.machine sched;
             let before = List.length (Report.unique_reports i.Replay.sink) in
             let o = Replay.replay i calls in
             let fresh =
@@ -208,6 +243,8 @@ module Engine = struct
       cov;
       symbolize = truth_symbolize cfg.fw;
       inst;
+      sched_ctl;
+      sched_rng;
       snap;
       try_repro;
       total_bugs = List.length cfg.fw.fw_bugs;
@@ -228,16 +265,29 @@ module Engine = struct
   let finished e =
     e.execs >= e.cfg.max_execs || (e.cfg.stop_when_all_found && all_found e)
 
-  let note_bug e bug prog =
+  let note_bug e bug ?sched prog =
     if not (Hashtbl.mem e.found bug.Defs.b_id) then begin
       let entry =
         match
-          confirm ~try_repro:e.try_repro bug ~history:(List.rev e.history) prog
+          confirm ~try_repro:e.try_repro ?sched bug
+            ~history:(List.rev e.history) prog
         with
-        | Some repro ->
-            { f_bug = bug; f_exec = e.execs; f_prog = repro; f_confirmed = true }
+        | Some (repro, rsched) ->
+            {
+              f_bug = bug;
+              f_exec = e.execs;
+              f_prog = repro;
+              f_sched = rsched;
+              f_confirmed = true;
+            }
         | None ->
-            { f_bug = bug; f_exec = e.execs; f_prog = prog; f_confirmed = false }
+            {
+              f_bug = bug;
+              f_exec = e.execs;
+              f_prog = prog;
+              f_sched = sched;
+              f_confirmed = false;
+            }
       in
       Hashtbl.replace e.found bug.Defs.b_id entry;
       e.fresh_found <- entry :: e.fresh_found
@@ -247,7 +297,16 @@ module Engine = struct
      crashes, recover if the machine died.  Shared between [step]
      (self-generated programs) and [inject] (frontier programs received
      from other workers). *)
-  let execute e prog =
+  let execute e ?sched prog =
+    (* arm this execution's interleaving before anything runs *)
+    (match e.sched_ctl with
+    | None -> ()
+    | Some ctl -> (
+        match sched with
+        | None -> Sched.disarm ctl
+        | Some seed ->
+            let r = Rng.create ~seed in
+            Sched.arm ctl ~draw:(fun n -> Rng.below r n)));
     Coverage.reset_edges e.cov;
     if e.cfg.use_cmplog then Cmplog.reset e.inst.machine.Machine.cmplog;
     e.history <-
@@ -267,8 +326,8 @@ module Engine = struct
         edges @ Cmplog.features e.inst.machine.Machine.cmplog
       else edges
     in
-    if Corpus.consider e.corpus prog signature then
-      e.fresh_frontier <- (prog, signature) :: e.fresh_frontier;
+    if Corpus.consider e.corpus prog ?sched signature then
+      e.fresh_frontier <- (prog, sched, signature) :: e.fresh_frontier;
     (* new sanitizer reports? *)
     let reports = Report.unique_reports e.inst.sink in
     let n = List.length reports in
@@ -278,7 +337,7 @@ module Engine = struct
       List.iter
         (fun r ->
           match match_bug e.symbolize e.cfg.fw r with
-          | Some bug -> note_bug e bug prog
+          | Some bug -> note_bug e bug ?sched prog
           | None -> e.unmatched <- Report.title r :: e.unmatched)
         fresh
     end;
@@ -288,7 +347,7 @@ module Engine = struct
     | Some stop ->
         e.crashes <- e.crashes + 1;
         (match match_crash e.cfg.fw stop with
-        | Some bug -> note_bug e bug prog
+        | Some bug -> note_bug e bug ?sched prog
         | None -> ());
         (match e.snap with
         | Some s ->
@@ -302,35 +361,55 @@ module Engine = struct
         | None ->
             e.insns <- e.insns + e.inst.machine.total_insns;
             e.inst <- boot_with_coverage e.cfg e.cov;
+            (* the scheduler control is bound to the dead machine *)
+            if e.sched_ctl <> None then
+              e.sched_ctl <- Some (Sched.create e.inst.Replay.machine);
             e.seen_reports <- 0);
         e.history <- []
     | None -> ()
 
   let step e =
     e.execs <- e.execs + 1;
-    let prog =
-      if Corpus.size e.corpus > 0 && Rng.chance e.rng ~percent:70 then
+    let prog, inherited =
+      if Corpus.size e.corpus > 0 && Rng.chance e.rng ~percent:70 then begin
         let dict =
           if e.cfg.use_cmplog then
             Cmplog.dict_values e.inst.machine.Machine.cmplog
           else [||]
         in
-        Prog.mutate e.rng e.cfg.fw.fw_syscalls
-          ~corpus_pick:(fun () -> Corpus.pick e.rng e.corpus)
-          ~dict
-          ~i2s:(Cmplog.counterpart e.inst.machine.Machine.cmplog)
-          (Option.value ~default:[] (Corpus.pick e.rng e.corpus))
-      else Prog.gen e.rng e.cfg.fw.fw_syscalls
+        (* one corpus draw for the mutation base, exactly as before; the
+           entry's schedule seed rides along as mutation input *)
+        let base = Corpus.pick e.rng e.corpus in
+        ( Prog.mutate e.rng e.cfg.fw.fw_syscalls
+            ~corpus_pick:(fun () ->
+              Option.map fst (Corpus.pick e.rng e.corpus))
+            ~dict
+            ~i2s:(Cmplog.counterpart e.inst.machine.Machine.cmplog)
+            (match base with Some (p, _) -> p | None -> []),
+          match base with Some (_, s) -> s | None -> None )
+      end
+      else (Prog.gen e.rng e.cfg.fw.fw_syscalls, None)
     in
-    execute e prog
+    (* schedule mutation, from the dedicated stream: keep the inherited
+       interleaving half the time, otherwise redraw *)
+    let sched =
+      match e.sched_rng with
+      | None -> None
+      | Some sr -> (
+          match inherited with
+          | Some s when Rng.chance sr ~percent:50 -> Some s
+          | _ -> Some (Rng.next sr land 0x3FFF_FFFF))
+    in
+    execute e ?sched prog
 
-  (* Frontier import: execute a program another worker found productive.
-     It counts as an execution (it costs one), joins the corpus if it
-     yields locally-new coverage, and goes through the same report/crash
-     triage as a generated program. *)
-  let inject e prog =
+  (* Frontier import: execute a program another worker found productive
+     (under the schedule it was productive with).  It counts as an
+     execution (it costs one), joins the corpus if it yields locally-new
+     coverage, and goes through the same report/crash triage as a
+     generated program. *)
+  let inject e ?sched prog =
     e.execs <- e.execs + 1;
-    execute e prog
+    execute e ?sched prog
 
   let drain_frontier e =
     let l = List.rev e.fresh_frontier in

@@ -23,6 +23,13 @@ type config = {
           dictionary feeds mutation, which is what solves magic-value
           guards.  Off by default so existing seeded trajectories stay
           pinned. *)
+  use_sched : bool;
+      (** schedule fuzzing ({!Embsan_sched.Sched}): each execution runs
+          under a fuzzer-chosen interleaving seeded from a dedicated
+          [Rng.split_stream] stream, the seed is part of the corpus
+          entry and of reproducers (mutated, minimized), and the main
+          mutation stream is never touched — so trajectories with
+          [use_sched = false] stay pinned.  Off by default. *)
 }
 
 val default_config : Firmware_db.firmware -> config
@@ -31,6 +38,9 @@ type found = {
   f_bug : Defs.bug;
   f_exec : int;  (** executions until first detection *)
   f_prog : Prog.t;  (** reproducer (possibly with shrunk history prefix) *)
+  f_sched : int option;
+      (** schedule seed the reproducer needs ([None] = round-robin
+          suffices; minimization tries dropping the schedule first) *)
   f_confirmed : bool;  (** reproduced on a fresh instance *)
 }
 
@@ -71,14 +81,16 @@ module Engine : sig
       crashes. *)
   val step : t -> unit
 
-  (** Execute a frontier program received from another worker.  Counts
-      as one execution and goes through the same corpus-admission and
-      triage path as a generated program. *)
-  val inject : t -> Prog.t -> unit
+  (** Execute a frontier program received from another worker, under the
+      schedule it was productive with.  Counts as one execution and goes
+      through the same corpus-admission and triage path as a generated
+      program. *)
+  val inject : t -> ?sched:int -> Prog.t -> unit
 
-  (** New corpus entries (with the coverage signature that admitted
-      them) since the last drain, oldest first. *)
-  val drain_frontier : t -> (Prog.t * (int * int) list) list
+  (** New corpus entries (with the schedule seed they ran under and the
+      coverage signature that admitted them) since the last drain,
+      oldest first. *)
+  val drain_frontier : t -> (Prog.t * int option * (int * int) list) list
 
   (** Newly found (confirmed/unconfirmed) bugs since the last drain,
       oldest first. *)

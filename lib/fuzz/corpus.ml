@@ -1,7 +1,10 @@
 (* Coverage-triaged corpus, AFL-style: a program joins the corpus when its
-   execution produced an (edge, hit-bucket) pair never seen before. *)
+   execution produced an (edge, hit-bucket) pair never seen before.  When
+   schedule fuzzing is on, the schedule seed the program ran under is part
+   of the entry: coverage reached only under a particular interleaving is
+   replayed and mutated under that interleaving. *)
 
-type entry = { e_prog : Prog.t; e_new_pairs : int }
+type entry = { e_prog : Prog.t; e_sched : int option; e_new_pairs : int }
 
 type t = {
   seen : (int * int, unit) Hashtbl.t; (* (edge index, bucket) *)
@@ -12,8 +15,9 @@ type t = {
 let create () = { seen = Hashtbl.create 4096; entries = []; total_pairs = 0 }
 
 (** Record an execution's coverage signature; if it contributed new
-    coverage, add the program and return [true]. *)
-let consider t prog (signature : (int * int) list) =
+    coverage, add the program (with the schedule seed it ran under) and
+    return [true]. *)
+let consider t prog ?sched (signature : (int * int) list) =
   let fresh =
     List.filter (fun pair -> not (Hashtbl.mem t.seen pair)) signature
   in
@@ -21,7 +25,9 @@ let consider t prog (signature : (int * int) list) =
   else begin
     List.iter (fun pair -> Hashtbl.replace t.seen pair ()) fresh;
     t.total_pairs <- t.total_pairs + List.length fresh;
-    t.entries <- { e_prog = prog; e_new_pairs = List.length fresh } :: t.entries;
+    t.entries <-
+      { e_prog = prog; e_sched = sched; e_new_pairs = List.length fresh }
+      :: t.entries;
     true
   end
 
@@ -31,8 +37,13 @@ let coverage t = t.total_pairs
 let pick rng t =
   match t.entries with
   | [] -> None
-  | es -> Some (Rng.pick rng es).e_prog
+  | es ->
+      let e = Rng.pick rng es in
+      Some (e.e_prog, e.e_sched)
 
 (** All programs, oldest first (the "merged corpus" replayed by the
     overhead experiment). *)
 let programs t = List.rev_map (fun e -> e.e_prog) t.entries
+
+(** All entries as (program, schedule seed), oldest first. *)
+let inputs t = List.rev_map (fun e -> (e.e_prog, e.e_sched)) t.entries

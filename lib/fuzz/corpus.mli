@@ -1,7 +1,9 @@
 (** Coverage-triaged corpus, AFL-style: a program joins when its execution
-    produced an (edge, hit-bucket) pair never seen before. *)
+    produced an (edge, hit-bucket) pair never seen before.  Entries carry
+    the schedule seed the program ran under (when schedule fuzzing is
+    on), since coverage can be interleaving-dependent. *)
 
-type entry = { e_prog : Prog.t; e_new_pairs : int }
+type entry = { e_prog : Prog.t; e_sched : int option; e_new_pairs : int }
 
 type t = {
   seen : (int * int, unit) Hashtbl.t;
@@ -13,11 +15,14 @@ val create : unit -> t
 
 (** Record an execution's coverage signature; [true] iff it contributed new
     coverage (the program was added). *)
-val consider : t -> Prog.t -> (int * int) list -> bool
+val consider : t -> Prog.t -> ?sched:int -> (int * int) list -> bool
 
 val size : t -> int
 val coverage : t -> int
-val pick : Rng.t -> t -> Prog.t option
+val pick : Rng.t -> t -> (Prog.t * int option) option
 
 (** All programs, oldest first (the "merged corpus"). *)
 val programs : t -> Prog.t list
+
+(** All entries as (program, schedule seed), oldest first. *)
+val inputs : t -> (Prog.t * int option) list

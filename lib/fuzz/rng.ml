@@ -40,6 +40,32 @@ let split_seed ~seed ~shard =
     shard), distinct across shards. *)
 let split t ~shard = { state = split_seed ~seed:t.state ~shard lor 1 }
 
+(* Named streams: one shard can own several independent draw streams
+   (program mutation, schedule choice, ...) that stay independent of each
+   other and of every other (shard, stream) pair.  The stream name is
+   folded to a tag with FNV-1a — a different mixing family than both the
+   step mixer and [split_mix], so tag structure cannot cancel either —
+   and pushed through the split derivation as a second axis. *)
+
+let stream_tag name =
+  (* FNV-1a offset basis, truncated to OCaml's 63-bit int *)
+  let h = ref 0x4BF2_9CE4_8422_2325 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x100_0000_01B3 land max_int)
+    name;
+  !h
+
+(** [split_stream t ~shard ~stream] derives the independent stream named
+    [stream] for shard [shard], without advancing [t]: deterministic in
+    (current state, shard, stream); distinct across shards, stream names
+    and from {!split}'s unnamed stream (pinned by QCheck tests). *)
+let split_stream t ~shard ~stream =
+  {
+    state =
+      split_mix (split_seed ~seed:t.state ~shard + (stream_tag stream lor 1))
+      lor 1;
+  }
+
 let pick t = function
   | [] -> invalid_arg "Rng.pick: empty"
   | l -> List.nth l (below t (List.length l))

@@ -23,6 +23,17 @@ val split : t -> shard:int -> t
 
 (** The raw sub-seed derivation behind {!split}, exposed for tests. *)
 val split_seed : seed:int -> shard:int -> int
+
+(** [split_stream t ~shard ~stream] derives the independent draw stream
+    named [stream] for shard [shard] (e.g. the scheduler's
+    ["sched"] stream), without advancing [t].  Deterministic in (state,
+    shard, stream); distinct (shard, stream) pairs give distinct streams,
+    all distinct from {!split}'s unnamed per-shard stream. *)
+val split_stream : t -> shard:int -> stream:string -> t
+
+(** FNV-1a tag of a stream name (the named axis of {!split_stream}),
+    exposed for tests. *)
+val stream_tag : string -> int
 val pick : t -> 'a list -> 'a
 val pick_arr : t -> 'a array -> 'a
 

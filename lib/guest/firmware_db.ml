@@ -318,6 +318,16 @@ let cmplog_gate_fw =
     ~fuzzer:Syzkaller
     [ magic_gate_module ]
 
+(* The race-detection bug suite: three seeded data races (plus synchronized
+   counterparts) between the syscall hart and a worker hart the suite
+   module starts itself.  The ftrace campaign / schedule-fuzzing A/B
+   workload ([bench race]).  SMP stays off: the module owns its worker
+   hart and annotates the fork edge itself. *)
+let race_suite_fw =
+  linux_fw ~name:"race-suite" ~arch:Arch.Arm_ev ~inst:EmbSan_C
+    ~fuzzer:Syzkaller
+    [ Race_suite.suite ]
+
 (** Prepare an EmbSan session for a firmware image in its Table-1 mode.
     [kcov] compiles guest coverage callouts in (the Syzkaller setup). *)
 let embsan_firmware ?(kcov = false) fw =

@@ -46,6 +46,12 @@ val magic_token : int
     workload. *)
 val cmplog_gate_fw : firmware
 
+(** The race-detection bug suite: three seeded data races between the
+    syscall hart and a module-started worker hart, plus synchronized
+    no-race counterparts.  The ftrace / schedule-fuzzing A/B workload
+    ([bench race]). *)
+val race_suite_fw : firmware
+
 (** The firmware value [Embsan.prepare] expects, in the image's Table-1
     instrumentation mode. *)
 val embsan_firmware : ?kcov:bool -> firmware -> Embsan_core.Embsan.firmware

@@ -1,0 +1,274 @@
+(* The race-detection bug suite: a Linux-family module that starts its own
+   worker hart and drives six shared-state idioms from syscalls — three
+   seeded data races (an unlocked counter, a missing-lock buffer write and
+   a narrow-window publication race that only fires under particular
+   interleavings) and three correctly-synchronized counterparts (spinlock,
+   irq-off section, atomic RMW) that must stay silent.
+
+   Conventions the suite relies on:
+
+   - lock primitives are [nosan] (their own amo/test-and-set and plain
+     release store are invisible to the sanitizers) and announce their
+     happens-before edges explicitly through the [san_sync] trap (30),
+     which the ftrace plugin handles: a0 = op (0 acquire / 1 release /
+     2 irq_off / 3 irq_on), a1 = lock address;
+   - the command mailbox between the syscall hart and the worker hart is
+     accessed only through [nosan] helpers, so the channel itself never
+     shows up as a race;
+   - the fork of the worker hart is modeled as a release (parent, before
+     [hart_start]) / acquire (worker, at entry) pair on a dedicated
+     pseudo-lock, so the worker's reads of pre-fork initialization never
+     false-race;
+   - the atomic counterpart wraps its amo in a [nosan] helper: EmbSan-C
+     trap callouts do not carry an is-atomic bit (EmbSan-D probes do), so
+     in C mode "marked access" means "hidden behind nosan". *)
+
+open Defs
+
+let suite : module_def =
+  {
+    m_name = "drv_racesuite";
+    m_source =
+      {|
+// ---- happens-before-annotated locking primitives ---------------------------
+
+var rs_fork_lock = 0;
+
+nosan fun rs_acquire(lp) {
+  while (amo_swap(lp, 1) != 0) { }
+  trap2(30, 0, lp);
+  return 0;
+}
+
+nosan fun rs_release(lp) {
+  trap2(30, 1, lp);
+  store32(lp, 0);
+  return 0;
+}
+
+nosan fun rs_irq_off() { return trap2(30, 2, 0); }
+nosan fun rs_irq_on()  { return trap2(30, 3, 0); }
+
+// ---- invisible command mailbox: syscall hart -> worker hart -----------------
+
+var rs_cmd = 0;
+var rs_arg = 0;
+var rs_ack = 0;
+
+nosan fun rs_send(c, a) {
+  store32(&rs_ack, 0);
+  store32(&rs_arg, a);
+  amo_swap(&rs_cmd, c);
+  return 0;
+}
+
+nosan fun rs_recv() { return amo_swap(&rs_cmd, 0); }
+nosan fun rs_getarg() { return load32(&rs_arg); }
+nosan fun rs_done() { amo_swap(&rs_ack, 1); return 0; }
+nosan fun rs_acked() { return load32(&rs_ack); }
+
+// spin until the worker finished processing the command (it acks when
+// done), bumping the progress beacon each iteration.  Bounded: the suite
+// must not hang if the worker hart was never started.
+nosan fun rs_drain() {
+  var i = 0;
+  while (rs_acked() == 0) {
+    rs_bump_tick();
+    i = i + 1;
+    if (i > 200000) { return 0 - 1; }
+  }
+  return 0;
+}
+
+// ---- shared state -----------------------------------------------------------
+
+var rs_counter = 0;        // race 1: unlocked increment on both harts
+var rs_lock = 0;
+var rs_locked_counter = 0; // no-race: spinlock-protected counterpart
+arr rs_buf[16];            // race 2: locked reader vs lockless writer
+var rs_buf_lock = 0;
+var rs_tick = 0;           // race 3: syscall-hart progress beacon (invisible)
+var rs_data = 0;           // race 3: written by both harts without sync
+var rs_irq_data = 0;       // no-race: irq-off section
+var rs_atom = 0;           // no-race: atomic RMW
+
+nosan fun rs_bump_tick() { amo_add(&rs_tick, 1); return 0; }
+nosan fun rs_get_tick() { return load32(&rs_tick); }
+nosan fun rs_atomic_add(v) { return amo_add(&rs_atom, v); }
+
+// ---- worker-hart side of each idiom (distinct symbols for triage) -----------
+
+fun rs_worker_inc() {
+  rs_counter = rs_counter + 1;     // BUG (race-suite): no lock held
+  return 0;
+}
+
+fun rs_worker_locked() {
+  rs_acquire(&rs_lock);
+  rs_locked_counter = rs_locked_counter + 1;
+  rs_release(&rs_lock);
+  return 0;
+}
+
+fun rs_worker_buf(a) {
+  rs_buf[a & 15] = a;              // BUG (race-suite): rs_buf_lock not taken
+  return 0;
+}
+
+// The schedule-dependent race: the racy write only executes when the
+// worker observes ZERO syscall-hart progress across a delay longer than a
+// full round-robin turn.  The syscall hart spins in rs_drain bumping
+// rs_tick, and the round-robin rotation gives it a turn inside any
+// sufficiently long delay — so under the fixed rotation the guard never
+// passes.  A fuzzed schedule can hand the worker several consecutive
+// slices, starving the syscall hart through the delay.
+fun rs_worker_window() {
+  var a = rs_get_tick();
+  var i = 0;
+  while (i < 24) { i = i + 1; }    // longer than one round-robin turn
+  var b = rs_get_tick();
+  if (a == b) {
+    rs_data = rs_data + 7;         // BUG (race-suite): starvation window
+  }
+  return 0;
+}
+
+fun rs_worker_irq() {
+  rs_irq_off();
+  rs_irq_data = rs_irq_data + 1;
+  rs_irq_on();
+  return 0;
+}
+
+fun rs_worker() {
+  trap2(30, 0, &rs_fork_lock);     // acquire the fork edge
+  while (1) {
+    var c = rs_recv();
+    if (c == 1) { rs_worker_inc(); }
+    if (c == 2) { rs_worker_locked(); }
+    if (c == 3) { rs_worker_buf(rs_getarg()); }
+    if (c == 4) { rs_worker_window(); }
+    if (c == 5) { rs_worker_irq(); }
+    if (c == 6) { rs_atomic_add(1); }
+    if (c != 0) { rs_done(); }
+  }
+  return 0;
+}
+
+// ---- syscall-hart side ------------------------------------------------------
+
+fun rs_unlocked_inc() {
+  rs_counter = rs_counter + 1;     // BUG (race-suite): races with the worker
+  return 0;
+}
+
+fun sys_race_unlocked(a, b, c) {
+  rs_send(1, a);
+  rs_unlocked_inc();
+  return rs_drain();
+}
+
+fun sys_race_locked(a, b, c) {
+  rs_send(2, a);
+  rs_acquire(&rs_lock);
+  rs_locked_counter = rs_locked_counter + 1;
+  rs_release(&rs_lock);
+  return rs_drain();
+}
+
+fun rs_buf_reader(a) {
+  var v = 0;
+  rs_acquire(&rs_buf_lock);
+  v = rs_buf[a & 15];
+  rs_release(&rs_buf_lock);
+  return v;
+}
+
+fun sys_race_buffer(a, b, c) {
+  rs_send(3, a);
+  var v = rs_buf_reader(a);
+  rs_drain();
+  return v;
+}
+
+fun rs_window_host() {
+  rs_data = rs_data + 1;           // BUG (race-suite): vs rs_worker_window
+  return 0;
+}
+
+fun sys_race_window(a, b, c) {
+  rs_send(4, a);
+  rs_window_host();
+  return rs_drain();
+}
+
+fun sys_race_irq(a, b, c) {
+  rs_send(5, a);
+  rs_irq_off();
+  rs_irq_data = rs_irq_data + 1;
+  rs_irq_on();
+  return rs_drain();
+}
+
+fun sys_race_atomic(a, b, c) {
+  rs_send(6, a);
+  rs_atomic_add(1);
+  return rs_drain();
+}
+
+fun drv_racesuite_init() {
+  syscall_table[3] = &sys_race_unlocked;
+  syscall_table[4] = &sys_race_locked;
+  syscall_table[5] = &sys_race_buffer;
+  syscall_table[6] = &sys_race_window;
+  syscall_table[7] = &sys_race_irq;
+  syscall_table[8] = &sys_race_atomic;
+  trap2(30, 1, &rs_fork_lock);     // release the fork edge, then start
+  trap3(10, 1, &rs_worker, __stack_top - 0x10000);
+  return 0;
+}
+|};
+    m_init = Some "drv_racesuite_init";
+    m_syscalls =
+      [
+        { sc_nr = 3; sc_name = "race_unlocked"; sc_args = [ Any32 ] };
+        { sc_nr = 4; sc_name = "race_locked"; sc_args = [ Any32 ] };
+        { sc_nr = 5; sc_name = "race_buffer"; sc_args = [ Any32 ] };
+        { sc_nr = 6; sc_name = "race_window"; sc_args = [ Any32 ] };
+        { sc_nr = 7; sc_name = "race_irq"; sc_args = [ Any32 ] };
+        { sc_nr = 8; sc_name = "race_atomic"; sc_args = [ Any32 ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "race-suite/unlocked_counter";
+          b_paper_location = "drivers/racesuite";
+          b_symbol = "rs_worker_inc";
+          b_alt_symbols = [ "rs_unlocked_inc"; "sys_race_unlocked" ];
+          b_kind = Embsan_core.Report.Data_race;
+          b_class = Race_bug;
+          b_syscalls = [ (3, [| 1 |]); (3, [| 2 |]) ];
+          b_benign = [ (4, [| 1 |]); (4, [| 2 |]) ];
+        };
+        {
+          b_id = "race-suite/buf_missing_lock";
+          b_paper_location = "drivers/racesuite";
+          b_symbol = "rs_worker_buf";
+          b_alt_symbols = [ "rs_buf_reader"; "sys_race_buffer" ];
+          b_kind = Embsan_core.Report.Data_race;
+          b_class = Race_bug;
+          b_syscalls = [ (5, [| 3 |]); (5, [| 3 |]) ];
+          b_benign = [ (7, [| 3 |]); (7, [| 3 |]) ];
+        };
+        {
+          b_id = "race-suite/window_publication";
+          b_paper_location = "drivers/racesuite";
+          b_symbol = "rs_worker_window";
+          b_alt_symbols = [ "rs_window_host"; "sys_race_window" ];
+          b_kind = Embsan_core.Report.Data_race;
+          b_class = Race_bug;
+          b_syscalls = [ (6, [| 0 |]); (6, [| 0 |]); (6, [| 0 |]) ];
+          b_benign = [ (8, [| 0 |]); (8, [| 0 |]) ];
+        };
+      ];
+  }

@@ -30,11 +30,19 @@ type config =
   | Native_kcsan (* in-guest KCSAN baseline build *)
 
 let san_name (s : Embsan.sanitizers) =
-  match (s.kasan, s.kcsan) with
-  | true, true -> "kasan+kcsan"
-  | true, false -> "kasan"
-  | false, true -> "kcsan"
-  | false, false -> "none"
+  let base =
+    match (s.kasan, s.kcsan) with
+    | true, true -> [ "kasan+kcsan" ]
+    | true, false -> [ "kasan" ]
+    | false, true -> [ "kcsan" ]
+    | false, false -> []
+  in
+  let extras =
+    (if s.kmemleak then [ "kmemleak" ] else [])
+    @ (if s.ualign then [ "ualign" ] else [])
+    @ if s.ftrace then [ "ftrace" ] else []
+  in
+  match base @ extras with [] -> "none" | l -> String.concat "+" l
 
 let config_name = function
   | No_sanitizer -> "none"
@@ -77,8 +85,9 @@ let session_lock = Mutex.create ()
 let session_for ?(kcov = false) ?forced_mode (fw : Firmware_db.firmware)
     sanitizers =
   let key =
-    Printf.sprintf "%s/%b%b/%b/%s" fw.fw_name sanitizers.Embsan.kasan
-      sanitizers.Embsan.kcsan kcov
+    Printf.sprintf "%s/%b%b%b%b%b/%b/%s" fw.fw_name sanitizers.Embsan.kasan
+      sanitizers.Embsan.kcsan sanitizers.Embsan.kmemleak
+      sanitizers.Embsan.ualign sanitizers.Embsan.ftrace kcov
       (match forced_mode with Some `C -> "C" | Some `D -> "D" | None -> "-")
   in
   Mutex.protect session_lock (fun () ->
@@ -117,6 +126,10 @@ let boot ?(harts = 2) ?(kcov = false) (fw : Firmware_db.firmware) (config : conf
       in
       let session = session_for ~kcov ?forced_mode fw sanitizers in
       let machine = Embsan.make_machine ~harts session in
+      (* guest locking glue may emit san_sync edges; when no concurrency
+         sanitizer subscribes (attach replaces this handler if one does),
+         they must be inert, not Unhandled_trap *)
+      Machine.set_trap_handler machine Hypercall.san_sync (fun _ _ -> ());
       let rt = Embsan.attach ~sink session machine in
       run_to_ready machine;
       { machine; sink; fw; rt = Some rt }
@@ -142,7 +155,7 @@ let boot ?(harts = 2) ?(kcov = false) (fw : Firmware_db.firmware) (config : conf
          stray trap numbers must not kill the machine *)
       List.iter
         (fun n -> Machine.set_trap_handler machine n (fun _ _ -> ()))
-        [ 16; 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ];
+        [ 16; 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27; 30 ];
       run_to_ready machine;
       { machine; sink; fw; rt = None })
 

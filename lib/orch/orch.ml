@@ -87,10 +87,13 @@ type result = {
 
 (* --- protocol ---------------------------------------------------------------- *)
 
-type to_worker = Run of { budget : int; injections : Prog.t list } | Quit
+type to_worker =
+  | Run of { budget : int; injections : (Prog.t * int option) list }
+  | Quit
 
 type epoch_report = {
-  ep_fresh : (Prog.t * (int * int) list) list;  (** newly admitted, oldest first *)
+  ep_fresh : (Prog.t * int option * (int * int) list) list;
+      (** newly admitted (with schedule seed), oldest first *)
   ep_found : Campaign.found list;  (** newly found, oldest first *)
   ep_unmatched : string list;  (** cumulative *)
   ep_execs : int;  (** cumulative *)
@@ -130,7 +133,8 @@ let worker_main (cfg : config) shard (inbox : to_worker Chan.t)
             match
               let module E = Campaign.Engine in
               List.iter
-                (fun p -> if not (E.finished e) then E.inject e p)
+                (fun (p, sched) ->
+                  if not (E.finished e) then E.inject e ?sched p)
                 injections;
               let steps = ref 0 in
               while (not (E.finished e)) && !steps < budget do
@@ -204,7 +208,8 @@ let run (cfg : config) : result =
   let found : (string, Campaign.found) Hashtbl.t = Hashtbl.create 16 in
   let last : epoch_report option array = Array.make n None in
   let done_ = Array.make n false in
-  let pending : Prog.t list array = Array.make n [] in (* newest first *)
+  let pending : (Prog.t * int option) list array = Array.make n [] in
+  (* newest first *)
   let failure = ref None in
   let epochs = ref 0 in
   let total_bugs = List.length cfg.campaign.Campaign.fw.Firmware_db.fw_bugs in
@@ -240,11 +245,11 @@ let run (cfg : config) : result =
             last.(i) <- Some ep;
             done_.(i) <- ep.ep_done;
             List.iter
-              (fun (prog, signature) ->
-                if Corpus.consider merged prog signature then
+              (fun (prog, sched, signature) ->
+                if Corpus.consider merged prog ?sched signature then
                   for j = 0 to n - 1 do
                     if j <> i && not done_.(j) then
-                      pending.(j) <- prog :: pending.(j)
+                      pending.(j) <- (prog, sched) :: pending.(j)
                   done)
               ep.ep_fresh;
             List.iter

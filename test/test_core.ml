@@ -856,6 +856,178 @@ let embsan_ualign_fourth_sanitizer () =
       Embsan.Source (build_ua_firmware Codegen.Plain, Prober.no_hints);
     ]
 
+(* --- ftrace: vector-clock laws ----------------------------------------------------- *)
+
+(* The FastTrack rules are sound only if the clock algebra is: join must
+   be an upper bound and associative/commutative/idempotent, leq a
+   partial order, and epoch ordering must agree with the pointwise
+   order.  All exposed by Ftrace.Vc precisely so these laws are
+   pinnable. *)
+
+let vc_gen =
+  QCheck2.Gen.(
+    int_range 2 8 >>= fun n ->
+    array_size (return n) (int_range 0 1000) >>= fun a ->
+    array_size (return n) (int_range 0 1000) >>= fun b ->
+    array_size (return n) (int_range 0 1000) >>= fun c -> return (a, b, c))
+
+let vc_join_laws =
+  QCheck2.Test.make ~name:"Vc.join: upper bound, assoc, comm, idem" ~count:500
+    vc_gen
+    (fun (a, b, c) ->
+      let open Ftrace.Vc in
+      let j x y =
+        let r = copy x in
+        join r y;
+        r
+      in
+      leq a (j a b)
+      && leq b (j a b)
+      && j (j a b) c = j a (j b c)
+      && j a b = j b a
+      && j a a = a)
+
+let vc_epoch_order =
+  QCheck2.Test.make ~name:"Vc.hb_epoch agrees with pointwise order" ~count:500
+    QCheck2.Gen.(
+      pair vc_gen (pair (int_range 1 1000) (int_range 0 7)))
+    (fun ((v, _, _), (clock, hart)) ->
+      let hart = hart mod Array.length v in
+      let e = Ftrace.epoch ~clock ~hart in
+      Ftrace.epoch_hart e = hart
+      && Ftrace.epoch_clock e = clock
+      && Ftrace.Vc.hb_epoch e v = (clock <= v.(hart)))
+
+(* --- ftrace: FastTrack read/write rules -------------------------------------------- *)
+
+let ft_create () =
+  let sink = Report.create_sink () in
+  let t =
+    Ftrace.create ~sink ~symbolize:(fun _ -> None) ~base:0x1_0000
+      ~limit:0x2_0000 ~harts:2 ()
+  in
+  (t, sink)
+
+let ft_write t ~hart ~pc addr =
+  Ftrace.on_access t ~pc ~addr ~size:4 ~is_write:true ~is_atomic:false ~hart
+
+let ft_read t ~hart ~pc addr =
+  Ftrace.on_access t ~pc ~addr ~size:4 ~is_write:false ~is_atomic:false ~hart
+
+let races sink =
+  List.filter
+    (fun (r : Report.t) -> r.kind = Report.Data_race)
+    (Report.unique_reports sink)
+
+let ftrace_write_write_race () =
+  let t, sink = ft_create () in
+  ft_write t ~hart:0 ~pc:0x100 0x1_0100;
+  ft_write t ~hart:1 ~pc:0x200 0x1_0100;
+  (match races sink with
+  | [ r ] ->
+      Alcotest.(check string) "sanitizer" "ftrace" r.sanitizer;
+      (* precise: the report carries the second access's pc, the detail
+         names the first racing pc *)
+      Alcotest.(check bool) "both pcs in the report" true
+        (r.pc = 0x200 && contains r.detail "0x00000100")
+  | l -> Alcotest.failf "expected 1 race, got %d" (List.length l));
+  (* repeating the pair adds only the opposite-direction report (hart 0's
+     write now races hart 1's): one unique report per racing pc pair,
+     everything further deduped by the sink *)
+  ft_write t ~hart:0 ~pc:0x100 0x1_0100;
+  ft_write t ~hart:1 ~pc:0x200 0x1_0100;
+  ft_write t ~hart:0 ~pc:0x100 0x1_0100;
+  ft_write t ~hart:1 ~pc:0x200 0x1_0100;
+  Alcotest.(check int) "deduped per direction" 2 (List.length (races sink))
+
+let ftrace_release_acquire_no_race () =
+  let t, sink = ft_create () in
+  let lock = 0x1_0F00 in
+  ft_write t ~hart:0 ~pc:0x100 0x1_0100;
+  Ftrace.on_sync t ~hart:0 ~op:1 ~addr:lock (* release *);
+  Ftrace.on_sync t ~hart:1 ~op:0 ~addr:lock (* acquire *);
+  ft_write t ~hart:1 ~pc:0x200 0x1_0100;
+  Alcotest.(check int) "no race across the edge" 0 (List.length (races sink));
+  (* the lock word itself is a known sync slot: never reported *)
+  ft_write t ~hart:0 ~pc:0x300 lock;
+  ft_write t ~hart:1 ~pc:0x400 lock;
+  Alcotest.(check int) "sync word excluded" 0 (List.length (races sink))
+
+let ftrace_read_shared_write_race () =
+  let t, sink = ft_create () in
+  (* two concurrent readers promote to read-shared without racing *)
+  ft_read t ~hart:0 ~pc:0x100 0x1_0200;
+  ft_read t ~hart:1 ~pc:0x200 0x1_0200;
+  Alcotest.(check int) "reads never race" 0 (List.length (races sink));
+  (* an unsynchronized write races with the shared read set *)
+  ft_write t ~hart:1 ~pc:0x300 0x1_0200;
+  Alcotest.(check bool) "write-after-shared-read races" true
+    (races sink <> [])
+
+let ftrace_disjoint_bytes_no_race () =
+  let t, sink = ft_create () in
+  (* same 4-byte slot, non-overlapping byte ranges: no race *)
+  Ftrace.on_access t ~pc:0x100 ~addr:0x1_0300 ~size:2 ~is_write:true
+    ~is_atomic:false ~hart:0;
+  Ftrace.on_access t ~pc:0x200 ~addr:0x1_0302 ~size:2 ~is_write:true
+    ~is_atomic:false ~hart:1;
+  Alcotest.(check int) "disjoint bytes" 0 (List.length (races sink));
+  (* atomics are marked accesses: excluded from the rules entirely *)
+  Ftrace.on_access t ~pc:0x300 ~addr:0x1_0400 ~size:4 ~is_write:true
+    ~is_atomic:true ~hart:0;
+  Ftrace.on_access t ~pc:0x400 ~addr:0x1_0400 ~size:4 ~is_write:true
+    ~is_atomic:true ~hart:1;
+  Alcotest.(check int) "atomics excluded" 0 (List.length (races sink))
+
+let ftrace_irq_pseudo_lock () =
+  let t, sink = ft_create () in
+  let section hart pc =
+    Ftrace.on_sync t ~hart ~op:2 ~addr:0 (* irq_off = acquire *);
+    ft_write t ~hart ~pc 0x1_0500;
+    Ftrace.on_sync t ~hart ~op:3 ~addr:0 (* irq_on = release *)
+  in
+  section 0 0x100;
+  section 1 0x200;
+  Alcotest.(check int) "irq-off sections ordered" 0 (List.length (races sink))
+
+let ftrace_state_roundtrip () =
+  let t, sink = ft_create () in
+  let s = Ftrace.save t in
+  ft_write t ~hart:0 ~pc:0x100 0x1_0600;
+  Ftrace.restore t s;
+  (* the pre-restore write was rewound with the rest of the metadata *)
+  ft_write t ~hart:1 ~pc:0x200 0x1_0600;
+  Alcotest.(check int) "restored state forgets the detour" 0
+    (List.length (races sink))
+
+(* --- ftrace: the zero-core-edit pin -------------------------------------------------- *)
+
+(* The plugin claim, grep-pinned like ualign's: the detector arrives via
+   Api_spec + registry + the public trap-handler hook only.  The Common
+   Sanitizer Runtime and the engine's probe paths must not know it
+   exists. *)
+let ftrace_zero_core_edits () =
+  let read_all path =
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (* cwd is _build/default/test under `dune runtest`, the workspace root
+     under `dune exec` -- accept either *)
+  let resolve rel =
+    if Sys.file_exists ("../" ^ rel) then "../" ^ rel else rel
+  in
+  List.iter
+    (fun rel ->
+      let path = resolve rel in
+      Alcotest.(check bool)
+        (Printf.sprintf "no \"ftrace\" in %s" rel)
+        false
+        (contains (String.lowercase_ascii (read_all path)) "ftrace"))
+    [ "lib/core/runtime.ml"; "lib/emu/machine.ml"; "lib/emu/probe.ml" ]
+
 let () =
   Alcotest.run "embsan_core"
     [
@@ -911,5 +1083,21 @@ let () =
             pending_allocs_bounded_and_restored;
           Alcotest.test_case "ualign as a fourth sanitizer" `Quick
             embsan_ualign_fourth_sanitizer;
+        ] );
+      ( "ftrace",
+        [
+          QCheck_alcotest.to_alcotest vc_join_laws;
+          QCheck_alcotest.to_alcotest vc_epoch_order;
+          Alcotest.test_case "write/write race" `Quick ftrace_write_write_race;
+          Alcotest.test_case "release/acquire edge" `Quick
+            ftrace_release_acquire_no_race;
+          Alcotest.test_case "read-shared promotion" `Quick
+            ftrace_read_shared_write_race;
+          Alcotest.test_case "disjoint bytes and atomics" `Quick
+            ftrace_disjoint_bytes_no_race;
+          Alcotest.test_case "irq pseudo-lock" `Quick ftrace_irq_pseudo_lock;
+          Alcotest.test_case "state save/restore" `Quick ftrace_state_roundtrip;
+          Alcotest.test_case "zero core edits (grep pin)" `Quick
+            ftrace_zero_core_edits;
         ] );
     ]

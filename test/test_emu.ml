@@ -707,6 +707,43 @@ let engine_stats_counters () =
   Alcotest.(check int) "second run fully cached/chained" translations0
     m.stats.translations
 
+(* The schema-versioned JSON block round-trips every raw counter --
+   chaining, the split flush counters and the superblock family -- both
+   on a synthetic record and on counters taken from a live machine. *)
+let engine_stats_json_roundtrip () =
+  let s = Engine_stats.create () in
+  s.translations <- 3;
+  s.cache_hits <- 5;
+  s.cache_misses <- 7;
+  s.chained <- 11;
+  s.flushes_load <- 13;
+  s.flushes_invalidate <- 17;
+  s.superblocks_formed <- 19;
+  s.super_execs <- 23;
+  s.super_exits <- 29;
+  s.super_transfers <- 31;
+  Alcotest.(check bool) "synthetic round-trip" true
+    (Engine_stats.of_json (Engine_stats.to_json s) = s);
+  let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in
+  ignore (Machine.run m ~max_insns:1000);
+  Alcotest.(check bool) "live-machine round-trip" true
+    (Engine_stats.of_json (Engine_stats.to_json m.stats) = m.stats);
+  let tagged =
+    Printf.sprintf "\"schema\": \"%s\"" Engine_stats.schema
+  in
+  let json = Engine_stats.to_json m.stats in
+  Alcotest.(check bool) "schema tag emitted" true
+    (String.length json >= String.length tagged
+    && String.sub json 1 (String.length tagged) = tagged);
+  (match
+     Engine_stats.of_json
+       (Printf.sprintf "{\"schema\": \"embsan-engine-stats/0\", %s"
+          (String.sub json (String.length tagged + 3)
+             (String.length json - String.length tagged - 3)))
+   with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "schema mismatch accepted")
+
 (* A 500-iteration self-loop: hot enough that the chain head fuses. *)
 let hot_loop_text =
   let open Asm in
@@ -1109,6 +1146,8 @@ let () =
           Alcotest.test_case "chain invalidation on flush" `Quick
             chain_invalidation_on_flush;
           Alcotest.test_case "stats counters" `Quick engine_stats_counters;
+          Alcotest.test_case "stats JSON round-trip" `Quick
+            engine_stats_json_roundtrip;
           Alcotest.test_case "superblock transparency" `Quick
             superblock_formation_and_transparency;
           Alcotest.test_case "superblock toggle flush-free" `Quick

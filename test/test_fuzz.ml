@@ -82,6 +82,88 @@ let split_seed_collision_free () =
     done
   done
 
+(* --- named streams (the scheduler's dedicated draw stream) ----------------------- *)
+
+let stream_names = [ "sched"; "mut"; "dict"; "havoc" ]
+
+let split_stream_reproducible =
+  QCheck2.Test.make ~name:"Rng.split_stream: same (seed, shard, stream) same \
+                           stream"
+    ~count:200
+    QCheck2.Gen.(triple int (int_range 0 1024) (int_range 0 3))
+    (fun (seed, shard, k) ->
+      let name = List.nth stream_names k in
+      let a = Rng.split_stream (Rng.create ~seed) ~shard ~stream:name in
+      let b = Rng.split_stream (Rng.create ~seed) ~shard ~stream:name in
+      stream a 16 = stream b 16)
+
+let split_stream_independent =
+  QCheck2.Test.make
+    ~name:"Rng.split_stream: distinct (shard, stream) distinct streams"
+    ~count:500
+    QCheck2.Gen.(
+      pair int (pair (pair (int_range 0 512) (int_range 0 3))
+                  (pair (int_range 0 512) (int_range 0 3))))
+    (fun (seed, ((i, ki), (j, kj))) ->
+      QCheck2.assume ((i, ki) <> (j, kj));
+      let a =
+        Rng.split_stream (Rng.create ~seed) ~shard:i
+          ~stream:(List.nth stream_names ki)
+      in
+      let b =
+        Rng.split_stream (Rng.create ~seed) ~shard:j
+          ~stream:(List.nth stream_names kj)
+      in
+      stream a 16 <> stream b 16)
+
+let split_stream_leaves_parent_intact =
+  QCheck2.Test.make
+    ~name:"Rng.split_stream: parent stream not advanced, distinct from child"
+    ~count:200
+    QCheck2.Gen.(pair int (int_range 0 64))
+    (fun (seed, shard) ->
+      let parent = Rng.create ~seed in
+      let child = Rng.split_stream parent ~shard ~stream:"sched" in
+      stream child 16 <> stream (Rng.create ~seed) 16
+      && stream parent 16 = stream (Rng.create ~seed) 16)
+
+let split_stream_collision_free_grid () =
+  (* exhaustive within the plane campaigns actually use: for every
+     campaign seed, all (shard, stream) streams -- plus the unnamed
+     {!Rng.split} per-shard stream -- must be pairwise distinct *)
+  let prefix r = List.init 8 (fun _ -> Rng.next r) in
+  for seed = 0 to 15 do
+    let seen = Hashtbl.create 1024 in
+    let add key r =
+      let p = prefix r in
+      (match Hashtbl.find_opt seen p with
+      | Some key' -> Alcotest.failf "stream collision: %s and %s" key key'
+      | None -> ());
+      Hashtbl.add seen p key
+    in
+    for shard = 0 to 15 do
+      add
+        (Printf.sprintf "(%d,unnamed)" shard)
+        (Rng.split (Rng.create ~seed) ~shard);
+      List.iter
+        (fun name ->
+          add
+            (Printf.sprintf "(%d,%s)" shard name)
+            (Rng.split_stream (Rng.create ~seed) ~shard ~stream:name))
+        stream_names
+    done
+  done
+
+let stream_tag_distinct () =
+  (* the FNV-1a name tags behind the named axis must separate the names
+     in use (and stay stable: a tag change would silently reseed every
+     schedule in the corpus) *)
+  let tags = List.map Rng.stream_tag stream_names in
+  Alcotest.(check int) "distinct tags" (List.length stream_names)
+    (List.length (List.sort_uniq compare tags));
+  Alcotest.(check bool) "tag deterministic" true
+    (Rng.stream_tag "sched" = Rng.stream_tag "sched")
+
 (* --- program generation / mutation ----------------------------------------------- *)
 
 let prog_gen_valid =
@@ -290,6 +372,13 @@ let () =
           QCheck_alcotest.to_alcotest split_independent_of_parent;
           Alcotest.test_case "split_seed collision-free grid" `Quick
             split_seed_collision_free;
+          QCheck_alcotest.to_alcotest split_stream_reproducible;
+          QCheck_alcotest.to_alcotest split_stream_independent;
+          QCheck_alcotest.to_alcotest split_stream_leaves_parent_intact;
+          Alcotest.test_case "split_stream collision-free grid" `Quick
+            split_stream_collision_free_grid;
+          Alcotest.test_case "stream tags distinct and stable" `Quick
+            stream_tag_distinct;
         ] );
       ( "prog",
         [

@@ -203,6 +203,100 @@ let benign_sequences_silent () =
         fw.fw_bugs)
     Firmware_db.all
 
+(* --- race suite: known-race / known-no-race table ------------------------------- *)
+
+module Sched = Embsan_sched.Sched
+module Rng = Embsan_fuzz.Rng
+
+(* Replay a syscall sequence on the race-suite firmware under ftrace,
+   optionally armed with a fuzzer-chosen schedule. *)
+let race_replay ?sched calls =
+  let fw = Firmware_db.race_suite_fw in
+  let inst = Replay.boot fw (Replay.Embsan_cfg Embsan.ftrace_only) in
+  (match sched with
+  | None -> ()
+  | Some seed ->
+      let ctl = Sched.create inst.Replay.machine in
+      let r = Rng.create ~seed in
+      Sched.arm ctl ~draw:(fun n -> Rng.below r n));
+  Replay.replay inst calls
+
+let race_bug id =
+  List.find
+    (fun (b : Defs.bug) -> b.b_id = id)
+    Firmware_db.race_suite_fw.fw_bugs
+
+(* The table: which seeded race fires under which schedule.  The two
+   plain races fire under the fixed round-robin rotation already; the
+   starvation-window race is schedule-dependent by construction -- the
+   fixed rotation can NEVER starve the syscall hart through the worker's
+   delay loop, so only fuzzed interleavings reach it. *)
+let race_suite_known_races () =
+  List.iter
+    (fun id ->
+      let b = race_bug id in
+      Alcotest.(check bool)
+        (id ^ " detected under round-robin")
+        true
+        (Replay.detects b (race_replay b.b_syscalls)))
+    [ "race-suite/unlocked_counter"; "race-suite/buf_missing_lock" ];
+  let w = race_bug "race-suite/window_publication" in
+  Alcotest.(check bool) "window race invisible to round-robin" false
+    (Replay.detects w (race_replay w.b_syscalls));
+  let fires seed = Replay.detects w (race_replay ~sched:seed w.b_syscalls) in
+  Alcotest.(check bool) "window race reached by a fuzzed schedule" true
+    (List.exists fires (List.init 24 (fun i -> i + 1)))
+
+(* The synchronized counterparts (spinlock, irq-off section, atomic RMW)
+   must stay silent under ftrace -- under the fixed rotation AND under
+   fuzzed interleavings (happens-before precision, not sampling luck). *)
+let race_suite_no_race_table () =
+  List.iter
+    (fun (b : Defs.bug) ->
+      List.iter
+        (fun sched ->
+          let o = race_replay ?sched b.b_benign in
+          Alcotest.(check (list string))
+            (Fmt.str "%s benign (sched %a)" b.b_id
+               Fmt.(option ~none:(any "rr") int)
+               sched)
+            []
+            (List.map Report.title o.Replay.o_reports))
+        [ None; Some 5; Some 11 ])
+    Firmware_db.race_suite_fw.fw_bugs
+
+(* KCSAN-vs-ftrace agreement: every seeded race KCSAN's sampled
+   watchpoints CAN see under fuzzed schedules, the happens-before
+   detector sees too (same budget, same seeds). *)
+let kcsan_ftrace_agreement () =
+  let module Campaign = Embsan_fuzz.Campaign in
+  let found sanitizers =
+    let cfg =
+      {
+        (Campaign.default_config Firmware_db.race_suite_fw) with
+        sanitizers;
+        max_execs = 300;
+        seed = 1;
+        stop_when_all_found = false;
+        use_sched = true;
+      }
+    in
+    List.sort_uniq compare
+      (List.map
+         (fun (f : Campaign.found) -> f.f_bug.Defs.b_id)
+         (Campaign.run cfg).Campaign.r_found)
+  in
+  let kcsan = found Embsan.kcsan_only in
+  let ftrace = found Embsan.ftrace_only in
+  Alcotest.(check bool) "kcsan saw at least one seeded race" true (kcsan <> []);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Fmt.str "ftrace agrees on %s" id)
+        true (List.mem id ftrace))
+    kcsan;
+  Alcotest.(check int) "ftrace finds the full suite" 3 (List.length ftrace)
+
 (* --- the Table-2 capability split ---------------------------------------------- *)
 
 let capability_matrix_globals () =
@@ -284,5 +378,14 @@ let () =
           Alcotest.test_case "global OOB: C yes / D no" `Quick
             capability_matrix_globals;
           Alcotest.test_case "reports symbolize" `Quick reports_symbolize;
+        ] );
+      ( "race-suite",
+        [
+          Alcotest.test_case "known races detected" `Slow
+            race_suite_known_races;
+          Alcotest.test_case "no-race counterparts silent" `Slow
+            race_suite_no_race_table;
+          Alcotest.test_case "kcsan-vs-ftrace agreement" `Slow
+            kcsan_ftrace_agreement;
         ] );
     ]

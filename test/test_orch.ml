@@ -94,6 +94,59 @@ let jobs4_stable_across_repetitions () =
   Alcotest.(check bool)
     "jobs=4 merged result stable across two repetitions" true (a = b)
 
+(* Schedule fuzzing makes the interleaving part of the input: the
+   orchestrated single-worker campaign must still be bit-identical to
+   Campaign.run, and the multi-worker merge must stay deterministic,
+   with schedule seeds riding the frontier exchange.  Uses the
+   race-suite firmware so schedules actually matter (a worker hart and
+   schedule-dependent races), not just get drawn. *)
+let jobs1_sched_equals_campaign_run () =
+  let fw = Firmware_db.race_suite_fw in
+  let cfg =
+    {
+      (Campaign.default_config fw) with
+      sanitizers = Embsan_core.Embsan.ftrace_only;
+      max_execs = 400;
+      seed = 3;
+      stop_when_all_found = false;
+      use_sched = true;
+    }
+  in
+  let direct = Campaign.run cfg in
+  let orch =
+    Orch.run { (Orch.default_config ~epoch_execs:64 fw) with campaign = cfg }
+  in
+  Alcotest.(check bool)
+    "orchestrated jobs=1 sched result equals Campaign.run" true
+    (result_key direct = result_key orch.o_campaign);
+  (* the schedule axis was actually exercised: some reproducer or corpus
+     trajectory needed a schedule seed *)
+  Alcotest.(check bool) "campaign found races" true (direct.r_found <> [])
+
+let jobs4_sched_stable_across_repetitions () =
+  let fw = Firmware_db.race_suite_fw in
+  let run () =
+    let cfg =
+      {
+        (Orch.default_config ~jobs:4 ~epoch_execs:50 fw) with
+        campaign =
+          {
+            (Campaign.default_config fw) with
+            sanitizers = Embsan_core.Embsan.ftrace_only;
+            max_execs = 250;
+            seed = 7;
+            stop_when_all_found = false;
+            use_sched = true;
+          };
+        jobs = 4;
+      }
+    in
+    orch_key (Orch.run cfg)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check bool)
+    "jobs=4 sched-fuzzing result stable across two repetitions" true (a = b)
+
 (* Cmplog adds per-worker mutable state (compare windows, operand
    dictionary, counterpart map) to the sharded engines; this pins that an
    orchestrated cmplog campaign is still bit-identical across
@@ -225,6 +278,10 @@ let () =
             (jobs1_equals_campaign_run (closed_fw ()));
           Alcotest.test_case "jobs=4 stable across repetitions" `Slow
             jobs4_stable_across_repetitions;
+          Alcotest.test_case "jobs=1 equals Campaign.run (schedule fuzzing)"
+            `Slow jobs1_sched_equals_campaign_run;
+          Alcotest.test_case "jobs=4 stable with schedule fuzzing" `Slow
+            jobs4_sched_stable_across_repetitions;
           Alcotest.test_case "jobs=2 cmplog stable across repetitions" `Slow
             jobs2_cmplog_stable_across_repetitions;
           Alcotest.test_case "shard streams diverge" `Slow
