@@ -1,5 +1,6 @@
-.PHONY: all build test bench-smoke check check-diff check-snap check-modes \
-	check-orch check-toggle check-sched check-race clean
+.PHONY: all build test bench-smoke check check-all check-diff check-snap \
+	check-modes check-orch check-toggle check-sched check-race \
+	check-rehost clean
 
 all: build
 
@@ -70,8 +71,22 @@ check-orch: build
 	./_build/default/bin/embsan_cli.exe campaign OpenHarmony-stm32f407 \
 	  --jobs 2 --execs 400 --seed 3 --exchange 100 --telemetry
 
+# Rehost-transparency oracle on a bounded seeded campaign (250 programs
+# x 3 arch flavors = 750 seeded programs): with the model-free rehosting
+# layer armed on both engines — memoized MMIO responses plus
+# fuzzer-scheduled interrupt injection — Fast and Baseline must stay in
+# lockstep.  Then the rehosting bench with its A/B and throughput ratio
+# guards (writes BENCH_rehost.json; exits non-zero on a violation).
+check-rehost: build
+	./_build/default/bin/embsan_cli.exe check --oracle rehost-transparency \
+	  --seed 1 --execs 250
+	./_build/default/bench/main.exe rehost
+
 check: build test bench-smoke check-diff check-snap check-modes check-toggle \
-	check-sched check-race check-orch
+	check-sched check-race check-orch check-rehost
+
+# Umbrella over every check-* target (what CI runs, one job per target).
+check-all: check
 
 clean:
 	dune clean

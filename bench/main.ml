@@ -16,6 +16,9 @@
      orch      multi-domain orchestrator scaling sweep (writes BENCH_orch.json)
      race      race detection: ftrace vs KCSAN, fixed vs fuzzed schedules
                (writes BENCH_race.json; exits 1 on ratio-guard violation)
+     rehost    model-free rehosting: interrupt-injection A/B + throughput
+               vs modeled devices (writes BENCH_rehost.json; exits 1 on
+               ratio-guard violation)
      all       everything above (default)
 
    Options: --execs N (campaign budget, default 4000), --seed N. *)
@@ -49,7 +52,7 @@ let () =
       (fun a ->
         List.mem a
           [ "table1"; "table2"; "table3"; "table4"; "replay"; "fig2";
-            "ablation"; "bechamel"; "emu"; "snap"; "orch"; "race"; "all" ])
+            "ablation"; "bechamel"; "emu"; "snap"; "orch"; "race"; "rehost"; "all" ])
       args
   in
   let cmds = if cmds = [] then [ "all" ] else cmds in
@@ -73,4 +76,5 @@ let () =
   if want "snap" then Snap_bench.run ();
   if want "orch" then Orch_bench.run ();
   if want "race" then Race_bench.run ();
+  if want "rehost" then Rehost_bench.run ();
   Fmt.pr "@.bench done in %.1fs@." (Unix.gettimeofday () -. t0)

@@ -3,10 +3,26 @@
      embsan list                         firmware inventory
      embsan probe  <firmware>            pre-testing probing phase; print DSL
      embsan run    <firmware> <nr> <args...>   one syscall under EmbSan
-     embsan repro  <firmware> <bug-id>   replay a bug's reproducer
-     embsan fuzz   <firmware> [--execs N] [--seed N]
+     embsan repro  <firmware> <bug-id> [--ftrace] [--sched-seed N]
+                   [--rehost-seed N] [--irq]
+                                         replay a bug's reproducer
+     embsan fuzz   <firmware> [--execs N] [--seed N] [--cmplog] [--sched]
+                   [--ftrace] [--rehost] [--irq]
+                                         single-worker fuzzing campaign
      embsan campaign <firmware> [--jobs N] [--execs N] [--seed N]
-     embsan disasm <firmware>            disassemble the built image *)
+                   [--exchange N] [--telemetry] [--cmplog] [--sched]
+                   [--ftrace] [--rehost] [--irq]
+                                         orchestrated multi-worker campaign
+     embsan trace  <firmware> <nr> <args...> [--mem]
+                                         block/call/return trace of a syscall
+     embsan check  [--execs N] [--seed N] [--sync N] [--max-insns N]
+                   [--arch ARCH] [--oracle NAME]
+                                         differential-oracle engine check
+     embsan disasm <firmware>            disassemble the built image
+
+   The table above lists every optional flag each command accepts; a grep
+   test (test/test_rehost.ml) pins it against the Arg.info declarations
+   below, so keep the two in sync. *)
 
 open Cmdliner
 open Embsan_guest
@@ -20,6 +36,7 @@ let find_fw name =
       if String.equal name "syzbot-suite" then Ok Firmware_db.syzbot_suite_fw
       else if String.equal name "cmplog-gate" then Ok Firmware_db.cmplog_gate_fw
       else if String.equal name "race-suite" then Ok Firmware_db.race_suite_fw
+      else if String.equal name "mmio-suite" then Ok Firmware_db.mmio_suite_fw
       else
         Error
           (Fmt.str "unknown firmware %S; try `embsan list` for the inventory"
@@ -44,7 +61,11 @@ let list_cmd =
         Fmt.pr "%a %d@." Firmware_db.pp_table1_row fw
           (List.length fw.Firmware_db.fw_bugs))
       (Firmware_db.all
-      @ [ Firmware_db.syzbot_suite_fw; Firmware_db.race_suite_fw ])
+      @ [
+          Firmware_db.syzbot_suite_fw;
+          Firmware_db.race_suite_fw;
+          Firmware_db.mmio_suite_fw;
+        ])
   in
   Cmd.v (Cmd.info "list" ~doc:"List the available firmware images")
     Term.(const run $ const ())
@@ -122,7 +143,25 @@ let repro_cmd =
              replay (schedule-dependent races need the seed a campaign \
              reported alongside the reproducer).")
   in
-  let run fw bug_id ftrace sched_seed =
+  let rehost_seed =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "rehost-seed" ] ~docv:"N"
+          ~doc:
+            "Arm the model-free MMIO rehosting layer with this seed during \
+             the replay (rehosted firmware needs the seed a campaign \
+             reported alongside the reproducer; see `fuzz --rehost').")
+  in
+  let irq =
+    Arg.(
+      value & flag
+      & info [ "irq" ]
+          ~doc:
+            "With --rehost-seed: also draw the interrupt-injection plan \
+             from the seed, as `fuzz --rehost --irq' campaigns do.")
+  in
+  let run fw bug_id ftrace sched_seed rehost_seed irq =
     match
       List.find_opt (fun b -> String.equal b.Defs.b_id bug_id) fw.Firmware_db.fw_bugs
     with
@@ -143,6 +182,27 @@ let repro_cmd =
             let r = Embsan_fuzz.Rng.create ~seed in
             Embsan_sched.Sched.arm ctl
               ~draw:(fun n -> Embsan_fuzz.Rng.below r n));
+        (* the rehost layer arms after the scheduler so injection clamps
+           compose with the chosen interleaving, exactly as in campaigns *)
+        (match rehost_seed with
+        | None -> ()
+        | Some seed ->
+            let ctl = Embsan_rehost.Rehost.create inst.Replay.machine in
+            let root = Embsan_fuzz.Rng.create ~seed in
+            let mr =
+              Embsan_fuzz.Rng.split_stream root ~shard:0 ~stream:"mmio"
+            in
+            let irq_draw =
+              if irq then begin
+                let ir =
+                  Embsan_fuzz.Rng.split_stream root ~shard:0 ~stream:"irq"
+                in
+                Some (fun n -> Embsan_fuzz.Rng.below ir n)
+              end
+              else None
+            in
+            Embsan_rehost.Rehost.arm ?irq:irq_draw ctl
+              ~mmio:(fun () -> Embsan_fuzz.Rng.next mr));
         let o = Replay.replay inst bug.b_syscalls in
         List.iter (fun r -> Fmt.pr "%a@." Report.pp r) o.o_reports;
         (match o.o_crash with
@@ -153,7 +213,7 @@ let repro_cmd =
   in
   Cmd.v
     (Cmd.info "repro" ~doc:"Replay a registered bug's reproducer under EmbSan")
-    Term.(const run $ fw_arg $ bug_id $ ftrace $ sched_seed)
+    Term.(const run $ fw_arg $ bug_id $ ftrace $ sched_seed $ rehost_seed $ irq)
 
 (* --- fuzz ------------------------------------------------------------------- *)
 
@@ -188,7 +248,27 @@ let fuzz_cmd =
             "Enable the happens-before race sanitizer (FastTrack vector \
              clocks) alongside the default sanitizer set.")
   in
-  let run fw execs seed cmplog sched ftrace =
+  let rehost =
+    Arg.(
+      value & flag
+      & info [ "rehost" ]
+          ~doc:
+            "Model-free MMIO rehosting: serve reads from unmapped device \
+             registers out of a per-exec seeded stream behind a (pc, addr) \
+             memoization table; the rehost seed is part of the corpus \
+             entry and of reproducers.  Required for firmware with no \
+             hand-written device model (e.g. mmio-suite).")
+  in
+  let irq =
+    Arg.(
+      value & flag
+      & info [ "irq" ]
+          ~doc:
+            "With --rehost: inject interrupts at fuzzer-chosen retirement \
+             points drawn from the rehost seed, vectoring the guest's \
+             registered interrupt stub.")
+  in
+  let run fw execs seed cmplog sched ftrace rehost irq =
     let base = Embsan_fuzz.Campaign.default_config fw in
     let cfg =
       {
@@ -197,6 +277,8 @@ let fuzz_cmd =
         seed;
         use_cmplog = cmplog;
         use_sched = sched;
+        use_rehost = rehost;
+        use_irq = irq;
         sanitizers =
           (if ftrace then Embsan.with_ftrace base.sanitizers
            else base.sanitizers);
@@ -207,7 +289,9 @@ let fuzz_cmd =
   in
   Cmd.v
     (Cmd.info "fuzz" ~doc:"Run a coverage-guided fuzzing campaign with EmbSan")
-    Term.(const run $ fw_arg $ execs $ seed $ cmplog $ sched $ ftrace)
+    Term.(
+      const run $ fw_arg $ execs $ seed $ cmplog $ sched $ ftrace $ rehost
+      $ irq)
 
 (* --- campaign ---------------------------------------------------------------- *)
 
@@ -261,7 +345,23 @@ let campaign_cmd =
             "Enable the happens-before race sanitizer in every worker \
              (see `fuzz --ftrace').")
   in
-  let run fw jobs execs seed exchange telemetry cmplog sched ftrace =
+  let rehost =
+    Arg.(
+      value & flag
+      & info [ "rehost" ]
+          ~doc:"Model-free MMIO rehosting in every worker (see `fuzz \
+                --rehost').")
+  in
+  let irq =
+    Arg.(
+      value & flag
+      & info [ "irq" ]
+          ~doc:
+            "Fuzzer-scheduled interrupt injection in every worker (see \
+             `fuzz --irq').")
+  in
+  let run fw jobs execs seed exchange telemetry cmplog sched ftrace rehost irq
+      =
     let base = Embsan_fuzz.Campaign.default_config fw in
     let campaign =
       {
@@ -270,6 +370,8 @@ let campaign_cmd =
         seed;
         use_cmplog = cmplog;
         use_sched = sched;
+        use_rehost = rehost;
+        use_irq = irq;
         sanitizers =
           (if ftrace then Embsan.with_ftrace base.sanitizers
            else base.sanitizers);
@@ -299,7 +401,7 @@ let campaign_cmd =
           frontier exchange and global triage")
     Term.(
       const run $ fw_arg $ jobs $ execs $ seed $ exchange $ telemetry $ cmplog
-      $ sched $ ftrace)
+      $ sched $ ftrace $ rehost $ irq)
 
 (* --- trace ------------------------------------------------------------------ *)
 
@@ -366,8 +468,8 @@ let check_cmd =
           ~doc:
             "Run only this oracle (repeatable): fast-vs-baseline, \
              probe-transparency, flush-anytime, subscription-churn, \
-             toggle-storm, restore-transparency, sched-transparency or \
-             mode-agreement.  Default: all.")
+             toggle-storm, restore-transparency, sched-transparency, \
+             rehost-transparency or mode-agreement.  Default: all.")
   in
   let run execs seed sync max_insns arch oracles =
     let archs =
@@ -405,9 +507,9 @@ let check_cmd =
        ~doc:
          "Differential-oracle check of the dual execution engines \
           (fast-vs-baseline, probe transparency, flush-anytime, \
-          subscription churn, toggle storm, restore transparency) and of \
-          the dual instrumentation backends (mode-agreement); exits 1 on \
-          any divergence")
+          subscription churn, toggle storm, sched/rehost/restore \
+          transparency) and of the dual instrumentation backends \
+          (mode-agreement); exits 1 on any divergence")
     Term.(const run $ execs $ seed $ sync $ max_insns $ arch $ oracle)
 
 (* --- disasm ----------------------------------------------------------------- *)

@@ -31,6 +31,13 @@
      architectural progress, so any fuzzer-chosen schedule must replay
      the same interleaving on both engines — the property that makes
      schedule seeds meaningful corpus entries;
+   - rehost-transparency: a single-hart machine with the model-free
+     rehosting layer ({!Embsan_rehost.Rehost}) armed on [Machine.Fast]
+     and [Machine.Baseline] with identical draw streams: memoized MMIO
+     responses are a pure function of (pc, addr) sites and interrupt
+     injections of [total_insns], both engine-invariant, so the engines
+     must stay in lockstep with the layer armed — the property that
+     makes rehost seeds meaningful corpus entries;
    - restore-transparency: between sync points [mb] is checkpointed, run
      for a throwaway chunk (scribbling on RAM, registers, devices and
      counters), then reverted by [Snap.restore] — the revert must be
@@ -242,6 +249,34 @@ let sched_transparency ~cfg (p : Progen.t) =
   let mb = machine_with_sched Machine.Baseline in
   lockstep ~name:"sched-transparency" ~cfg p ma mb ~between:(fun _ -> ())
 
+(* A single-hart machine with the model-free rehosting layer armed on
+   both engines.  Every access outside the null page that hits neither
+   RAM nor a modeled device is served from a seeded memo stream, and an
+   injection plan (same-seeded draw streams, independent state) vectors
+   the hart to the program entry at fuzzer-chosen retirement points.
+   Generated programs register no interrupt stub and never signal
+   end-of-interrupt, so the first injection latches [in_irq] — one
+   mid-program vectoring per run is still enough to pin injection-point
+   invariance on top of MMIO-response invariance. *)
+let rehost_transparency ~cfg (p : Progen.t) =
+  let machine_with_rehost engine =
+    let m = machine_of p in
+    Machine.set_engine m engine;
+    (* stand-in for a guest-registered stub: vector to the program entry *)
+    m.Machine.irq_entry <- m.Machine.entry;
+    let ctl = Embsan_rehost.Rehost.create m in
+    let mr = Rng.create ~seed:(p.p_seed + 0x4E05) in
+    let ir = Rng.create ~seed:(p.p_seed + 0x14C) in
+    Embsan_rehost.Rehost.arm ctl
+      ~covers:(fun addr -> addr >= 0x1000) (* keep null-page faults *)
+      ~irq:(fun n -> Rng.below ir n)
+      ~mmio:(fun () -> Rng.next mr);
+    m
+  in
+  let ma = machine_with_rehost Machine.Fast in
+  let mb = machine_with_rehost Machine.Baseline in
+  lockstep ~name:"rehost-transparency" ~cfg p ma mb ~between:(fun _ -> ())
+
 let restore_transparency ~cfg (p : Progen.t) =
   let rng = Rng.create ~seed:(p.p_seed + 0x51AB) in
   let run_variant (engine, probed) =
@@ -286,5 +321,6 @@ let all =
     ("subscription-churn", subscription_churn);
     ("toggle-storm", toggle_storm);
     ("sched-transparency", sched_transparency);
+    ("rehost-transparency", rehost_transparency);
     ("restore-transparency", restore_transparency);
   ]

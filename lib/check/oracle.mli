@@ -62,6 +62,16 @@ val toggle_storm :
 val sched_transparency :
   cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
 
+(** A single-hart machine with the model-free rehosting layer
+    ({!Embsan_rehost.Rehost}) armed on both engines with identical draw
+    streams: memoized MMIO responses and fuzzer-scheduled interrupt
+    injections are pure functions of (pc, addr) sites and [total_insns],
+    both engine-invariant, so [Fast] and [Baseline] must stay in
+    lockstep.  Pins the contract that makes rehost seeds meaningful
+    corpus entries. *)
+val rehost_transparency :
+  cfg:cfg -> Progen.t -> divergence option * Embsan_emu.Machine.stop
+
 (** Between sync points the variant machine is checkpointed, run for a
     throwaway chunk and reverted with [Snap.restore]; the revert must be
     architecturally invisible.  Runs all four engine/probe configurations

@@ -102,7 +102,12 @@ let builtin_platform_traps m =
       Cpu.set cpu Reg.a0 cpu.Cpu.id);
   Machine.set_trap_handler m Hypercall.exit_ (fun _m cpu ->
       raise (Fault.Halted (Cpu.get cpu Reg.a0)));
-  Machine.set_trap_handler m Hypercall.kcov (fun _ _ -> ())
+  Machine.set_trap_handler m Hypercall.kcov (fun _ _ -> ());
+  (* interrupt-stub announcement / end-of-interrupt: recorded and inert
+     respectively during the probing dry run (no controller is armed) *)
+  Machine.set_trap_handler m Hypercall.irq_register (fun m cpu ->
+      m.Machine.irq_entry <- Cpu.get cpu Reg.a0);
+  Machine.set_trap_handler m Hypercall.irq_eoi (fun _ _ -> ())
 
 (* --- Mode 1: compile-time instrumented firmware ------------------------------- *)
 

@@ -25,6 +25,11 @@ type t = {
   mutable super_execs : int;
   mutable super_exits : int;
   mutable super_transfers : int;
+  (* model-free rehosting layer (lib/rehost): unmapped-MMIO reads served
+     from the fuzz-input stream, and interrupts vectored at fuzzer-chosen
+     retirement points. *)
+  mutable rehost_reads : int;
+  mutable irq_injected : int;
 }
 
 let create () =
@@ -39,6 +44,8 @@ let create () =
     super_execs = 0;
     super_exits = 0;
     super_transfers = 0;
+    rehost_reads = 0;
+    irq_injected = 0;
   }
 
 let reset t =
@@ -51,7 +58,9 @@ let reset t =
   t.superblocks_formed <- 0;
   t.super_execs <- 0;
   t.super_exits <- 0;
-  t.super_transfers <- 0
+  t.super_transfers <- 0;
+  t.rehost_reads <- 0;
+  t.irq_injected <- 0
 
 (** Total flushes of either kind (the pre-split [flushes] counter). *)
 let flushes t = t.flushes_load + t.flushes_invalidate
@@ -72,16 +81,18 @@ let pp fmt t =
   Fmt.pf fmt
     "translations=%d cache_hits=%d cache_misses=%d chained=%d \
      flushes_load=%d flushes_invalidate=%d superblocks=%d super_execs=%d \
-     super_exits=%d super_transfers=%d hit_rate=%.3f chain_rate=%.3f"
+     super_exits=%d super_transfers=%d rehost_reads=%d irq_injected=%d \
+     hit_rate=%.3f chain_rate=%.3f"
     t.translations t.cache_hits t.cache_misses t.chained t.flushes_load
     t.flushes_invalidate t.superblocks_formed t.super_execs t.super_exits
-    t.super_transfers (hit_rate t) (chain_rate t)
+    t.super_transfers t.rehost_reads t.irq_injected (hit_rate t)
+    (chain_rate t)
 
 (* One versioned block: every raw counter (chaining, split flushes,
-   superblocks) plus the derived rates, tagged so downstream consumers of
-   BENCH_emu.json fail loudly on a field change instead of silently
-   reading zeros. *)
-let schema = "embsan-engine-stats/1"
+   superblocks, rehosting) plus the derived rates, tagged so downstream
+   consumers of BENCH_emu.json fail loudly on a field change instead of
+   silently reading zeros.  /2 added rehost_reads + irq_injected. *)
+let schema = "embsan-engine-stats/2"
 
 (** Render as a JSON object (used by the bench pipeline). *)
 let to_json t =
@@ -90,10 +101,12 @@ let to_json t =
      \"cache_misses\": %d, \"chained_transfers\": %d, \"flushes_load\": %d, \
      \"flushes_invalidate\": %d, \"superblocks_formed\": %d, \
      \"super_execs\": %d, \"super_exits\": %d, \"super_transfers\": %d, \
-     \"hit_rate\": %.4f, \"chain_rate\": %.4f}"
+     \"rehost_reads\": %d, \"irq_injected\": %d, \"hit_rate\": %.4f, \
+     \"chain_rate\": %.4f}"
     schema t.translations t.cache_hits t.cache_misses t.chained
     t.flushes_load t.flushes_invalidate t.superblocks_formed t.super_execs
-    t.super_exits t.super_transfers (hit_rate t) (chain_rate t)
+    t.super_exits t.super_transfers t.rehost_reads t.irq_injected
+    (hit_rate t) (chain_rate t)
 
 (* Parse [to_json] output back into a stats record (round-trip pinned in
    test/test_emu.ml).  Scope is exactly our own flat rendering -- no
@@ -143,4 +156,6 @@ let of_json s =
     super_execs = int_field "super_execs";
     super_exits = int_field "super_exits";
     super_transfers = int_field "super_transfers";
+    rehost_reads = int_field "rehost_reads";
+    irq_injected = int_field "irq_injected";
   }

@@ -15,6 +15,9 @@ type t = {
   mutable super_execs : int;  (** entries into a fused block *)
   mutable super_exits : int;  (** guard mispredicts out of a fused block *)
   mutable super_transfers : int;  (** transfers fused away inside supers *)
+  mutable rehost_reads : int;
+      (** unmapped-MMIO reads served by the rehost layer *)
+  mutable irq_injected : int;  (** interrupts vectored by the rehost layer *)
 }
 
 val create : unit -> t

@@ -12,6 +12,15 @@ let kcov = 9 (* guest kcov-style coverage report: a0 = covered pc *)
 let hart_start = 10 (* a0 = hart id, a1 = entry pc, a2 = stack pointer *)
 let current_hart = 11 (* returns hart id in a0 *)
 
+(* Interrupt plumbing for the model-free rehosting layer (lib/rehost).
+   [irq_register] announces the guest's interrupt stub (a0 = entry pc);
+   the boot harness records it into [Machine.t.irq_entry] so an armed
+   rehost controller can vector a hart there at fuzzer-chosen retirement
+   points.  [irq_eoi] ends the handler: inert when no controller is
+   armed, context-restoring (back to the interrupted pc) when one is. *)
+let irq_register = 12 (* a0 = interrupt stub entry pc *)
+let irq_eoi = 13 (* end of interrupt: return to the interrupted context *)
+
 (* Sanitizer callouts: memory access checks.  Size and direction are encoded
    in the trap number so the callout is a single instruction; the address is
    in a0. *)
@@ -68,6 +77,8 @@ let name num =
   | 9 -> "kcov"
   | 10 -> "hart_start"
   | 11 -> "current_hart"
+  | 12 -> "irq_register"
+  | 13 -> "irq_eoi"
   | 16 -> "check_load1"
   | 17 -> "check_load2"
   | 18 -> "check_load4"

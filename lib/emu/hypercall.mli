@@ -14,6 +14,16 @@ val kcov : int
 val hart_start : int
 
 val current_hart : int
+
+(** Interrupt plumbing for the model-free rehosting layer: the guest
+    announces its interrupt stub (a0 = entry pc), recorded into
+    [Machine.t.irq_entry] by the boot harness. *)
+val irq_register : int
+
+(** End of interrupt: inert when no rehost controller is armed,
+    context-restoring (back to the interrupted pc) when one is. *)
+val irq_eoi : int
+
 val check_load1 : int
 val check_load2 : int
 val check_load4 : int

@@ -85,6 +85,23 @@ type block = {
 
 type engine = Fast | Baseline
 
+(* Model-free MMIO rehosting hook (implemented by lib/rehost; the record
+   of closures keeps the emulator free of fuzzer dependencies).  When
+   installed, unmapped-bus accesses from guest code (hart >= 0) whose
+   address satisfies [rh_covers] are served by the hook instead of
+   faulting: reads come from a fuzz-input stream behind a (pc, addr)
+   memoization table, writes are recorded.  The host-side debug accessors
+   ([read_mem]/[write_mem], hart = -1) never consult the hook so they
+   cannot pollute the memo table.  [rh_save]/[rh_restore] round-trip the
+   hook's state (memo table, pending interrupt plan) through {!Snap}. *)
+type rehost = {
+  rh_read : pc:int -> addr:int -> size:int -> int;
+  rh_write : pc:int -> addr:int -> size:int -> value:int -> unit;
+  rh_covers : int -> bool;
+  rh_save : unit -> string;
+  rh_restore : string -> unit;
+}
+
 type t = {
   arch : Arch.t;
   ram : Ram.t;
@@ -108,6 +125,9 @@ type t = {
   mutable next_hart : int;
   mutable entry : int;
   mutable sched : scheduler option;
+  mutable rehost : rehost option;
+  mutable irq_entry : int;
+      (* guest interrupt stub entry pc (Hypercall.irq_register); -1 = none *)
 }
 
 and handler = t -> Cpu.t -> unit
@@ -166,6 +186,8 @@ let create ?(harts = 2) ?(ram_base = 0x0001_0000) ?(ram_size = 4 * 1024 * 1024)
         next_hart = 0;
         entry = 0;
         sched = None;
+        rehost = None;
+        irq_entry = -1;
       }
   in
   Lazy.force m
@@ -203,6 +225,14 @@ let set_dirty_tracking t on = Ram.set_track_dirty t.ram on
 (* Compare-operand recording is a patchable site in branch/compare
    templates; same O(1), flush-free toggle. *)
 let set_cmplog t on = t.cmplog.Cmplog.enabled <- on
+
+(* The rehost hook is consulted only on the unmapped-MMIO slow paths
+   (after the RAM bounds check and device dispatch both miss), which the
+   translated templates already reach through run-time calls -- so
+   arming/disarming is one field write observed by already-translated
+   code: O(1), no flush (the zero-flush discipline the toggle-storm
+   oracle pins for the other knobs). *)
+let set_rehost t rh = t.rehost <- rh
 
 (** Enable/disable hot-chain fusion.  O(1): existing fused blocks are
     kept but not substituted while off. *)
@@ -266,9 +296,14 @@ let bus_read t (acc : Fault.access) =
   else
     match find_device t acc.addr with
     | Some d -> d.read ~offset:(acc.addr - d.base) ~width:acc.size
-    | None ->
-        Ram.check t.ram acc;
-        0
+    | None -> (
+        match t.rehost with
+        | Some rh when acc.hart >= 0 && rh.rh_covers acc.addr ->
+            t.stats.rehost_reads <- t.stats.rehost_reads + 1;
+            rh.rh_read ~pc:acc.pc ~addr:acc.addr ~size:acc.size
+        | _ ->
+            Ram.check t.ram acc;
+            0)
 
 let bus_write t (acc : Fault.access) value =
   if Ram.contains t.ram acc.addr ~size:acc.size then
@@ -276,7 +311,11 @@ let bus_write t (acc : Fault.access) value =
   else
     match find_device t acc.addr with
     | Some d -> d.write ~offset:(acc.addr - d.base) ~width:acc.size ~value
-    | None -> Ram.check t.ram acc
+    | None -> (
+        match t.rehost with
+        | Some rh when acc.hart >= 0 && rh.rh_covers acc.addr ->
+            rh.rh_write ~pc:acc.pc ~addr:acc.addr ~size:acc.size ~value
+        | _ -> Ram.check t.ram acc)
 
 (* The fast engine charges a whole block's retired-insn total on entry, so
    while the block's ops run [total_insns] is over-charged by the ops not
@@ -312,16 +351,25 @@ let slow_read t ~hart ~pc ~addr ~size ~over =
   | Some d ->
       rewound t ~over (fun () ->
           d.Device.read ~offset:(addr - d.base) ~width:size)
-  | None ->
-      Ram.check t.ram { hart; pc; addr; size; is_write = false };
-      0
+  | None -> (
+      match t.rehost with
+      | Some rh when hart >= 0 && rh.rh_covers addr ->
+          t.stats.rehost_reads <- t.stats.rehost_reads + 1;
+          rewound t ~over (fun () -> rh.rh_read ~pc ~addr ~size)
+      | _ ->
+          Ram.check t.ram { hart; pc; addr; size; is_write = false };
+          0)
 
 let slow_write t ~hart ~pc ~addr ~size ~over value =
   match find_device t addr with
   | Some d ->
       rewound t ~over (fun () ->
           d.Device.write ~offset:(addr - d.base) ~width:size ~value)
-  | None -> Ram.check t.ram { hart; pc; addr; size; is_write = true }
+  | None -> (
+      match t.rehost with
+      | Some rh when hart >= 0 && rh.rh_covers addr ->
+          rewound t ~over (fun () -> rh.rh_write ~pc ~addr ~size ~value)
+      | _ -> Ram.check t.ram { hart; pc; addr; size; is_write = true })
 
 (* Debug accessors used by the sanitizer runtime and tests. *)
 let read_mem t ~addr ~width =

@@ -35,6 +35,23 @@ type block
     time. *)
 type engine = Fast | Baseline
 
+(** Model-free MMIO rehosting hook (implemented by [lib/rehost]; a record
+    of closures so the emulator stays free of fuzzer dependencies).  When
+    installed, unmapped-bus accesses from guest code (hart >= 0) whose
+    address satisfies [rh_covers] are served by the hook instead of
+    faulting: reads come from a fuzz-input stream behind a (pc, addr)
+    memoization table (counted in [stats.rehost_reads]), writes are
+    recorded.  Debug accessors ([read_mem]/[write_mem], hart = -1) never
+    consult the hook.  [rh_save]/[rh_restore] round-trip the hook's state
+    (memo table, pending interrupt plan) through {!Snap}. *)
+type rehost = {
+  rh_read : pc:int -> addr:int -> size:int -> int;
+  rh_write : pc:int -> addr:int -> size:int -> value:int -> unit;
+  rh_covers : int -> bool;
+  rh_save : unit -> string;
+  rh_restore : string -> unit;
+}
+
 type t = {
   arch : Embsan_isa.Arch.t;
   ram : Ram.t;
@@ -59,6 +76,12 @@ type t = {
   mutable entry : int;
   mutable sched : scheduler option;
       (** external hart scheduler; [None] = built-in round-robin *)
+  mutable rehost : rehost option;
+      (** model-free MMIO rehosting hook; [None] = unmapped accesses
+          fault *)
+  mutable irq_entry : int;
+      (** guest interrupt stub entry pc announced via
+          {!Hypercall.irq_register}; -1 = none registered *)
 }
 
 and handler = t -> Cpu.t -> unit
@@ -126,6 +149,14 @@ val remove_trap_handler : t -> int -> unit
 
 (** Arm (or, with [None], disarm) the external hart scheduler. *)
 val set_sched : t -> scheduler option -> unit
+
+(** Install (or, with [None], remove) the model-free rehosting hook.  The
+    hook is consulted only on the unmapped-MMIO slow paths, which the
+    translated templates already reach through run-time calls, so the
+    toggle is one O(1) field write observed by already-translated code —
+    no retranslation, no flush (same zero-flush discipline as the probe
+    and cmplog toggles). *)
+val set_rehost : t -> rehost option -> unit
 
 (** Is this hart able to execute right now (running and not stalled)? *)
 val runnable : t -> Cpu.t -> bool

@@ -18,6 +18,7 @@ module Machine = Embsan_emu.Machine
 module Image = Embsan_isa.Image
 module Snap = Embsan_snap.Snap
 module Sched = Embsan_sched.Sched
+module Rehost = Embsan_rehost.Rehost
 
 type config = {
   fw : Firmware_db.firmware;
@@ -37,6 +38,16 @@ type config = {
          part of the input.  Off by default: the schedule stream is
          derived without advancing the main rng, so existing seeded
          trajectories stay pinned either way. *)
+  use_rehost : bool;
+      (* model-free MMIO rehosting (lib/rehost): unmapped-MMIO reads are
+         served from a per-exec seeded stream behind a (pc, addr) memo
+         table.  The rehost seed rides the corpus entry like the schedule
+         seed, from its own non-advancing Rng stream. *)
+  use_irq : bool;
+      (* fuzzer-scheduled interrupt injection on top of [use_rehost]: the
+         per-exec rehost seed also draws an injection plan ("irq" stream)
+         vectoring the guest's registered stub at chosen retirement
+         points. *)
 }
 
 let default_config fw =
@@ -49,6 +60,8 @@ let default_config fw =
     use_snapshots = true;
     use_cmplog = false;
     use_sched = false;
+    use_rehost = false;
+    use_irq = false;
   }
 
 type found = {
@@ -56,6 +69,8 @@ type found = {
   f_exec : int; (* executions until first detection *)
   f_prog : Prog.t;
   f_sched : int option; (* schedule seed the reproducer needs, if any *)
+  f_rehost : int option; (* rehost seed the reproducer needs, if any *)
+  f_irq : bool; (* the rehost replay also injects interrupts *)
   f_confirmed : bool; (* reproduced on a fresh instance *)
 }
 
@@ -123,35 +138,75 @@ let arm_schedule machine = function
       let r = Rng.create ~seed in
       Sched.arm ctl ~draw:(fun n -> Rng.below r n)
 
-let reboot_repro cfg bug ?sched calls =
+(* Arm a rehost controller for one execution: the single corpus seed fans
+   out into the "mmio" response stream and (when injection is on) the
+   "irq" plan stream via [Rng.split_stream], so confirmation replays and
+   shrinking redraw the exact per-exec streams from the seed alone. *)
+let arm_rehost ~use_irq ctl seed =
+  let root = Rng.create ~seed in
+  let mr = Rng.split_stream root ~shard:0 ~stream:"mmio" in
+  let irq =
+    if use_irq then begin
+      let ir = Rng.split_stream root ~shard:0 ~stream:"irq" in
+      Some (fun n -> Rng.below ir n)
+    end
+    else None
+  in
+  Rehost.arm ?irq ctl ~mmio:(fun () -> Rng.next mr)
+
+let reboot_repro cfg bug ?sched ?rehost calls =
   match Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers) with
   | exception Replay.Boot_failed _ -> false
   | inst ->
       arm_schedule inst.Replay.machine sched;
+      (match rehost with
+      | None -> ()
+      | Some seed ->
+          arm_rehost ~use_irq:cfg.use_irq
+            (Rehost.create inst.Replay.machine)
+            seed);
       Replay.detects bug (Replay.replay inst calls)
 
-let confirm ~try_repro ?sched (bug : Defs.bug) ~history prog =
+let confirm ~try_repro ?sched ?rehost (bug : Defs.bug) ~history prog =
   let calls = Prog.to_reproducer prog in
-  (* schedule minimization first: a reproducer that fires under the plain
-     round-robin rotation needs no schedule seed at all *)
-  if sched <> None && try_repro bug ?sched:None calls then Some (prog, None)
-  else if try_repro bug ?sched calls then Some (prog, sched)
-  else begin
-    let full = List.concat_map Prog.to_reproducer history @ calls in
-    if not (try_repro bug ?sched full) then None
-    else begin
-      (* greedy shrink: drop leading history programs while it reproduces *)
-      let rec shrink hist =
-        match hist with
-        | [] -> hist
-        | _ :: rest ->
-            let candidate = List.concat_map Prog.to_reproducer rest @ calls in
-            if try_repro bug ?sched candidate then shrink rest else hist
-      in
-      let kept = shrink history in
-      Some (List.concat kept @ prog, sched)
-    end
-  end
+  (* input minimization first, toward None: a reproducer that fires under
+     the plain round-robin rotation needs no schedule seed, and one that
+     fires without the rehost layer needs no rehost seed.  Try dropping
+     both, then the rehost seed, then the schedule seed, then keep both. *)
+  let candidates =
+    let rec uniq = function
+      | [] -> []
+      | x :: rest -> x :: uniq (List.filter (( <> ) x) rest)
+    in
+    uniq [ (None, None); (sched, None); (None, rehost); (sched, rehost) ]
+  in
+  let rec first = function
+    | [] -> None
+    | (s, r) :: rest ->
+        if try_repro bug ?sched:s ?rehost:r calls then Some (prog, s, r)
+        else first rest
+  in
+  match first candidates with
+  | Some _ as found -> found
+  | None ->
+      let full = List.concat_map Prog.to_reproducer history @ calls in
+      if not (try_repro bug ?sched ?rehost full) then None
+      else begin
+        (* greedy shrink: drop leading history programs while it
+           reproduces *)
+        let rec shrink hist =
+          match hist with
+          | [] -> hist
+          | _ :: rest ->
+              let candidate =
+                List.concat_map Prog.to_reproducer rest @ calls
+              in
+              if try_repro bug ?sched ?rehost candidate then shrink rest
+              else hist
+        in
+        let kept = shrink history in
+        Some (List.concat kept @ prog, sched, rehost)
+      end
 
 (* The per-worker fuzzing engine.  [Campaign.run] below is a trivial
    driver over it (create, step until finished, result); the campaign
@@ -170,8 +225,11 @@ module Engine = struct
     mutable inst : Replay.instance;
     mutable sched_ctl : Sched.t option; (* interleaving control on [inst] *)
     sched_rng : Rng.t option; (* dedicated schedule-seed stream *)
+    mutable rehost_ctl : Rehost.t option; (* MMIO/IRQ control on [inst] *)
+    rehost_rng : Rng.t option; (* dedicated rehost-seed stream *)
     snap : Snap.t option;
-    try_repro : Defs.bug -> ?sched:int -> (int * int array) list -> bool;
+    try_repro :
+      Defs.bug -> ?sched:int -> ?rehost:int -> (int * int array) list -> bool;
     total_bugs : int;
     mutable insns_base : int; (* total_insns already credited to [insns] *)
     mutable history : Prog.t list; (* recent programs, newest first *)
@@ -182,7 +240,8 @@ module Engine = struct
     mutable insns : int;
     mutable seen_reports : int;
     (* per-epoch harvest for the orchestrator, newest first *)
-    mutable fresh_frontier : (Prog.t * int option * (int * int) list) list;
+    mutable fresh_frontier :
+      (Prog.t * int option * int option * (int * int) list) list;
     mutable fresh_found : found list;
   }
 
@@ -197,10 +256,22 @@ module Engine = struct
       if cfg.use_sched then Some (Rng.split_stream rng ~shard:0 ~stream:"sched")
       else None
     in
+    let rehost_rng =
+      if cfg.use_rehost then
+        Some (Rng.split_stream rng ~shard:0 ~stream:"rehost")
+      else None
+    in
     let cov = Coverage.create ~harts:2 in
     let inst = boot_with_coverage cfg cov in
     let sched_ctl =
       if cfg.use_sched then Some (Sched.create inst.Replay.machine) else None
+    in
+    (* the controller's machine hook must be installed before the
+       checkpoint below so [Snap.capture] carries the rehost blob and
+       restores revert memo/plan state (see lib/rehost) *)
+    let rehost_ctl =
+      if cfg.use_rehost then Some (Rehost.create inst.Replay.machine)
+      else None
     in
     (* Persistent-mode checkpoint: capture once post-boot and revert to it
        on crash recovery instead of rebooting.  Coverage is fuzzer-owned
@@ -215,20 +286,28 @@ module Engine = struct
     let repro_state = ref None in
     let try_repro =
       if not cfg.use_snapshots then reboot_repro cfg
-      else fun bug ?sched calls ->
+      else fun bug ?sched ?rehost calls ->
         match
           (match !repro_state with
           | Some is -> is
           | None ->
               let i = Replay.boot cfg.fw (Replay.Embsan_cfg cfg.sanitizers) in
+              let rc =
+                if cfg.use_rehost then Some (Rehost.create i.Replay.machine)
+                else None
+              in
               let s = Snap.capture ?runtime:i.Replay.rt i.Replay.machine in
-              repro_state := Some (i, s);
-              (i, s))
+              repro_state := Some (i, rc, s);
+              (i, rc, s))
         with
         | exception Replay.Boot_failed _ -> false
-        | i, s ->
+        | i, rc, s ->
             ignore (Snap.restore s : int);
             arm_schedule i.Replay.machine sched;
+            (match (rc, rehost) with
+            | Some c, Some seed -> arm_rehost ~use_irq:cfg.use_irq c seed
+            | Some c, None -> Rehost.disarm c
+            | None, _ -> ());
             let before = List.length (Report.unique_reports i.Replay.sink) in
             let o = Replay.replay i calls in
             let fresh =
@@ -245,6 +324,8 @@ module Engine = struct
       inst;
       sched_ctl;
       sched_rng;
+      rehost_ctl;
+      rehost_rng;
       snap;
       try_repro;
       total_bugs = List.length cfg.fw.fw_bugs;
@@ -265,19 +346,21 @@ module Engine = struct
   let finished e =
     e.execs >= e.cfg.max_execs || (e.cfg.stop_when_all_found && all_found e)
 
-  let note_bug e bug ?sched prog =
+  let note_bug e bug ?sched ?rehost prog =
     if not (Hashtbl.mem e.found bug.Defs.b_id) then begin
       let entry =
         match
-          confirm ~try_repro:e.try_repro ?sched bug
+          confirm ~try_repro:e.try_repro ?sched ?rehost bug
             ~history:(List.rev e.history) prog
         with
-        | Some (repro, rsched) ->
+        | Some (repro, rsched, rrehost) ->
             {
               f_bug = bug;
               f_exec = e.execs;
               f_prog = repro;
               f_sched = rsched;
+              f_rehost = rrehost;
+              f_irq = e.cfg.use_irq && rrehost <> None;
               f_confirmed = true;
             }
         | None ->
@@ -286,6 +369,8 @@ module Engine = struct
               f_exec = e.execs;
               f_prog = prog;
               f_sched = sched;
+              f_rehost = rehost;
+              f_irq = e.cfg.use_irq && rehost <> None;
               f_confirmed = false;
             }
       in
@@ -297,7 +382,21 @@ module Engine = struct
      crashes, recover if the machine died.  Shared between [step]
      (self-generated programs) and [inject] (frontier programs received
      from other workers). *)
-  let execute e ?sched prog =
+  let execute e ?sched ?rehost prog =
+    (* Per-exec isolation under rehosting: every execution starts from the
+       post-boot checkpoint (which also reverts the memo table and pending
+       IRQs through the rehost hook's snapshot blob), so a (program,
+       rehost seed) pair alone determines the trajectory and confirmation
+       replays are exact.  Without the checkpoint the layer still fuzzes,
+       but cross-exec guest state can leave findings unconfirmed. *)
+    (match (e.rehost_ctl, e.snap) with
+    | Some _, Some s ->
+        e.insns <- e.insns + (e.inst.machine.total_insns - e.insns_base);
+        ignore (Snap.restore s : int);
+        e.insns_base <- e.inst.machine.total_insns;
+        e.seen_reports <- List.length (Report.unique_reports e.inst.sink);
+        e.history <- []
+    | _ -> ());
     (* arm this execution's interleaving before anything runs *)
     (match e.sched_ctl with
     | None -> ()
@@ -307,6 +406,14 @@ module Engine = struct
         | Some seed ->
             let r = Rng.create ~seed in
             Sched.arm ctl ~draw:(fun n -> Rng.below r n)));
+    (* then the rehost layer: its scheduler wrapper must capture the
+       interleaving just armed so injection clamps compose with it *)
+    (match e.rehost_ctl with
+    | None -> ()
+    | Some ctl -> (
+        match rehost with
+        | None -> Rehost.disarm ctl
+        | Some seed -> arm_rehost ~use_irq:e.cfg.use_irq ctl seed));
     Coverage.reset_edges e.cov;
     if e.cfg.use_cmplog then Cmplog.reset e.inst.machine.Machine.cmplog;
     e.history <-
@@ -326,8 +433,8 @@ module Engine = struct
         edges @ Cmplog.features e.inst.machine.Machine.cmplog
       else edges
     in
-    if Corpus.consider e.corpus prog ?sched signature then
-      e.fresh_frontier <- (prog, sched, signature) :: e.fresh_frontier;
+    if Corpus.consider e.corpus prog ?sched ?rehost signature then
+      e.fresh_frontier <- (prog, sched, rehost, signature) :: e.fresh_frontier;
     (* new sanitizer reports? *)
     let reports = Report.unique_reports e.inst.sink in
     let n = List.length reports in
@@ -337,7 +444,7 @@ module Engine = struct
       List.iter
         (fun r ->
           match match_bug e.symbolize e.cfg.fw r with
-          | Some bug -> note_bug e bug ?sched prog
+          | Some bug -> note_bug e bug ?sched ?rehost prog
           | None -> e.unmatched <- Report.title r :: e.unmatched)
         fresh
     end;
@@ -347,7 +454,7 @@ module Engine = struct
     | Some stop ->
         e.crashes <- e.crashes + 1;
         (match match_crash e.cfg.fw stop with
-        | Some bug -> note_bug e bug ?sched prog
+        | Some bug -> note_bug e bug ?sched ?rehost prog
         | None -> ());
         (match e.snap with
         | Some s ->
@@ -361,16 +468,19 @@ module Engine = struct
         | None ->
             e.insns <- e.insns + e.inst.machine.total_insns;
             e.inst <- boot_with_coverage e.cfg e.cov;
-            (* the scheduler control is bound to the dead machine *)
+            (* the scheduler and rehost controls are bound to the dead
+               machine *)
             if e.sched_ctl <> None then
               e.sched_ctl <- Some (Sched.create e.inst.Replay.machine);
+            if e.rehost_ctl <> None then
+              e.rehost_ctl <- Some (Rehost.create e.inst.Replay.machine);
             e.seen_reports <- 0);
         e.history <- []
     | None -> ()
 
   let step e =
     e.execs <- e.execs + 1;
-    let prog, inherited =
+    let prog, inherited_sched, inherited_rehost =
       if Corpus.size e.corpus > 0 && Rng.chance e.rng ~percent:70 then begin
         let dict =
           if e.cfg.use_cmplog then
@@ -378,17 +488,21 @@ module Engine = struct
           else [||]
         in
         (* one corpus draw for the mutation base, exactly as before; the
-           entry's schedule seed rides along as mutation input *)
+           entry's schedule and rehost seeds ride along as mutation
+           input *)
         let base = Corpus.pick e.rng e.corpus in
         ( Prog.mutate e.rng e.cfg.fw.fw_syscalls
             ~corpus_pick:(fun () ->
-              Option.map fst (Corpus.pick e.rng e.corpus))
+              Option.map
+                (fun (p, _, _) -> p)
+                (Corpus.pick e.rng e.corpus))
             ~dict
             ~i2s:(Cmplog.counterpart e.inst.machine.Machine.cmplog)
-            (match base with Some (p, _) -> p | None -> []),
-          match base with Some (_, s) -> s | None -> None )
+            (match base with Some (p, _, _) -> p | None -> []),
+          (match base with Some (_, s, _) -> s | None -> None),
+          match base with Some (_, _, r) -> r | None -> None )
       end
-      else (Prog.gen e.rng e.cfg.fw.fw_syscalls, None)
+      else (Prog.gen e.rng e.cfg.fw.fw_syscalls, None, None)
     in
     (* schedule mutation, from the dedicated stream: keep the inherited
        interleaving half the time, otherwise redraw *)
@@ -396,20 +510,30 @@ module Engine = struct
       match e.sched_rng with
       | None -> None
       | Some sr -> (
-          match inherited with
+          match inherited_sched with
           | Some s when Rng.chance sr ~percent:50 -> Some s
           | _ -> Some (Rng.next sr land 0x3FFF_FFFF))
     in
-    execute e ?sched prog
+    (* rehost-seed mutation follows the same inherit-or-redraw policy,
+       from its own stream *)
+    let rehost =
+      match e.rehost_rng with
+      | None -> None
+      | Some rr -> (
+          match inherited_rehost with
+          | Some s when Rng.chance rr ~percent:50 -> Some s
+          | _ -> Some (Rng.next rr land 0x3FFF_FFFF))
+    in
+    execute e ?sched ?rehost prog
 
   (* Frontier import: execute a program another worker found productive
-     (under the schedule it was productive with).  It counts as an
-     execution (it costs one), joins the corpus if it yields locally-new
-     coverage, and goes through the same report/crash triage as a
-     generated program. *)
-  let inject e ?sched prog =
+     (under the schedule and rehost seeds it was productive with).  It
+     counts as an execution (it costs one), joins the corpus if it yields
+     locally-new coverage, and goes through the same report/crash triage
+     as a generated program. *)
+  let inject e ?sched ?rehost prog =
     e.execs <- e.execs + 1;
-    execute e ?sched prog
+    execute e ?sched ?rehost prog
 
   let drain_frontier e =
     let l = List.rev e.fresh_frontier in
@@ -497,8 +621,22 @@ let pp_result fmt r =
     (List.length r.r_fw.fw_bugs)
     r.r_execs r.r_crashes r.r_corpus r.r_coverage
     (Fmt.list ~sep:Fmt.cut (fun fmt f ->
+         (* surface the seeds this reproducer (the printed call list
+            replayed from pristine state) was confirmed with *)
+         let seed_hint =
+           String.concat ""
+             [
+               (match f.f_sched with
+               | Some s -> Printf.sprintf " (sched seed %d)" s
+               | None -> "");
+               (match f.f_rehost with
+               | Some s ->
+                   Printf.sprintf " (rehost seed %d%s)" s
+                     (if f.f_irq then " + irq" else "")
+               | None -> "");
+             ]
+         in
          Fmt.pf fmt "  exec %5d %s %-32s [%a]%s" f.f_exec
            (if f.f_confirmed then "CONFIRMED" else "unconfirmed")
-           f.f_bug.b_id Prog.pp f.f_prog
-           ""))
+           f.f_bug.b_id Prog.pp f.f_prog seed_hint))
     (List.sort (fun a b -> compare a.f_exec b.f_exec) r.r_found)

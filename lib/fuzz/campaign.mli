@@ -30,6 +30,20 @@ type config = {
           entry and of reproducers (mutated, minimized), and the main
           mutation stream is never touched — so trajectories with
           [use_sched = false] stay pinned.  Off by default. *)
+  use_rehost : bool;
+      (** model-free MMIO rehosting ({!Embsan_rehost.Rehost}): reads from
+          unmapped MMIO ranges are served from a per-exec seeded stream
+          behind a (pc, addr) memoization table, so firmware with no
+          hand-written device model still runs.  The rehost seed rides
+          the corpus entry and reproducers exactly like the schedule
+          seed, from a dedicated non-advancing [Rng.split_stream] stream
+          — trajectories with [use_rehost = false] stay pinned.  Off by
+          default. *)
+  use_irq : bool;
+      (** fuzzer-scheduled interrupt injection on top of [use_rehost]:
+          the per-exec rehost seed also draws an injection plan (the
+          ["irq"] stream) that vectors the guest's registered interrupt
+          stub at chosen retirement points.  Off by default. *)
 }
 
 val default_config : Firmware_db.firmware -> config
@@ -41,6 +55,13 @@ type found = {
   f_sched : int option;
       (** schedule seed the reproducer needs ([None] = round-robin
           suffices; minimization tries dropping the schedule first) *)
+  f_rehost : int option;
+      (** rehost seed the reproducer needs ([None] = fires without the
+          rehost layer; minimization tries dropping it before the
+          schedule seed) *)
+  f_irq : bool;
+      (** the rehost replay also injects interrupts ([repro] needs
+          [--irq] alongside [--rehost-seed]) *)
   f_confirmed : bool;  (** reproduced on a fresh instance *)
 }
 
@@ -82,15 +103,16 @@ module Engine : sig
   val step : t -> unit
 
   (** Execute a frontier program received from another worker, under the
-      schedule it was productive with.  Counts as one execution and goes
-      through the same corpus-admission and triage path as a generated
-      program. *)
-  val inject : t -> ?sched:int -> Prog.t -> unit
+      schedule and rehost seeds it was productive with.  Counts as one
+      execution and goes through the same corpus-admission and triage
+      path as a generated program. *)
+  val inject : t -> ?sched:int -> ?rehost:int -> Prog.t -> unit
 
-  (** New corpus entries (with the schedule seed they ran under and the
-      coverage signature that admitted them) since the last drain,
-      oldest first. *)
-  val drain_frontier : t -> (Prog.t * int option * (int * int) list) list
+  (** New corpus entries (with the schedule and rehost seeds they ran
+      under and the coverage signature that admitted them) since the
+      last drain, oldest first. *)
+  val drain_frontier :
+    t -> (Prog.t * int option * int option * (int * int) list) list
 
   (** Newly found (confirmed/unconfirmed) bugs since the last drain,
       oldest first. *)

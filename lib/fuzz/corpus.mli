@@ -1,9 +1,16 @@
 (** Coverage-triaged corpus, AFL-style: a program joins when its execution
     produced an (edge, hit-bucket) pair never seen before.  Entries carry
     the schedule seed the program ran under (when schedule fuzzing is
-    on), since coverage can be interleaving-dependent. *)
+    on) and the rehost seed (when the model-free rehosting layer is
+    armed), since coverage can depend on the interleaving and on the
+    MMIO responses / injected interrupts. *)
 
-type entry = { e_prog : Prog.t; e_sched : int option; e_new_pairs : int }
+type entry = {
+  e_prog : Prog.t;
+  e_sched : int option;
+  e_rehost : int option;
+  e_new_pairs : int;
+}
 
 type t = {
   seen : (int * int, unit) Hashtbl.t;
@@ -15,14 +22,14 @@ val create : unit -> t
 
 (** Record an execution's coverage signature; [true] iff it contributed new
     coverage (the program was added). *)
-val consider : t -> Prog.t -> ?sched:int -> (int * int) list -> bool
+val consider : t -> Prog.t -> ?sched:int -> ?rehost:int -> (int * int) list -> bool
 
 val size : t -> int
 val coverage : t -> int
-val pick : Rng.t -> t -> (Prog.t * int option) option
+val pick : Rng.t -> t -> (Prog.t * int option * int option) option
 
 (** All programs, oldest first (the "merged corpus"). *)
 val programs : t -> Prog.t list
 
-(** All entries as (program, schedule seed), oldest first. *)
-val inputs : t -> (Prog.t * int option) list
+(** All entries as (program, schedule seed, rehost seed), oldest first. *)
+val inputs : t -> (Prog.t * int option * int option) list

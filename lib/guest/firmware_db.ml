@@ -328,6 +328,16 @@ let race_suite_fw =
     ~fuzzer:Syzkaller
     [ Race_suite.suite ]
 
+(* The rehosting bug suite: a UART/DMA-ish driver whose registers live in
+   unmapped MMIO space (no model in [lib/emu/devices.ml]) with an
+   IRQ-gated use-after-free — only runnable under the model-free
+   rehosting layer, only findable with injected interrupts.  The
+   [bench rehost] injection off/on A/B workload. *)
+let mmio_suite_fw =
+  linux_fw ~name:"mmio-suite" ~arch:Arch.Arm_ev ~inst:EmbSan_C
+    ~fuzzer:Syzkaller
+    [ Mmio_suite.suite ]
+
 (** Prepare an EmbSan session for a firmware image in its Table-1 mode.
     [kcov] compiles guest coverage callouts in (the Syzkaller setup). *)
 let embsan_firmware ?(kcov = false) fw =

@@ -52,6 +52,13 @@ val cmplog_gate_fw : firmware
     ([bench race]). *)
 val race_suite_fw : firmware
 
+(** The rehosting bug suite: a UART/DMA-ish driver whose device registers
+    live in unmapped MMIO space — no model in [lib/emu/devices.ml] — with
+    an IRQ-gated use-after-free.  Only runnable under the model-free
+    rehosting layer ([lib/rehost]), only findable with injected
+    interrupts.  The injection off/on A/B workload ([bench rehost]). *)
+val mmio_suite_fw : firmware
+
 (** The firmware value [Embsan.prepare] expects, in the image's Table-1
     instrumentation mode. *)
 val embsan_firmware : ?kcov:bool -> firmware -> Embsan_core.Embsan.firmware

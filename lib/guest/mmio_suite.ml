@@ -1,0 +1,154 @@
+(* The rehosting bug suite: a UART/DMA-ish driver whose device registers
+   live in the rehost window (0xE000_0000..) and have NO hand-written
+   model in [lib/emu/devices.ml] — the image only boots and runs under
+   the model-free rehosting layer ([lib/rehost]), which serves every
+   register read from the fuzz-input stream behind a (pc, addr)
+   memoization table.  The injected bug is IRQ-gated: [sys_mmio_stop]
+   frees the DMA descriptor but forgets to clear the completion-pending
+   flag and keeps the stale pointer, so the interrupt handler — which
+   only ever runs when the rehost controller injects an interrupt —
+   dereferences freed heap.  No syscall sequence alone reaches the bad
+   access: the [bench rehost] A/B guard pins "found with injection on
+   every seed, never without".
+
+   Conventions:
+
+   - boot/init never touches the device window (boot runs before any
+     controller is armed; the window would fault), so init only
+     registers syscalls and announces the interrupt stub via trap 12;
+   - the interrupt stub is [nosan]: it runs on the interrupted stack and
+     its end-of-interrupt trap (13) never returns (the controller
+     restores the interrupted context), so an instrumented frame would
+     leave stack redzones poisoned.  The handler body it calls is a
+     normal instrumented function — returning before the eoi — which is
+     what makes the freed-heap access KASAN-visible;
+   - register polls are bounded loops, not wait-for-value spins: within
+     one exec a (pc, addr) site always replays its memoized response, so
+     a loop waiting for that value to change would never terminate. *)
+
+open Defs
+
+let suite : module_def =
+  {
+    m_name = "drv_mmiosuite";
+    m_source =
+      {|
+// ---- device registers (rehost window; no model exists) ----------------------
+// 0xE0000000 CTRL     0xE0000004 DMA_ADDR   0xE0000008 STATUS
+// 0xE000000C CONFIG   0xE0000010 RX_DATA
+
+var md_dma = 0;      // DMA descriptor (stale after stop: BUG)
+var md_active = 0;   // descriptor currently allocated
+var md_pending = 0;  // completion pending (stop forgets to clear: BUG)
+var md_irq_count = 0;
+var md_rx_sum = 0;
+
+// ---- interrupt side ---------------------------------------------------------
+
+// BUG (mmio-suite): completion handler trusts md_pending, but stop
+// freed the descriptor without clearing it — freed-heap load/store,
+// reachable only under an injected interrupt.
+fun mmio_irq_handler() {
+  if (md_pending == 1) {
+    var v = load32(md_dma + 4);
+    store32(md_dma + 8, v + 1);
+    md_irq_count = md_irq_count + 1;
+  }
+  return 0;
+}
+
+// The stub the controller vectors into (registered via trap 12).  The
+// eoi trap restores the interrupted context and never returns.
+nosan fun mmio_irq_stub() {
+  mmio_irq_handler();
+  trap0(13);
+  return 0;
+}
+
+// ---- syscall side -----------------------------------------------------------
+
+fun sys_mmio_start(a, b, c) {
+  if (md_active == 1) { return 0 - 16; }
+  md_dma = kmalloc(32);
+  if (md_dma == 0) { return 0 - 12; }
+  store32(md_dma + 0, a);
+  store32(md_dma + 4, b);
+  store32(md_dma + 8, 0);
+  store32(0xE0000004, md_dma);       // program the DMA address register
+  store32(0xE0000000, 1);            // CTRL: go
+  md_active = 1;
+  md_pending = 1;
+  return load32(0xE000000C);         // CONFIG readback
+}
+
+// Bounded status poll: 16 reads of the same site replay one memoized
+// response (the determinism the memo table exists for).
+fun md_wait_status() {
+  var i = 0;
+  var s = 0;
+  while (i < 16) {
+    s = load32(0xE0000008);
+    i = i + 1;
+  }
+  return s;
+}
+
+fun sys_mmio_stop(a, b, c) {
+  if (md_active == 0) { return 0 - 22; }
+  var s = md_wait_status();
+  store32(0xE0000000, 0);            // CTRL: halt
+  kfree(md_dma);
+  md_active = 0;
+  // BUG (mmio-suite): md_pending stays 1 and md_dma stays stale — the
+  // next injected interrupt dereferences the freed descriptor.
+  return s;
+}
+
+// UART-ish RX drain: eight reads of one data-register site, plus a
+// status read — multiple distinct memoized sites in one call.
+fun sys_mmio_read(a, b, c) {
+  var i = 0;
+  var sum = 0;
+  while (i < 8) {
+    sum = sum + load32(0xE0000010);
+    i = i + 1;
+  }
+  md_rx_sum = sum + load32(0xE0000008);
+  if (a == 1) { return md_irq_count; }
+  return md_rx_sum;
+}
+
+fun drv_mmiosuite_init() {
+  syscall_table[56] = &sys_mmio_start;
+  syscall_table[57] = &sys_mmio_stop;
+  syscall_table[58] = &sys_mmio_read;
+  trap1(12, &mmio_irq_stub);         // announce the interrupt stub
+  return 0;
+}
+|};
+    m_init = Some "drv_mmiosuite_init";
+    m_syscalls =
+      [
+        { sc_nr = 56; sc_name = "mmio_start"; sc_args = [ Any32; Any32 ] };
+        { sc_nr = 57; sc_name = "mmio_stop"; sc_args = [] };
+        { sc_nr = 58; sc_name = "mmio_read"; sc_args = [ Flag [ 0; 1 ] ] };
+      ];
+    m_bugs =
+      [
+        {
+          b_id = "mmio-suite/irq_uaf";
+          b_paper_location = "drivers/mmiosuite";
+          b_symbol = "mmio_irq_handler";
+          b_alt_symbols = [ "mmio_irq_stub"; "sys_mmio_stop" ];
+          b_kind = Embsan_core.Report.Use_after_free;
+          b_class = Heap_bug;
+          (* the syscalls arm the window (start, stop, then a read that
+             keeps the hart busy while pending is stale); manifesting
+             additionally needs an injected interrupt (the b_syscalls
+             replay alone must stay silent — the bench's no-injection arm
+             pins that) *)
+          b_syscalls = [ (56, [| 5; 9 |]); (57, [||]); (58, [| 0 |]) ];
+          b_benign = [ (56, [| 5; 9 |]); (58, [| 0 |]) ];
+        };
+      ];
+  }

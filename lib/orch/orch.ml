@@ -88,12 +88,12 @@ type result = {
 (* --- protocol ---------------------------------------------------------------- *)
 
 type to_worker =
-  | Run of { budget : int; injections : (Prog.t * int option) list }
+  | Run of { budget : int; injections : (Prog.t * int option * int option) list }
   | Quit
 
 type epoch_report = {
-  ep_fresh : (Prog.t * int option * (int * int) list) list;
-      (** newly admitted (with schedule seed), oldest first *)
+  ep_fresh : (Prog.t * int option * int option * (int * int) list) list;
+      (** newly admitted (with schedule and rehost seeds), oldest first *)
   ep_found : Campaign.found list;  (** newly found, oldest first *)
   ep_unmatched : string list;  (** cumulative *)
   ep_execs : int;  (** cumulative *)
@@ -133,8 +133,8 @@ let worker_main (cfg : config) shard (inbox : to_worker Chan.t)
             match
               let module E = Campaign.Engine in
               List.iter
-                (fun (p, sched) ->
-                  if not (E.finished e) then E.inject e ?sched p)
+                (fun (p, sched, rehost) ->
+                  if not (E.finished e) then E.inject e ?sched ?rehost p)
                 injections;
               let steps = ref 0 in
               while (not (E.finished e)) && !steps < budget do
@@ -208,7 +208,9 @@ let run (cfg : config) : result =
   let found : (string, Campaign.found) Hashtbl.t = Hashtbl.create 16 in
   let last : epoch_report option array = Array.make n None in
   let done_ = Array.make n false in
-  let pending : (Prog.t * int option) list array = Array.make n [] in
+  let pending : (Prog.t * int option * int option) list array =
+    Array.make n []
+  in
   (* newest first *)
   let failure = ref None in
   let epochs = ref 0 in
@@ -245,11 +247,11 @@ let run (cfg : config) : result =
             last.(i) <- Some ep;
             done_.(i) <- ep.ep_done;
             List.iter
-              (fun (prog, sched, signature) ->
-                if Corpus.consider merged prog ?sched signature then
+              (fun (prog, sched, rehost, signature) ->
+                if Corpus.consider merged prog ?sched ?rehost signature then
                   for j = 0 to n - 1 do
                     if j <> i && not done_.(j) then
-                      pending.(j) <- (prog, sched) :: pending.(j)
+                      pending.(j) <- (prog, sched, rehost) :: pending.(j)
                   done)
               ep.ep_fresh;
             List.iter

@@ -1,0 +1,67 @@
+(** Model-free MMIO rehosting with fuzzer-scheduled interrupt injection
+    (Ember-IO / FuzzBox direction): firmware whose peripherals have no
+    hand-written device model runs anyway — reads from unmapped MMIO
+    space are served from a dedicated fuzz-input stream behind a
+    (pc, addr) memoization table, and interrupts are vectored into the
+    guest's registered stub at fuzzer-chosen retirement points.
+
+    The controller plugs into the public [Machine.set_rehost] and
+    [Machine.set_sched] hooks.  Every decision is a pure function of the
+    draw streams and the machine's architectural progress, so an armed
+    controller produces the identical execution on [Fast] and [Baseline]
+    (the rehost-transparency oracle pins this).  Draw streams are
+    abstract closures (give them a dedicated [Rng.split_stream] stream)
+    so this library stays free of fuzzer dependencies and a whole
+    MMIO/IRQ trajectory replays from one integer seed. *)
+
+type t
+
+(** [create machine] builds a controller and installs its (initially
+    inactive) hook on the machine: until {!arm}, no address is covered
+    and unmapped accesses fault exactly as before.  Installation is an
+    O(1) field write — no translation-cache flush — and also claims the
+    {!Embsan_emu.Hypercall.irq_eoi} trap (inert while no interrupt is in
+    flight).  Install before [Snap.capture] so checkpoints carry the
+    (empty) memo table. *)
+val create : Embsan_emu.Machine.t -> t
+
+(** Default rehost window: \[0xE000_0000, 0xF000_0000) — below the
+    modeled platform devices, far above RAM, and excluding page zero so
+    null-pointer dereferences still fault. *)
+val default_covers : int -> bool
+
+(** [arm t ~mmio ?irq ()] activates the controller with fresh draw
+    streams, resetting the memo table and all interrupt state (so the
+    same seeds always replay the same responses and injection points).
+
+    [mmio ()] supplies a fresh 32-bit response for a (pc, addr) site's
+    first read; later reads at the same site replay the memoized value,
+    masked to the access width.  [covers] defaults to {!default_covers}.
+
+    [irq], when given, draws an injection plan: 1..4 interrupts at
+    absolute retirement points spread from the current [total_insns].
+    The controller then wraps the machine's scheduler (the one armed at
+    this moment — arm any {!Embsan_sched.Sched} first) so each turn is
+    clamped to the next injection point; at that block boundary the
+    picked hart's context is saved host-side and its pc vectored to the
+    stub registered via {!Embsan_emu.Hypercall.irq_register}.  The
+    guest's [irq_eoi] trap restores the saved context.  Without a
+    registered stub, points are discarded. *)
+val arm :
+  ?covers:(int -> bool) -> ?irq:(int -> int) -> t -> mmio:(unit -> int) -> unit
+
+(** Deactivate: no address covered, pending injections dropped, the
+    scheduler wrapper removed (restoring the scheduler captured at
+    {!arm}).  The machine hook stays installed (still O(1), no flush). *)
+val disarm : t -> unit
+
+val armed : t -> bool
+
+(** Remaining injection points in the current plan. *)
+val pending_irqs : t -> int
+
+(** Is an injected handler currently running (eoi not yet seen)? *)
+val in_irq : t -> bool
+
+(** Distinct (pc, addr) sites memoized since {!arm}. *)
+val memo_size : t -> int

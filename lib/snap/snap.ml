@@ -42,6 +42,7 @@ type t = {
   external_cost : int;
   next_hart : int;
   entry : int;
+  rehost : string option; (* rehost-hook state (memo table, pending IRQs) *)
   runtime : (Embsan_core.Runtime.t * Embsan_core.Runtime.state) option;
 }
 
@@ -82,6 +83,10 @@ let capture ?runtime (machine : Machine.t) =
     external_cost = machine.Machine.external_cost;
     next_hart = machine.Machine.next_hart;
     entry = machine.Machine.entry;
+    rehost =
+      Option.map
+        (fun (rh : Machine.rehost) -> rh.Machine.rh_save ())
+        machine.Machine.rehost;
     runtime = Option.map (fun rt -> (rt, Embsan_core.Runtime.save rt)) runtime;
   }
 
@@ -125,6 +130,11 @@ let restore ?(full = false) t =
   m.Machine.external_cost <- t.external_cost;
   m.Machine.next_hart <- t.next_hart;
   m.Machine.entry <- t.entry;
+  (* rehost-hook state (memo table, pending interrupts) reverts with the
+     machine; a hook installed only after capture keeps its live state *)
+  (match (m.Machine.rehost, t.rehost) with
+  | Some rh, Some blob -> rh.Machine.rh_restore blob
+  | _ -> ());
   Option.iter
     (fun (rt, st) -> Embsan_core.Runtime.restore rt st)
     t.runtime;

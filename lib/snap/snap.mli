@@ -1,8 +1,10 @@
 (** Machine checkpoint/restore service for persistent-mode fuzzing (see
     DESIGN.md "Snapshot service").
 
-    {!capture} checkpoints guest RAM, hart registers, device state and
-    (optionally) the host-side sanitizer runtime; {!restore} reverts in
+    {!capture} checkpoints guest RAM, hart registers, device state, the
+    rehost-hook state (MMIO memo table and pending interrupts, via the
+    {!Embsan_emu.Machine.rehost} save/restore closures) and (optionally)
+    the host-side sanitizer runtime; {!restore} reverts in
     O(pages written since capture) using {!Embsan_emu.Ram} dirty-page
     tracking.  Single-active-snapshot discipline: only the most recent
     capture of a machine restores through the dirty-page fast path; older

@@ -722,6 +722,8 @@ let engine_stats_json_roundtrip () =
   s.super_execs <- 23;
   s.super_exits <- 29;
   s.super_transfers <- 31;
+  s.rehost_reads <- 37;
+  s.irq_injected <- 41;
   Alcotest.(check bool) "synthetic round-trip" true
     (Engine_stats.of_json (Engine_stats.to_json s) = s);
   let m, _ = assemble_and_load [ unit_ loop_text [ Asm.Label "buf"; Asm.Words [ 0 ] ] ] in

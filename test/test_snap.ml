@@ -78,6 +78,31 @@ let mailbox_roundtrip () =
 let ram_base = 0x1_0000
 let ram_size = 256 * 1024 (* 64 pages *)
 
+(* Every device registered on the machine (uart, power, mailbox, timer,
+   rng) must survive a Snap capture/restore bit-identically: after
+   arbitrary MMIO traffic on both sides of the checkpoint, each device's
+   [save] blob equals its blob at capture time. *)
+let device_op =
+  QCheck2.Gen.(
+    pair
+      (pair (int_range 0 31) bool)
+      (pair (int_range 0 0xFC) (int_range 0 0xFFFF_FFFF)))
+
+let device_traffic m ops =
+  let ds = m.Machine.devices in
+  List.iteri
+    (fun i ((di, is_read), (off, value)) ->
+      let d = ds.(di mod Array.length ds) in
+      let off = off land lnot 3 in
+      if i land 7 = 0 then
+        Devices.mailbox_push m.Machine.mailbox ~nr:(value land 0xFF)
+          ~args:[| off; value; i |];
+      if is_read then ignore (d.Device.read ~offset:off ~width:4 : int)
+      else
+        try d.Device.write ~offset:off ~width:4 ~value
+        with Fault.Halted _ -> () (* the power-off register *))
+    ops
+
 let make_machine () =
   Machine.create ~harts:2 ~ram_base ~ram_size ~arch:Embsan_isa.Arch.Arm_ev ()
 
@@ -120,6 +145,25 @@ let restore_identity =
       (* a second restore has nothing left to revert *)
       && Snap.restore snap = 0
       && Snapshot.diff reference (Snapshot.capture m) = [])
+
+let all_devices_roundtrip =
+  QCheck2.Test.make
+    ~name:"every registered device survives Snap round-trip bit-identically"
+    ~count:50
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 50) device_op)
+        (list_size (int_range 0 50) device_op))
+    (fun (pre, post) ->
+      let m = make_machine () in
+      device_traffic m pre;
+      let snap = Snap.capture m in
+      let blobs = Array.map (fun d -> d.Device.save ()) m.Machine.devices in
+      device_traffic m post;
+      ignore (Snap.restore snap : int);
+      Array.for_all2
+        (fun (d : Device.t) blob -> d.Device.save () = blob)
+        m.Machine.devices blobs)
 
 let restore_cost_is_o_touched () =
   let m = make_machine () in
@@ -193,6 +237,7 @@ let () =
       ( "snapshot",
         [
           QCheck_alcotest.to_alcotest restore_identity;
+          QCheck_alcotest.to_alcotest all_devices_roundtrip;
           Alcotest.test_case "restore cost is O(touched)" `Quick
             restore_cost_is_o_touched;
           Alcotest.test_case "stale snapshot needs ~full" `Quick
